@@ -1,0 +1,104 @@
+package rbcast
+
+import (
+	"fmt"
+
+	"repro/internal/agreement"
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// AgreementConfig describes a Byzantine-agreement run built on reliable
+// broadcast: each committee member broadcasts its binary input in its own
+// instance, and every node decides the majority of the commonly-received
+// vector. The radio medium prevents even Byzantine committee members from
+// equivocating (§V), so per-instance outcomes are consistent.
+type AgreementConfig struct {
+	// Width, Height, Radius describe the torus network.
+	Width, Height, Radius int
+	// Protocol selects the underlying broadcast (ProtocolBV4 or
+	// ProtocolBV2 for Byzantine fault tolerance).
+	Protocol Protocol
+	// T is the per-neighborhood fault bound.
+	T int
+	// Committee lists the input holders; Inputs their binary inputs.
+	Committee []Node
+	Inputs    []byte
+	// ByzantineNodes are corrupted (committee members allowed) and run
+	// the given strategy.
+	ByzantineNodes []Node
+	// Strategy selects the Byzantine behaviour (StrategySilent,
+	// StrategyLiar, StrategyForger); defaults to StrategySilent.
+	Strategy Strategy
+}
+
+// AgreementResult reports the outcome.
+type AgreementResult struct {
+	// Decisions maps honest nodes to their agreement decision.
+	Decisions map[Node]byte
+	// Agreement reports whether all honest nodes decided identically.
+	Agreement bool
+	// Validity reports whether a uniform honest-committee input was
+	// decided (vacuously true otherwise).
+	Validity bool
+	// Rounds and Broadcasts are engine statistics.
+	Rounds, Broadcasts int
+}
+
+// Agree runs Byzantine agreement over the radio network.
+func Agree(cfg AgreementConfig) (AgreementResult, error) {
+	base := Config{
+		Width: cfg.Width, Height: cfg.Height, Radius: cfg.Radius,
+		Protocol: cfg.Protocol,
+	}
+	net, err := base.network()
+	if err != nil {
+		return AgreementResult{}, err
+	}
+	kind, err := base.kind()
+	if err != nil {
+		return AgreementResult{}, err
+	}
+	committee := make([]topology.NodeID, len(cfg.Committee))
+	for i, n := range cfg.Committee {
+		committee[i] = net.IDOf(gridCoord(n.X, n.Y))
+	}
+	var strat fault.Strategy
+	switch cfg.Strategy {
+	case 0, StrategySilent, StrategyCrash:
+		strat = fault.Silent
+	case StrategyLiar:
+		strat = fault.Liar
+	case StrategyForger:
+		strat = fault.Forger
+	default:
+		return AgreementResult{}, fmt.Errorf("rbcast: strategy %d not supported for agreement", int(cfg.Strategy))
+	}
+	byz := make(map[topology.NodeID]fault.Strategy, len(cfg.ByzantineNodes))
+	for _, n := range cfg.ByzantineNodes {
+		byz[net.IDOf(gridCoord(n.X, n.Y))] = strat
+	}
+	res, err := agreement.Run(agreement.Config{
+		Net:       net,
+		Committee: committee,
+		Inputs:    cfg.Inputs,
+		Kind:      kind,
+		T:         cfg.T,
+		Byzantine: byz,
+	})
+	if err != nil {
+		return AgreementResult{}, err
+	}
+	out := AgreementResult{
+		Decisions:  make(map[Node]byte, len(res.Decisions)),
+		Agreement:  res.Agreement,
+		Validity:   res.Validity,
+		Rounds:     res.Stats.Rounds,
+		Broadcasts: res.Stats.Broadcasts,
+	}
+	for id, d := range res.Decisions {
+		c := net.CoordOf(id)
+		out.Decisions[Node{X: c.X, Y: c.Y}] = d
+	}
+	return out, nil
+}

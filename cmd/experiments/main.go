@@ -1,0 +1,51 @@
+// Command experiments regenerates every reproduced paper artifact (Table I,
+// Figs 1-19 and all theorem thresholds) and prints the paper-vs-measured
+// reports indexed in DESIGN.md. Use -run to select a subset and -list to
+// enumerate the available experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+
+	failures := 0
+	for _, id := range ids {
+		rep, err := experiments.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Format())
+		if !rep.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) did not match the paper's claims\n", failures)
+		os.Exit(1)
+	}
+}

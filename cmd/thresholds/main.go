@@ -1,0 +1,50 @@
+// Command thresholds prints the paper's fault-tolerance bounds as a table
+// over the transmission radius r: the exact L∞ thresholds (Theorems 1, 4, 5),
+// the simple-protocol bounds (Theorem 6 vs Koo's), and the informal L2
+// values of §VIII, alongside the closed-neighborhood populations they are
+// fractions of.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	maxR := flag.Int("max-r", 10, "largest transmission radius to tabulate")
+	flag.Parse()
+	if *maxR < 1 {
+		fmt.Fprintln(os.Stderr, "thresholds: -max-r must be ≥ 1")
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	fmt.Fprintln(w, "r\t|nbd|L∞\tbyz max\tbyz imp\tcrash max\tcrash imp\tCPA (Thm6)\tCPA (Koo)\t|nbd|L2\tL2 byz\tL2 byz imp\tL2 crash\tL2 crash imp")
+	for r := 1; r <= *maxR; r++ {
+		nbdLinf, err := rbcast.NeighborhoodSize(rbcast.MetricLinf, r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thresholds:", err)
+			os.Exit(1)
+		}
+		nbdL2, err := rbcast.NeighborhoodSize(rbcast.MetricL2, r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thresholds:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r, nbdLinf,
+			rbcast.MaxByzantineLinf(r), rbcast.MinImpossibleByzantineLinf(r),
+			rbcast.MaxCrashLinf(r), rbcast.MinImpossibleCrashLinf(r),
+			rbcast.MaxCPALinf(r), rbcast.KooCPALinf(r),
+			nbdL2,
+			rbcast.ApproxByzantineL2(r), rbcast.ApproxImpossibleByzantineL2(r),
+			rbcast.ApproxCrashL2(r), rbcast.ApproxImpossibleCrashL2(r),
+		)
+	}
+}

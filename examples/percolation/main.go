@@ -1,0 +1,49 @@
+// Percolation: the random-failure model the paper's conclusion points at
+// (§XI): every node crashes independently with probability p_f, and
+// crash-stop broadcast reduces to reachability — a site-percolation
+// question. Sweep p_f and watch the delivered fraction collapse near the
+// critical region.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := rbcast.Config{
+		Width:    24,
+		Height:   24,
+		Radius:   1,
+		Protocol: rbcast.ProtocolFlood,
+		Value:    1,
+	}
+	const runs = 10
+
+	fmt.Println("p_f    mean delivered fraction (over", runs, "seeds)")
+	for _, pf := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65} {
+		sum := 0.0
+		for seed := int64(0); seed < runs; seed++ {
+			res, err := rbcast.Run(cfg, rbcast.FaultPlan{
+				Placement:   rbcast.PlacePercolation,
+				Strategy:    rbcast.StrategyCrash,
+				Probability: pf,
+				Seed:        seed,
+			})
+			if err != nil {
+				log.Fatalf("percolation: %v", err)
+			}
+			sum += float64(res.Correct) / float64(res.Honest)
+		}
+		mean := sum / runs
+		bar := ""
+		for i := 0.0; i < mean*40; i++ {
+			bar += "█"
+		}
+		fmt.Printf("%.2f   %.3f %s\n", pf, mean, bar)
+	}
+	fmt.Println("\nfor the L∞ r=1 grid (8 neighbors) the giant component survives")
+	fmt.Println("well past p_f = 0.4 — site percolation on the king graph")
+}

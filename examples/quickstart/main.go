@@ -1,0 +1,47 @@
+// Quickstart: run the paper's exact-threshold Byzantine broadcast protocol
+// (Theorem 1) on a small torus with the strongest band adversary the locally
+// bounded model allows, and verify that every honest node commits to the
+// source's value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const r = 1
+	t := rbcast.MaxByzantineLinf(r) // largest tolerable t: ⌈r(2r+1)/2⌉ − 1
+
+	cfg := rbcast.Config{
+		Width:    16,
+		Height:   10,
+		Radius:   r,
+		Protocol: rbcast.ProtocolBV4, // the 4-hop indirect-report protocol of §VI
+		T:        t,
+		Value:    1,
+	}
+	plan := rbcast.FaultPlan{
+		Placement: rbcast.PlaceGreedyBand, // strongest legal band adversary
+		Strategy:  rbcast.StrategyForger,  // lies and forges indirect reports
+	}
+
+	res, err := rbcast.Run(cfg, plan)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	fmt.Printf("torus %dx%d, radius %d, fault bound t=%d (threshold: t < r(2r+1)/2)\n",
+		cfg.Width, cfg.Height, r, t)
+	fmt.Printf("adversary: %d forger nodes, at most %d per neighborhood\n",
+		res.Faults, res.MaxFaultsPerNbd)
+	fmt.Printf("outcome: %d/%d honest nodes committed correctly in %d rounds "+
+		"(%d broadcasts)\n", res.Correct, res.Honest, res.Rounds, res.Broadcasts)
+	if res.AllCorrect() {
+		fmt.Println("reliable broadcast achieved — as Theorem 1 promises")
+	} else {
+		fmt.Printf("unexpected: wrong=%d undecided=%d\n", res.Wrong, res.Undecided)
+	}
+}

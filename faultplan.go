@@ -1,0 +1,199 @@
+package rbcast
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// Placement selects how the adversary positions its faults.
+type Placement int
+
+const (
+	// PlaceNone runs fault-free.
+	PlaceNone Placement = iota + 1
+	// PlaceBand corrupts every node of a width-Radius vertical band,
+	// doubled at the antipodal column so the torus is cut — the Fig 8
+	// construction (t = r(2r+1) per neighborhood).
+	PlaceBand
+	// PlaceCheckerboardBand corrupts the (x+y)-even half of the band —
+	// the Fig 13 construction (t = ⌈r(2r+1)/2⌉ per neighborhood).
+	// Requires an even torus height.
+	PlaceCheckerboardBand
+	// PlaceGreedyBand packs as many faults into the two bands as the
+	// locally bounded budget T allows — the strongest legal band
+	// adversary for achievability experiments.
+	PlaceGreedyBand
+	// PlaceRandomBounded corrupts nodes in random order while the budget
+	// T permits (up to Count faults; Count ≤ 0 means as many as
+	// possible).
+	PlaceRandomBounded
+	// PlacePercolation corrupts each node independently with probability
+	// Probability — the §XI random-failure model (ignores T).
+	PlacePercolation
+)
+
+// Strategy selects Byzantine behaviour for the corrupted nodes. For
+// crash-stop experiments use StrategyCrash.
+type Strategy int
+
+const (
+	// StrategyCrash silences corrupted nodes from round CrashRound
+	// onward (crash-stop failures).
+	StrategyCrash Strategy = iota + 1
+	// StrategySilent Byzantine nodes never transmit.
+	StrategySilent
+	// StrategyLiar nodes announce a flipped committed value once.
+	StrategyLiar
+	// StrategyForger nodes flip their own announcement and forge
+	// indirect reports about everything they hear.
+	StrategyForger
+	// StrategySpoofer nodes impersonate honest neighbors (§X what-if);
+	// only effective when Config.SpoofingPossible is set.
+	StrategySpoofer
+)
+
+// FaultPlan describes the adversary for one run.
+type FaultPlan struct {
+	// Placement positions the faults; defaults to PlaceNone.
+	Placement Placement
+	// Strategy selects behaviour; defaults to StrategyCrash.
+	Strategy Strategy
+	// Budget is the locally bounded budget for PlaceGreedyBand and
+	// PlaceRandomBounded; 0 means "use Config.T".
+	Budget int
+	// Count caps PlaceRandomBounded placements (≤ 0: maximal).
+	Count int
+	// Probability is the PlacePercolation failure probability.
+	Probability float64
+	// CrashRound is the round from which StrategyCrash nodes go silent
+	// (0 = crashed from the start).
+	CrashRound int
+	// Seed drives the randomized placements.
+	Seed int64
+	// budgetForPlan is resolved by Run (Config.T when Budget is 0).
+	budgetForPlan int
+}
+
+// materialized is the resolved fault assignment.
+type materialized struct {
+	byzantine map[topology.NodeID]fault.Strategy
+	crash     map[topology.NodeID]int
+	faulty    []topology.NodeID
+}
+
+// materialize resolves the plan on a concrete network.
+func (p FaultPlan) materialize(net *topology.Network, source topology.NodeID) (materialized, error) {
+	placement := p.Placement
+	if placement == 0 {
+		placement = PlaceNone
+	}
+	r := net.Radius()
+	w := net.Torus().W
+	budget := p.Budget
+	if budget == 0 {
+		budget = p.budgetForPlan
+	}
+
+	var ids []topology.NodeID
+	var err error
+	switch placement {
+	case PlaceNone:
+	case PlaceBand:
+		for _, x0 := range []int{w / 4, 3 * w / 4} {
+			ids = append(ids, fault.Band(net, x0, r)...)
+		}
+	case PlaceCheckerboardBand:
+		for _, x0 := range []int{w / 4, 3 * w / 4} {
+			band, cerr := fault.CheckerboardBand(net, x0, r)
+			if cerr != nil {
+				return materialized{}, cerr
+			}
+			ids = append(ids, band...)
+		}
+	case PlaceGreedyBand:
+		for _, x0 := range []int{w / 4, 3 * w / 4} {
+			band, cerr := fault.GreedyBand(net, x0, r, budget)
+			if cerr != nil {
+				return materialized{}, cerr
+			}
+			ids = append(ids, band...)
+		}
+	case PlaceRandomBounded:
+		count := p.Count
+		if count <= 0 {
+			count = -1 // maximal placement
+		}
+		ids, err = fault.RandomBounded(net, budget, count, p.Seed)
+	case PlacePercolation:
+		ids, err = fault.Percolation(net, p.Probability, source, p.Seed)
+	default:
+		return materialized{}, fmt.Errorf("rbcast: invalid placement %d", int(placement))
+	}
+	if err != nil {
+		return materialized{}, err
+	}
+
+	// The designated source stays honest.
+	kept := ids[:0]
+	for _, id := range ids {
+		if id != source {
+			kept = append(kept, id)
+		}
+	}
+	ids = kept
+
+	out := materialized{faulty: ids}
+	strategy := p.Strategy
+	if strategy == 0 {
+		strategy = StrategyCrash
+	}
+	switch strategy {
+	case StrategyCrash:
+		out.crash = make(map[topology.NodeID]int, len(ids))
+		for _, id := range ids {
+			out.crash[id] = p.CrashRound
+		}
+	case StrategySilent, StrategyLiar, StrategyForger, StrategySpoofer:
+		var fs fault.Strategy
+		switch strategy {
+		case StrategySilent:
+			fs = fault.Silent
+		case StrategyLiar:
+			fs = fault.Liar
+		case StrategyForger:
+			fs = fault.Forger
+		default:
+			fs = fault.Spoofer
+		}
+		out.byzantine = make(map[topology.NodeID]fault.Strategy, len(ids))
+		for _, id := range ids {
+			out.byzantine[id] = fs
+		}
+	default:
+		return materialized{}, fmt.Errorf("rbcast: invalid strategy %d", int(strategy))
+	}
+	return out, nil
+}
+
+// MaxFaultsPerNeighborhood exhaustively measures the worst closed
+// neighborhood of a materialized plan on the configured network — the
+// ground-truth validator for the locally bounded constraint.
+func MaxFaultsPerNeighborhood(cfg Config, plan FaultPlan) (int, error) {
+	net, err := cfg.network()
+	if err != nil {
+		return 0, err
+	}
+	plan.budgetForPlan = cfg.T
+	m, err := plan.materialize(net, net.IDOf(gridCoord(cfg.SourceX, cfg.SourceY)))
+	if err != nil {
+		return 0, err
+	}
+	return fault.MaxPerNeighborhood(net, m.faulty), nil
+}
+
+// faultMaxPerNeighborhood is an indirection point shared with result.go.
+func faultMaxPerNeighborhood(net *topology.Network, ids []topology.NodeID) int {
+	return fault.MaxPerNeighborhood(net, ids)
+}

@@ -1,0 +1,261 @@
+// Package agreement builds Byzantine agreement (interactive consistency) on
+// top of the paper's reliable-broadcast primitive. The paper notes that its
+// Theorem 1 "establishes an exact threshold for Byzantine agreement under
+// this model" (§VI): once reliable broadcast is available, agreement follows
+// by the classical reduction — every committee member broadcasts its input
+// in its own instance, and everyone decides a deterministic function
+// (majority) of the commonly-received vector.
+//
+// The radio medium makes the reduction particularly clean: a Byzantine
+// committee member cannot equivocate (its local broadcast reaches all
+// neighbors identically and only the first version counts, §V), so even
+// faulty sources yield a consistent per-instance outcome — either every
+// honest node commits the same value, or none commits.
+//
+// Instances are multiplexed over one engine run via the Message.Instance
+// tag: each node runs one protocol state machine per instance, and a mux
+// process routes deliveries and stamps transmissions.
+package agreement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config describes an agreement run.
+type Config struct {
+	// Net is the radio network (required).
+	Net *topology.Network
+	// Committee lists the broadcast sources, one instance each. Inputs
+	// holds their binary inputs (same length).
+	Committee []topology.NodeID
+	// Inputs are the committee members' binary input values.
+	Inputs []byte
+	// Kind selects the underlying broadcast protocol (BV4 or BV2 for
+	// Byzantine settings).
+	Kind protocol.Kind
+	// T is the per-neighborhood fault bound.
+	T int
+	// Byzantine assigns adversarial behaviour; Byzantine committee
+	// members are allowed (that is the point of agreement).
+	Byzantine map[topology.NodeID]fault.Strategy
+	// MaxRounds bounds the run (0 = engine default).
+	MaxRounds int
+}
+
+// Result is the outcome of an agreement run.
+type Result struct {
+	// Decisions maps each honest node to its agreement decision.
+	Decisions map[topology.NodeID]byte
+	// Vectors maps each honest node to its per-instance view (255 = no
+	// commitment in that instance).
+	Vectors map[topology.NodeID][]byte
+	// Agreement reports whether all honest nodes decided the same value.
+	Agreement bool
+	// Validity reports whether, when all honest committee members shared
+	// the same input v, the common decision is v (vacuously true
+	// otherwise).
+	Validity bool
+	// Stats carries the engine statistics.
+	Stats sim.Stats
+}
+
+// Undecided marks an instance with no commitment in a node's vector.
+const Undecided byte = 255
+
+// Run executes the agreement protocol.
+func Run(cfg Config) (Result, error) {
+	if cfg.Net == nil {
+		return Result{}, fmt.Errorf("agreement: Config.Net is required")
+	}
+	if len(cfg.Committee) == 0 {
+		return Result{}, fmt.Errorf("agreement: committee must not be empty")
+	}
+	if len(cfg.Committee) != len(cfg.Inputs) {
+		return Result{}, fmt.Errorf("agreement: %d committee members but %d inputs",
+			len(cfg.Committee), len(cfg.Inputs))
+	}
+	seen := make(map[topology.NodeID]bool, len(cfg.Committee))
+	for i, id := range cfg.Committee {
+		if id < 0 || int(id) >= cfg.Net.Size() {
+			return Result{}, fmt.Errorf("agreement: committee member %d out of range", id)
+		}
+		if seen[id] {
+			return Result{}, fmt.Errorf("agreement: duplicate committee member %d", id)
+		}
+		seen[id] = true
+		if cfg.Inputs[i] > 1 {
+			return Result{}, fmt.Errorf("agreement: input %d of member %d not binary", cfg.Inputs[i], id)
+		}
+	}
+
+	// Per-instance honest factories.
+	factories := make([]sim.ProcessFactory, len(cfg.Committee))
+	for i, src := range cfg.Committee {
+		f, err := protocol.NewFactory(cfg.Kind, protocol.Params{
+			Net:    cfg.Net,
+			Source: src,
+			Value:  cfg.Inputs[i],
+			T:      cfg.T,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		factories[i] = f
+	}
+
+	muxes := make(map[topology.NodeID]*muxProc, cfg.Net.Size())
+	factory := func(id topology.NodeID) sim.Process {
+		if strat, ok := cfg.Byzantine[id]; ok {
+			return strat.NewProcess(id)
+		}
+		inners := make([]sim.Process, len(factories))
+		for i, f := range factories {
+			inners[i] = f(id)
+		}
+		m := &muxProc{inners: inners}
+		muxes[id] = m
+		return m
+	}
+	res, err := sim.Run(sim.Config{
+		Net:       cfg.Net,
+		Factory:   factory,
+		MaxRounds: cfg.MaxRounds,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	out := Result{
+		Decisions: make(map[topology.NodeID]byte, len(muxes)),
+		Vectors:   make(map[topology.NodeID][]byte, len(muxes)),
+		Agreement: true,
+		Validity:  true,
+		Stats:     res.Stats,
+	}
+	ids := make([]topology.NodeID, 0, len(muxes))
+	for id := range muxes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		vec := muxes[id].vector()
+		out.Vectors[id] = vec
+		out.Decisions[id] = majority(vec)
+	}
+	// Agreement: all honest decisions equal.
+	first := out.Decisions[ids[0]]
+	for _, id := range ids {
+		if out.Decisions[id] != first {
+			out.Agreement = false
+		}
+	}
+	// Validity: if all honest committee inputs coincide, the decision
+	// matches them.
+	common := byte(Undecided)
+	uniform := true
+	for i, src := range cfg.Committee {
+		if _, byz := cfg.Byzantine[src]; byz {
+			continue
+		}
+		if common == Undecided {
+			common = cfg.Inputs[i]
+		} else if cfg.Inputs[i] != common {
+			uniform = false
+		}
+	}
+	if uniform && common != Undecided {
+		for _, id := range ids {
+			if out.Decisions[id] != common {
+				out.Validity = false
+			}
+		}
+	}
+	return out, nil
+}
+
+// majority returns the majority over committed instance values (Undecided
+// entries are skipped; ties and empty vectors decide 0).
+func majority(vec []byte) byte {
+	ones, zeros := 0, 0
+	for _, v := range vec {
+		switch v {
+		case 0:
+			zeros++
+		case 1:
+			ones++
+		}
+	}
+	if ones > zeros {
+		return 1
+	}
+	return 0
+}
+
+// muxProc routes one node's traffic to its per-instance protocol processes
+// and stamps outgoing messages with the instance id.
+type muxProc struct {
+	inners []sim.Process
+}
+
+// Init implements sim.Process.
+func (m *muxProc) Init(ctx sim.Context) {
+	for i, p := range m.inners {
+		p.Init(&stampCtx{inner: ctx, instance: int32(i)})
+	}
+}
+
+// Deliver implements sim.Process.
+func (m *muxProc) Deliver(ctx sim.Context, from topology.NodeID, msg sim.Message) {
+	i := int(msg.Instance)
+	if i < 0 || i >= len(m.inners) {
+		return // unknown instance: Byzantine noise
+	}
+	m.inners[i].Deliver(&stampCtx{inner: ctx, instance: msg.Instance}, from, msg)
+}
+
+// Decided implements sim.Process: the mux itself reports a decision once
+// every instance has resolved — but for agreement semantics the engine-level
+// decision is unused; vectors are read after the run.
+func (m *muxProc) Decided() (byte, bool) { return 0, false }
+
+// vector snapshots the per-instance commitments.
+func (m *muxProc) vector() []byte {
+	vec := make([]byte, len(m.inners))
+	for i, p := range m.inners {
+		if v, ok := p.Decided(); ok {
+			vec[i] = v
+		} else {
+			vec[i] = Undecided
+		}
+	}
+	return vec
+}
+
+// stampCtx stamps broadcasts with the instance id.
+type stampCtx struct {
+	inner    sim.Context
+	instance int32
+}
+
+// Self implements sim.Context.
+func (c *stampCtx) Self() topology.NodeID { return c.inner.Self() }
+
+// Round implements sim.Context.
+func (c *stampCtx) Round() int { return c.inner.Round() }
+
+// Broadcast implements sim.Context.
+func (c *stampCtx) Broadcast(m sim.Message) {
+	m.Instance = c.instance
+	c.inner.Broadcast(m)
+}
+
+var (
+	_ sim.Process = (*muxProc)(nil)
+	_ sim.Context = (*stampCtx)(nil)
+)

@@ -1,0 +1,193 @@
+package agreement
+
+import (
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/protocol"
+	"repro/internal/topology"
+)
+
+func testNet(t *testing.T, w, h, r int) *topology.Network {
+	t.Helper()
+	net, err := topology.New(grid.Torus{W: w, H: h}, grid.Linf, r)
+	if err != nil {
+		t.Fatalf("topology.New: %v", err)
+	}
+	return net
+}
+
+func TestRunValidation(t *testing.T) {
+	net := testNet(t, 10, 10, 1)
+	cases := []Config{
+		{},
+		{Net: net},
+		{Net: net, Committee: []topology.NodeID{0}, Inputs: nil},
+		{Net: net, Committee: []topology.NodeID{0, 0}, Inputs: []byte{1, 1}},
+		{Net: net, Committee: []topology.NodeID{0}, Inputs: []byte{3}},
+		{Net: net, Committee: []topology.NodeID{9999}, Inputs: []byte{1}},
+	}
+	for i, cfg := range cases {
+		cfg.Kind = protocol.BV4
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAgreementFaultFree(t *testing.T) {
+	net := testNet(t, 12, 12, 1)
+	committee := []topology.NodeID{
+		net.IDOf(grid.C(0, 0)), net.IDOf(grid.C(6, 0)), net.IDOf(grid.C(0, 6)),
+	}
+	res, err := Run(Config{
+		Net:       net,
+		Committee: committee,
+		Inputs:    []byte{1, 1, 0},
+		Kind:      protocol.BV4,
+		T:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("honest nodes disagreed")
+	}
+	// Majority of (1,1,0) is 1.
+	for id, d := range res.Decisions {
+		if d != 1 {
+			t.Errorf("node %d decided %d, want 1", id, d)
+		}
+	}
+	// Every vector is fully resolved and identical.
+	for id, vec := range res.Vectors {
+		if len(vec) != 3 {
+			t.Fatalf("node %d vector length %d", id, len(vec))
+		}
+		if vec[0] != 1 || vec[1] != 1 || vec[2] != 0 {
+			t.Errorf("node %d vector %v", id, vec)
+		}
+	}
+}
+
+func TestAgreementValidity(t *testing.T) {
+	net := testNet(t, 12, 12, 1)
+	committee := []topology.NodeID{
+		net.IDOf(grid.C(0, 0)), net.IDOf(grid.C(6, 6)),
+	}
+	res, err := Run(Config{
+		Net:       net,
+		Committee: committee,
+		Inputs:    []byte{1, 1},
+		Kind:      protocol.BV2,
+		T:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Errorf("uniform inputs must yield validity: agreement=%v validity=%v",
+			res.Agreement, res.Validity)
+	}
+}
+
+func TestAgreementWithByzantineCommitteeMember(t *testing.T) {
+	// A Byzantine committee member may lie about its input, but the radio
+	// medium prevents equivocation: all honest nodes still agree, and the
+	// honest majority carries validity.
+	net := testNet(t, 16, 10, 1)
+	tMax := bounds.MaxByzantineLinf(1)
+	committee := []topology.NodeID{
+		net.IDOf(grid.C(0, 0)),
+		net.IDOf(grid.C(8, 0)),
+		net.IDOf(grid.C(0, 5)),
+	}
+	byzMember := committee[1]
+	res, err := Run(Config{
+		Net:       net,
+		Committee: committee,
+		Inputs:    []byte{1, 0, 1}, // the Byzantine member's input is irrelevant
+		Kind:      protocol.BV4,
+		T:         tMax,
+		Byzantine: map[topology.NodeID]fault.Strategy{byzMember: fault.Liar},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("agreement violated with a Byzantine committee member")
+	}
+	if !res.Validity {
+		t.Fatal("validity violated: honest inputs were uniform 1")
+	}
+	for _, d := range res.Decisions {
+		if d != 1 {
+			t.Fatalf("decision %d, want honest input 1", d)
+		}
+	}
+	// Every honest node holds the SAME view of the Byzantine instance —
+	// no equivocation is possible on the radio channel.
+	var ref []byte
+	for _, vec := range res.Vectors {
+		if ref == nil {
+			ref = vec
+			continue
+		}
+		if vec[1] != ref[1] {
+			t.Fatalf("instance views diverge: %v vs %v", vec[1], ref[1])
+		}
+	}
+}
+
+func TestAgreementWithByzantineRelays(t *testing.T) {
+	// Non-committee Byzantine forgers at the threshold budget cannot break
+	// agreement or validity.
+	net := testNet(t, 16, 10, 1)
+	tMax := bounds.MaxByzantineLinf(1)
+	committee := []topology.NodeID{net.IDOf(grid.C(0, 0)), net.IDOf(grid.C(8, 5))}
+	byz, err := fault.RandomBounded(net, tMax, -1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := make(map[topology.NodeID]fault.Strategy)
+	for _, id := range byz {
+		if id != committee[0] && id != committee[1] {
+			bm[id] = fault.Forger
+		}
+	}
+	res, err := Run(Config{
+		Net:       net,
+		Committee: committee,
+		Inputs:    []byte{1, 1},
+		Kind:      protocol.BV4,
+		T:         tMax,
+		Byzantine: bm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Errorf("agreement=%v validity=%v under forger relays", res.Agreement, res.Validity)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	cases := []struct {
+		vec  []byte
+		want byte
+	}{
+		{[]byte{1, 1, 0}, 1},
+		{[]byte{0, 0, 1}, 0},
+		{[]byte{1, 0}, 0}, // tie → 0
+		{[]byte{Undecided, 1}, 1},
+		{[]byte{Undecided, Undecided}, 0},
+		{nil, 0},
+	}
+	for _, tc := range cases {
+		if got := majority(tc.vec); got != tc.want {
+			t.Errorf("majority(%v) = %d, want %d", tc.vec, got, tc.want)
+		}
+	}
+}

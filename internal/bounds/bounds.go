@@ -1,0 +1,87 @@
+// Package bounds collects the closed-form fault-tolerance thresholds proved
+// or cited in Bhandari & Vaidya (PODC 2005), as pure functions of the
+// transmission radius r. All thresholds are stated as the maximum number of
+// faults t per closed neighborhood.
+package bounds
+
+import (
+	"math"
+)
+
+// MaxByzantineLinf returns the largest t for which the paper's 4-hop
+// indirect-report protocol achieves reliable broadcast in the L∞ metric
+// (Theorem 1): the largest integer t with t < r(2r+1)/2.
+//
+// Together with Koo's impossibility bound (t ≥ ⌈r(2r+1)/2⌉ is impossible)
+// this is the exact Byzantine threshold for the grid model.
+func MaxByzantineLinf(r int) int {
+	// r(2r+1) is odd iff r is odd, so t_max = ceil(r(2r+1)/2) − 1.
+	n := r * (2*r + 1)
+	return (n+1)/2 - 1
+}
+
+// MinImpossibleByzantineLinf returns the smallest t at which reliable
+// broadcast is impossible under Byzantine faults in L∞ (Koo 2004):
+// t = ⌈r(2r+1)/2⌉.
+func MinImpossibleByzantineLinf(r int) int {
+	n := r * (2*r + 1)
+	return (n + 1) / 2
+}
+
+// MaxCrashLinf returns the largest tolerable t for crash-stop failures in
+// the L∞ metric (Theorem 5): t = r(2r+1) − 1.
+func MaxCrashLinf(r int) int { return r*(2*r+1) - 1 }
+
+// MinImpossibleCrashLinf returns the smallest t at which crash-stop reliable
+// broadcast is impossible in L∞ (Theorem 4): t = r(2r+1).
+func MinImpossibleCrashLinf(r int) int { return r * (2*r + 1) }
+
+// MaxCPALinf returns the fault bound proved for the simple protocol
+// (Certified Propagation Algorithm) in Theorem 6: t ≤ ⌊(2/3)r²⌋.
+func MaxCPALinf(r int) int { return 2 * r * r / 3 }
+
+// KooCPALinf returns the earlier achievability bound for the simple protocol
+// in L∞ proved by Koo: the largest integer t with
+// t < ½·r·(r + √(r/2) + 1). Theorem 6 dominates it for all sufficiently
+// large r.
+func KooCPALinf(r int) int {
+	bound := 0.5 * float64(r) * (float64(r) + math.Sqrt(float64(r)/2) + 1)
+	return strictlyBelow(bound)
+}
+
+// KooCPAL2 returns Koo's achievability bound for the simple protocol in the
+// L2 metric: the largest integer t with t < ¼·r·(r + √(r/2) + 1) − 2.
+func KooCPAL2(r int) int {
+	bound := 0.25*float64(r)*(float64(r)+math.Sqrt(float64(r)/2)+1) - 2
+	return strictlyBelow(bound)
+}
+
+// ApproxByzantineL2 returns the paper's informal achievability value for
+// Byzantine faults in the Euclidean metric (§VIII): t = ⌊0.23·π·r²⌋.
+func ApproxByzantineL2(r int) int {
+	return int(math.Floor(0.23 * math.Pi * float64(r) * float64(r)))
+}
+
+// ApproxImpossibleByzantineL2 returns the paper's informal impossibility
+// value for Byzantine faults in L2 (§VIII): t = ⌈0.3·π·r²⌉.
+func ApproxImpossibleByzantineL2(r int) int {
+	return int(math.Ceil(0.3 * math.Pi * float64(r) * float64(r)))
+}
+
+// ApproxCrashL2 returns the paper's informal crash-stop achievability value
+// in L2 (§VIII): t = ⌊0.46·π·r²⌋ (i.e. 2t with t the Byzantine value).
+func ApproxCrashL2(r int) int {
+	return int(math.Floor(0.46 * math.Pi * float64(r) * float64(r)))
+}
+
+// ApproxImpossibleCrashL2 returns the paper's informal crash-stop
+// impossibility value in L2 (§VIII): t = ⌈0.6·π·r²⌉.
+func ApproxImpossibleCrashL2(r int) int {
+	return int(math.Ceil(0.6 * math.Pi * float64(r) * float64(r)))
+}
+
+// strictlyBelow returns the largest integer strictly below bound; for an
+// integral bound b it returns b−1.
+func strictlyBelow(bound float64) int {
+	return int(math.Ceil(bound)) - 1
+}

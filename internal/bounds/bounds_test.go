@@ -1,0 +1,154 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxByzantineLinf(t *testing.T) {
+	// t < r(2r+1)/2: r=1 → t<1.5 → 1; r=2 → t<5 → 4; r=3 → t<10.5 → 10;
+	// r=4 → t<18 → 17; r=5 → t<27.5 → 27.
+	want := map[int]int{1: 1, 2: 4, 3: 10, 4: 17, 5: 27}
+	for r, w := range want {
+		if got := MaxByzantineLinf(r); got != w {
+			t.Errorf("MaxByzantineLinf(%d) = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestExactByzantineThreshold(t *testing.T) {
+	// The achievable maximum and the impossibility minimum must be adjacent
+	// integers for every r — that is what "exact threshold" means.
+	for r := 1; r <= 50; r++ {
+		if MaxByzantineLinf(r)+1 != MinImpossibleByzantineLinf(r) {
+			t.Errorf("r=%d: achievability %d and impossibility %d are not adjacent",
+				r, MaxByzantineLinf(r), MinImpossibleByzantineLinf(r))
+		}
+		// Impossibility value is ⌈r(2r+1)/2⌉.
+		n := r * (2*r + 1)
+		if got, want := MinImpossibleByzantineLinf(r), (n+1)/2; got != want {
+			t.Errorf("r=%d: MinImpossibleByzantineLinf = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestExactCrashThreshold(t *testing.T) {
+	for r := 1; r <= 50; r++ {
+		if MaxCrashLinf(r)+1 != MinImpossibleCrashLinf(r) {
+			t.Errorf("r=%d: crash thresholds not adjacent", r)
+		}
+		if MinImpossibleCrashLinf(r) != r*(2*r+1) {
+			t.Errorf("r=%d: MinImpossibleCrashLinf = %d", r, MinImpossibleCrashLinf(r))
+		}
+	}
+}
+
+func TestCrashIsTwiceByzantinePlus(t *testing.T) {
+	// The crash-stop threshold r(2r+1) is exactly double the Byzantine
+	// threshold r(2r+1)/2 — the paper's "slightly less than half" versus
+	// "slightly less than one-fourth" of the neighborhood.
+	for r := 1; r <= 20; r++ {
+		cr := MinImpossibleCrashLinf(r)
+		by := r * (2*r + 1) // 2 × r(2r+1)/2
+		if cr != by {
+			t.Errorf("r=%d: crash %d != r(2r+1) %d", r, cr, by)
+		}
+	}
+}
+
+func TestMaxCPALinf(t *testing.T) {
+	want := map[int]int{1: 0, 2: 2, 3: 6, 4: 10, 5: 16, 6: 24}
+	for r, w := range want {
+		if got := MaxCPALinf(r); got != w {
+			t.Errorf("MaxCPALinf(%d) = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestKooCPALinf(t *testing.T) {
+	// t < ½ r (r + √(r/2) + 1).
+	// r=2: ½·2·(2+1+1) = 4 → t<4 → 3.
+	if got := KooCPALinf(2); got != 3 {
+		t.Errorf("KooCPALinf(2) = %d, want 3", got)
+	}
+	// r=8: ½·8·(8+2+1) = 44 → t<44 → 43.
+	if got := KooCPALinf(8); got != 43 {
+		t.Errorf("KooCPALinf(8) = %d, want 43", got)
+	}
+}
+
+func TestTheorem6DominatesKooAsymptotically(t *testing.T) {
+	// Theorem 6's bound 2r²/3 must dominate Koo's ½r(r+√(r/2)+1) for all
+	// sufficiently large r; verify from some modest r onward.
+	for r := 13; r <= 200; r++ {
+		if MaxCPALinf(r) <= KooCPALinf(r) {
+			t.Errorf("r=%d: Theorem 6 bound %d does not dominate Koo %d",
+				r, MaxCPALinf(r), KooCPALinf(r))
+		}
+	}
+}
+
+func TestTheorem6BelowExactThreshold(t *testing.T) {
+	// The simple protocol's bound is below the exact threshold of the
+	// indirect-report protocol for every r.
+	for r := 1; r <= 100; r++ {
+		if MaxCPALinf(r) > MaxByzantineLinf(r) {
+			t.Errorf("r=%d: CPA bound %d exceeds exact threshold %d",
+				r, MaxCPALinf(r), MaxByzantineLinf(r))
+		}
+	}
+}
+
+func TestKooCPAL2(t *testing.T) {
+	// r=4: ¼·4·(4+√2+1) − 2 = (5+√2)−2 = 4.41… → t<4.41 → 4.
+	if got := KooCPAL2(4); got != 4 {
+		t.Errorf("KooCPAL2(4) = %d, want 4", got)
+	}
+	// L2 bound is below the L∞ bound.
+	for r := 1; r <= 50; r++ {
+		if KooCPAL2(r) > KooCPALinf(r) {
+			t.Errorf("r=%d: L2 Koo bound exceeds L∞", r)
+		}
+	}
+}
+
+func TestL2ApproxOrdering(t *testing.T) {
+	// 0.23πr² < 0.3πr² < 0.46πr² < 0.6πr² for all r where they are
+	// nontrivial; and the Byzantine band sits below the crash band.
+	for r := 2; r <= 50; r++ {
+		ach := ApproxByzantineL2(r)
+		imp := ApproxImpossibleByzantineL2(r)
+		cach := ApproxCrashL2(r)
+		cimp := ApproxImpossibleCrashL2(r)
+		if !(ach < imp && imp <= cach && cach < cimp) {
+			t.Errorf("r=%d: ordering violated: %d %d %d %d", r, ach, imp, cach, cimp)
+		}
+	}
+}
+
+func TestL2ApproxValues(t *testing.T) {
+	r := 10
+	if got, want := ApproxByzantineL2(r), int(math.Floor(0.23*math.Pi*100)); got != want {
+		t.Errorf("ApproxByzantineL2(10) = %d, want %d", got, want)
+	}
+	if got, want := ApproxImpossibleCrashL2(r), int(math.Ceil(0.6*math.Pi*100)); got != want {
+		t.Errorf("ApproxImpossibleCrashL2(10) = %d, want %d", got, want)
+	}
+}
+
+func TestStrictlyBelow(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want int
+	}{
+		{7.0, 6},
+		{7.2, 7},
+		{0.5, 0},
+		{1.0, 0},
+	}
+	for _, tt := range tests {
+		if got := strictlyBelow(tt.in); got != tt.want {
+			t.Errorf("strictlyBelow(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package evidence implements the commit rules of the paper's Byzantine
+// broadcast protocols (§VI, §VI-B): recorded-report storage, the exact
+// "t+1 internally node-disjoint recorded paths inside one single
+// neighborhood" test, and the topology-aware designated-family mode — the
+// paper's "earmarking exact messages that a node should lookout for"
+// optimization, built from the constructive proof's explicit path families.
+package evidence
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Chain is one recorded report at a receiving node g: a claim that Origin
+// committed Value, relayed by Relays (origin-side first; empty for a direct
+// COMMITTED reception). A chain is an atomic evidence unit — the final
+// relayer attested the entire relay list, so sub-paths of different chains
+// must never be recombined (that would be unsound).
+type Chain struct {
+	Origin topology.NodeID
+	Value  byte
+	Relays []topology.NodeID
+}
+
+// key canonically identifies the chain (origin, value and exact relay
+// sequence).
+func (c Chain) key() string {
+	var b strings.Builder
+	b.Grow(4 * (len(c.Relays) + 2))
+	writeID := func(id topology.NodeID) {
+		b.WriteByte(byte(id))
+		b.WriteByte(byte(id >> 8))
+		b.WriteByte(byte(id >> 16))
+		b.WriteByte(byte(id >> 24))
+	}
+	writeID(c.Origin)
+	b.WriteByte(c.Value)
+	for _, r := range c.Relays {
+		writeID(r)
+	}
+	return b.String()
+}
+
+// Store accumulates the chains a node has recorded, indexed by (origin,
+// value). The zero value is not usable; create with NewStore.
+type Store struct {
+	chains map[chainIndex][]Chain
+	seen   map[string]struct{}
+	direct map[chainIndex]bool // COMMITTED heard directly from the origin
+}
+
+type chainIndex struct {
+	origin topology.NodeID
+	value  byte
+}
+
+// NewStore creates an empty evidence store.
+func NewStore() *Store {
+	return &Store{
+		chains: make(map[chainIndex][]Chain),
+		seen:   make(map[string]struct{}),
+		direct: make(map[chainIndex]bool),
+	}
+}
+
+// AddDirect records that the node heard COMMITTED(origin, value) on the
+// channel itself — unforgeable, so it needs no disjoint-path corroboration.
+func (s *Store) AddDirect(origin topology.NodeID, value byte) {
+	s.direct[chainIndex{origin: origin, value: value}] = true
+}
+
+// HasDirect reports whether COMMITTED(origin, value) was heard directly.
+func (s *Store) HasDirect(origin topology.NodeID, value byte) bool {
+	return s.direct[chainIndex{origin: origin, value: value}]
+}
+
+// Add records a relayed chain, ignoring exact duplicates. It returns true
+// when the chain was new.
+func (s *Store) Add(c Chain) bool {
+	k := c.key()
+	if _, dup := s.seen[k]; dup {
+		return false
+	}
+	s.seen[k] = struct{}{}
+	idx := chainIndex{origin: c.Origin, value: c.Value}
+	s.chains[idx] = append(s.chains[idx], c)
+	return true
+}
+
+// Chains returns the recorded chains for (origin, value). The returned
+// slice is shared; callers must not mutate it.
+func (s *Store) Chains(origin topology.NodeID, value byte) []Chain {
+	return s.chains[chainIndex{origin: origin, value: value}]
+}
+
+// Origins returns all (origin, value) pairs with any recorded evidence
+// (direct or relayed), in deterministic order.
+func (s *Store) Origins() []Chain {
+	out := make([]Chain, 0, len(s.chains)+len(s.direct))
+	seen := make(map[chainIndex]struct{}, len(s.chains)+len(s.direct))
+	for idx := range s.direct {
+		seen[idx] = struct{}{}
+		out = append(out, Chain{Origin: idx.origin, Value: idx.value})
+	}
+	for idx := range s.chains {
+		if _, ok := seen[idx]; !ok {
+			out = append(out, Chain{Origin: idx.origin, Value: idx.value})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

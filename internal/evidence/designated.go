@@ -1,0 +1,232 @@
+package evidence
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/paths"
+	"repro/internal/topology"
+)
+
+// FamilyTable is the precomputed designated-evidence plan for the 4-hop
+// protocol — the paper's "earmarking exact messages that a node should
+// lookout for" state reduction (§VI). It is translation invariant, so one
+// table serves every node of a torus.
+//
+// For every relative offset d = origin − receiver that occurs in the
+// completeness proof, the table stores the explicit family of r(2r+1)
+// internally node-disjoint relay paths from the constructive proof
+// (FamilyU/S1/S2), under all eight grid symmetries (the induction sweeps in
+// all four directions). Receivers count confirmed designated paths; relayers
+// forward only chains that are prefixes of some designated path.
+type FamilyTable struct {
+	r int
+	// fams maps the origin offset (relative to the receiver) to relay
+	// paths; each path is a list of relay offsets relative to the receiver.
+	fams map[grid.Coord][][]grid.Coord
+	// prefixes holds relay-sequence prefixes in origin-relative offsets.
+	prefixes map[string]struct{}
+}
+
+// symmetries are the eight isometries of the integer grid fixing the origin.
+var symmetries = []func(grid.Coord) grid.Coord{
+	func(c grid.Coord) grid.Coord { return c },
+	func(c grid.Coord) grid.Coord { return grid.C(-c.X, c.Y) },
+	func(c grid.Coord) grid.Coord { return grid.C(c.X, -c.Y) },
+	func(c grid.Coord) grid.Coord { return grid.C(-c.X, -c.Y) },
+	func(c grid.Coord) grid.Coord { return grid.C(c.Y, c.X) },
+	func(c grid.Coord) grid.Coord { return grid.C(-c.Y, c.X) },
+	func(c grid.Coord) grid.Coord { return grid.C(c.Y, -c.X) },
+	func(c grid.Coord) grid.Coord { return grid.C(-c.Y, -c.X) },
+}
+
+// NewFamilyTable builds the designated-family table for radius r (L∞).
+func NewFamilyTable(r int) (*FamilyTable, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("evidence: radius must be ≥ 1, got %d", r)
+	}
+	ft := &FamilyTable{
+		r:        r,
+		fams:     make(map[grid.Coord][][]grid.Coord),
+		prefixes: make(map[string]struct{}),
+	}
+	center := grid.C(0, 0)
+	p0 := paths.CornerP(center, r)
+	regionNodes := make([]grid.Coord, 0, r*r)
+	regionNodes = append(regionNodes, paths.RegionU(center, r)...)
+	regionNodes = append(regionNodes, paths.RegionS1(center, r)...)
+	regionNodes = append(regionNodes, paths.RegionS2(center, r)...)
+	for _, n := range regionNodes {
+		fam, err := paths.FamilyFor(center, r, n)
+		if err != nil {
+			return nil, fmt.Errorf("evidence: building family for %v: %w", n, err)
+		}
+		// Offset form relative to the receiver P.
+		d := fam.N.Sub(p0)
+		relPaths := make([][]grid.Coord, len(fam.Paths))
+		for i, path := range fam.Paths {
+			rels := make([]grid.Coord, 0, len(path)-2)
+			for _, x := range path[1 : len(path)-1] {
+				rels = append(rels, x.Sub(p0))
+			}
+			relPaths[i] = rels
+		}
+		for _, sym := range symmetries {
+			sd := sym(d)
+			if _, ok := ft.fams[sd]; ok {
+				continue
+			}
+			sPaths := make([][]grid.Coord, len(relPaths))
+			for i, rels := range relPaths {
+				srels := make([]grid.Coord, len(rels))
+				for j, x := range rels {
+					srels[j] = sym(x)
+				}
+				sPaths[i] = srels
+			}
+			ft.fams[sd] = sPaths
+			ft.addPrefixes(sd, sPaths)
+		}
+	}
+	return ft, nil
+}
+
+// addPrefixes records all relay-sequence prefixes of the family in
+// origin-relative coordinates (relay − origin), so relayers can check
+// membership without knowing the receiver.
+func (ft *FamilyTable) addPrefixes(originOff grid.Coord, relPaths [][]grid.Coord) {
+	for _, rels := range relPaths {
+		for k := 1; k <= len(rels); k++ {
+			key := prefixKey(originOff, rels[:k])
+			ft.prefixes[key] = struct{}{}
+		}
+	}
+}
+
+// prefixKey encodes a relay prefix relative to the origin.
+func prefixKey(originOff grid.Coord, rels []grid.Coord) string {
+	var b strings.Builder
+	b.Grow(4 * len(rels))
+	for _, rel := range rels {
+		d := rel.Sub(originOff) // relay offset relative to the origin
+		b.WriteByte(byte(int8(d.X)))
+		b.WriteByte(byte(int8(d.Y)))
+	}
+	return b.String()
+}
+
+// Radius returns the table's transmission radius.
+func (ft *FamilyTable) Radius() int { return ft.r }
+
+// Offsets returns the number of distinct origin offsets covered.
+func (ft *FamilyTable) Offsets() int { return len(ft.fams) }
+
+// FamilySize returns the number of designated paths for an origin offset,
+// or zero when the offset is not covered.
+func (ft *FamilyTable) FamilySize(originOff grid.Coord) int {
+	return len(ft.fams[originOff])
+}
+
+// ShouldRelay reports whether an honest node at relay-offset chain
+// (origin-relative offsets of the already-affixed relays, ending with the
+// would-be relayer itself) is a prefix of any designated path. The chain
+// must already include the candidate relayer as its last element.
+func (ft *FamilyTable) ShouldRelay(relOffsets []grid.Coord) bool {
+	if len(relOffsets) == 0 || len(relOffsets) > paths.MaxIntermediates {
+		return false
+	}
+	var b strings.Builder
+	b.Grow(2 * len(relOffsets))
+	for _, d := range relOffsets {
+		b.WriteByte(byte(int8(d.X)))
+		b.WriteByte(byte(int8(d.Y)))
+	}
+	_, ok := ft.prefixes[b.String()]
+	return ok
+}
+
+// ConfirmedPaths counts how many designated paths for the given origin
+// offset are fully confirmed by recorded chains of the store (same origin,
+// same value, exact relay sequence).
+func (ft *FamilyTable) ConfirmedPaths(net *topology.Network, s *Store, receiver, origin topology.NodeID, value byte) int {
+	d := net.Delta(receiver, origin)
+	relPaths, ok := ft.fams[d]
+	if !ok {
+		return 0
+	}
+	chains := s.Chains(origin, value)
+	if len(chains) == 0 {
+		return 0
+	}
+	recorded := make(map[string]struct{}, len(chains))
+	for _, c := range chains {
+		recorded[relayKey(net, receiver, c.Relays)] = struct{}{}
+	}
+	confirmed := 0
+	for _, rels := range relPaths {
+		var b strings.Builder
+		b.Grow(2 * len(rels))
+		for _, rel := range rels {
+			b.WriteByte(byte(int8(rel.X)))
+			b.WriteByte(byte(int8(rel.Y)))
+		}
+		if _, ok := recorded[b.String()]; ok {
+			confirmed++
+		}
+	}
+	return confirmed
+}
+
+// HonestPathCount counts the designated paths for the receiver→origin
+// offset whose relays all satisfy the honesty predicate. Honest relays
+// always forward designated prefixes, so this is the number of paths
+// guaranteed to be confirmed once the origin announces — the static
+// counterpart of ConfirmedPaths, used by the outcome analyzer.
+func (ft *FamilyTable) HonestPathCount(net *topology.Network, receiver, origin topology.NodeID, honest func(topology.NodeID) bool) int {
+	d := net.Delta(receiver, origin)
+	relPaths, ok := ft.fams[d]
+	if !ok {
+		return 0
+	}
+	recvC := net.CoordOf(receiver)
+	count := 0
+	for _, rels := range relPaths {
+		allHonest := true
+		for _, off := range rels {
+			if !honest(net.IDOf(recvC.Add(off))) {
+				allHonest = false
+				break
+			}
+		}
+		if allHonest {
+			count++
+		}
+	}
+	return count
+}
+
+// relayKey encodes a chain's relay ids as receiver-relative offsets.
+func relayKey(net *topology.Network, receiver topology.NodeID, relays []topology.NodeID) string {
+	var b strings.Builder
+	b.Grow(2 * len(relays))
+	for _, rel := range relays {
+		d := net.Delta(receiver, rel)
+		b.WriteByte(byte(int8(d.X)))
+		b.WriteByte(byte(int8(d.Y)))
+	}
+	return b.String()
+}
+
+// DeterminedDesignated is the designated-mode counterpart of
+// DeterminedExact: the receiver has reliably determined (origin, value) iff
+// it heard the COMMITTED directly or at least `need` designated paths are
+// confirmed. Designated paths are internally disjoint and lie inside one
+// closed neighborhood by construction, so this is a sound instance of the
+// paper's rule.
+func DeterminedDesignated(net *topology.Network, ft *FamilyTable, s *Store, receiver, origin topology.NodeID, value byte, need int) bool {
+	if s.HasDirect(origin, value) {
+		return true
+	}
+	return ft.ConfirmedPaths(net, s, receiver, origin, value) >= need
+}

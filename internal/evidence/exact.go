@@ -1,0 +1,292 @@
+package evidence
+
+import (
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+// DeterminedExact implements the §VI reliable-determination rule verbatim:
+// node `receiver` has reliably determined that `origin` committed `value`
+// iff it heard COMMITTED(origin, value) directly, or its store holds at
+// least need = t+1 recorded chains that are pairwise internally
+// node-disjoint and whose nodes (origin, every relay, and the receiver) all
+// lie within one single closed neighborhood.
+//
+// The search is exact: every candidate neighborhood center is enumerated
+// and a branch-and-bound set packing runs over the recorded chains (chains
+// are atomic units; combining relays across chains would be unsound).
+func DeterminedExact(net *topology.Network, s *Store, receiver, origin topology.NodeID, value byte, need int) bool {
+	if s.HasDirect(origin, value) {
+		return true
+	}
+	chains := s.Chains(origin, value)
+	if len(chains) < need {
+		return false
+	}
+	r := net.Radius()
+	recvC := net.CoordOf(receiver)
+	for _, center := range candidateCenters(net, recvC, origin) {
+		inNbd := func(id topology.NodeID) bool {
+			return net.Torus().Within(net.Metric(), center, net.CoordOf(id), r)
+		}
+		var usable []Chain
+		for _, c := range chains {
+			ok := true
+			for _, rel := range c.Relays {
+				if !inNbd(rel) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				usable = append(usable, c)
+			}
+		}
+		if len(usable) < need {
+			continue
+		}
+		if maxDisjointChains(usable, need) >= need {
+			return true
+		}
+	}
+	return false
+}
+
+// candidateCenters enumerates the grid points whose closed neighborhood
+// contains both the receiver and the origin.
+func candidateCenters(net *topology.Network, recvC grid.Coord, origin topology.NodeID) []grid.Coord {
+	r := net.Radius()
+	t := net.Torus()
+	m := net.Metric()
+	origC := net.CoordOf(origin)
+	var out []grid.Coord
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			c := t.Wrap(recvC.Add(grid.C(dx, dy)))
+			if !t.Within(m, c, recvC, r) {
+				continue // L2: offset box is a superset of the ball
+			}
+			if t.Within(m, c, origC, r) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// maxDisjointChains returns the size of a maximum pairwise relay-disjoint
+// subset of chains (chains share their origin, so only relays conflict),
+// stopping early once `target` is reached.
+func maxDisjointChains(chains []Chain, target int) int {
+	sets := make([]map[topology.NodeID]struct{}, 0, len(chains))
+	for _, c := range chains {
+		set := make(map[topology.NodeID]struct{}, len(c.Relays))
+		for _, rel := range c.Relays {
+			set[rel] = struct{}{}
+		}
+		sets = append(sets, set)
+	}
+	return maxDisjointSets(sets, target)
+}
+
+// maxDisjointSets computes the exact maximum pairwise-disjoint subfamily of
+// the given node sets, stopping early once `target` is reached. Sets that
+// are strict supersets of another set are pruned first (domination), then a
+// branch-and-bound search runs on the survivors. Each set is an atomic
+// evidence unit — recombining nodes across sets would be unsound, which is
+// why this is a set packing rather than a flow problem.
+func maxDisjointSets(sets []map[topology.NodeID]struct{}, target int) int {
+	keep := make([]bool, len(sets))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range sets {
+		if !keep[i] {
+			continue
+		}
+		for j := range sets {
+			if i == j || !keep[i] || !keep[j] {
+				continue
+			}
+			if subsetOf(sets[j], sets[i]) && len(sets[j]) < len(sets[i]) {
+				keep[i] = false // i strictly dominated by j
+			} else if subsetOf(sets[i], sets[j]) && i < j && len(sets[i]) == len(sets[j]) {
+				keep[j] = false // exact duplicate; keep the first
+			}
+		}
+	}
+	var pruned []map[topology.NodeID]struct{}
+	for i, k := range keep {
+		if k {
+			pruned = append(pruned, sets[i])
+		}
+	}
+	// Smaller relay sets first: they conflict less.
+	sort.Slice(pruned, func(i, j int) bool { return len(pruned[i]) < len(pruned[j]) })
+
+	best := 0
+	used := make(map[topology.NodeID]struct{})
+	var dfs func(idx, chosen int)
+	dfs = func(idx, chosen int) {
+		if chosen > best {
+			best = chosen
+		}
+		if best >= target || idx >= len(pruned) {
+			return
+		}
+		if chosen+len(pruned)-idx <= best {
+			return // cannot beat the incumbent
+		}
+		// Branch 1: take pruned[idx] if compatible.
+		conflict := false
+		for rel := range pruned[idx] {
+			if _, ok := used[rel]; ok {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			for rel := range pruned[idx] {
+				used[rel] = struct{}{}
+			}
+			dfs(idx+1, chosen+1)
+			for rel := range pruned[idx] {
+				delete(used, rel)
+			}
+			if best >= target {
+				return
+			}
+		}
+		// Branch 2: skip it.
+		dfs(idx+1, chosen)
+	}
+	dfs(0, 0)
+	return best
+}
+
+// subsetOf reports a ⊆ b.
+func subsetOf(a, b map[topology.NodeID]struct{}) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CommitSingleLevel implements the §VI-B (two-hop protocol) commit rule:
+// the receiver commits to `value` iff there exist at least need = t+1
+// recorded chains for that value — across any origins — that are pairwise
+// node-disjoint including the origins, with every origin and relay lying in
+// one single closed neighborhood. Chains are atomic evidence units, so the
+// packing is an exact set packing over whole chains: the same physical node
+// appearing as one chain's origin and another's relay is a conflict.
+func CommitSingleLevel(net *topology.Network, s *Store, receiver topology.NodeID, value byte, need int) bool {
+	return commitSingleLevel(net, s, receiver, value, need, nil)
+}
+
+// CommitSingleLevelFocused is CommitSingleLevel restricted to candidate
+// neighborhoods that fully contain the given (newly recorded) chain. If the
+// rule did not hold before that chain arrived, any newly satisfiable
+// neighborhood must contain it, so evaluating only those centers after each
+// insertion is complete — and far cheaper on hot paths.
+func CommitSingleLevelFocused(net *topology.Network, s *Store, receiver topology.NodeID, value byte, need int, focus Chain) bool {
+	return commitSingleLevel(net, s, receiver, value, need, &focus)
+}
+
+// commitSingleLevel implements both entry points.
+func commitSingleLevel(net *topology.Network, s *Store, receiver topology.NodeID, value byte, need int, focus *Chain) bool {
+	// Gather all chains for this value (any origin), including the
+	// direct COMMITTED receptions as relay-free chains.
+	var all []Chain
+	seenOrigin := make(map[topology.NodeID]bool)
+	for _, oc := range s.Origins() {
+		if oc.Value != value {
+			continue
+		}
+		if s.HasDirect(oc.Origin, value) && !seenOrigin[oc.Origin] {
+			seenOrigin[oc.Origin] = true
+			all = append(all, Chain{Origin: oc.Origin, Value: value})
+		}
+		all = append(all, s.Chains(oc.Origin, value)...)
+	}
+	if len(all) < need {
+		return false
+	}
+	r := net.Radius()
+	t := net.Torus()
+	m := net.Metric()
+	// Candidate centers: within 3r of the receiver (chain nodes live within
+	// 2 hops of it), or — focused mode — within r of the new chain's nodes.
+	anchor := net.CoordOf(receiver)
+	span := 3 * r
+	if focus != nil {
+		anchor = net.CoordOf(focus.Origin)
+		span = r
+	}
+	for dy := -span; dy <= span; dy++ {
+		for dx := -span; dx <= span; dx++ {
+			center := t.Wrap(anchor.Add(grid.C(dx, dy)))
+			if focus != nil {
+				ok := t.Within(m, center, net.CoordOf(focus.Origin), r)
+				for _, rel := range focus.Relays {
+					ok = ok && t.Within(m, center, net.CoordOf(rel), r)
+				}
+				if !ok {
+					continue
+				}
+			}
+			inNbd := func(id topology.NodeID) bool {
+				return t.Within(m, center, net.CoordOf(id), r)
+			}
+			var usable []Chain
+			for _, c := range all {
+				if len(c.Relays) > 1 {
+					continue // two-hop protocol: at most one relay
+				}
+				if !inNbd(c.Origin) {
+					continue
+				}
+				ok := true
+				for _, rel := range c.Relays {
+					if !inNbd(rel) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					usable = append(usable, c)
+				}
+			}
+			if len(usable) < need {
+				continue
+			}
+			if maxDisjointWholeChains(usable, need) >= need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// maxDisjointWholeChains computes the exact maximum set of pairwise
+// node-disjoint chains where disjointness covers origins AND relays (the
+// §VI-B "collectively node-disjoint" requirement). Chains are atomic: a
+// node's origin role in one chain conflicts with its relay role in another.
+func maxDisjointWholeChains(chains []Chain, target int) int {
+	sets := make([]map[topology.NodeID]struct{}, 0, len(chains))
+	for _, c := range chains {
+		set := make(map[topology.NodeID]struct{}, len(c.Relays)+1)
+		set[c.Origin] = struct{}{}
+		for _, rel := range c.Relays {
+			set[rel] = struct{}{}
+		}
+		sets = append(sets, set)
+	}
+	return maxDisjointSets(sets, target)
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/protocol"
+	"repro/internal/topology"
+)
+
+func init() {
+	register("E25", runE25MessageComplexity)
+}
+
+// runE25MessageComplexity quantifies §III's communication-overhead claim:
+// the paper's protocol "localizes the circulation of indirect reports, and
+// thus reduces communication overhead". Measured as local broadcasts per
+// node to reach full commitment, across protocols, with the earmarked
+// (designated) evidence plan versus unrestricted relaying.
+func runE25MessageComplexity() (Report, error) {
+	rep := Report{
+		ID:         "E25",
+		Title:      "§III — communication overhead: localized indirect reports",
+		PaperClaim: "the protocol localizes indirect-report circulation, reducing communication overhead",
+		Header:     []string{"protocol", "r", "nodes", "broadcasts", "per node", "rounds"},
+		Pass:       true,
+	}
+	type scenario struct {
+		name string
+		kind protocol.Kind
+		mode protocol.EvidenceMode
+		r    int
+		w, h int
+	}
+	scenarios := []scenario{
+		{"flood", protocol.Flood, 0, 1, 16, 10},
+		{"cpa", protocol.CPA, 0, 1, 16, 10},
+		{"bv2", protocol.BV2, 0, 1, 16, 10},
+		{"bv4 (earmarked)", protocol.BV4, protocol.Designated, 1, 16, 10},
+		{"bv4 (unrestricted)", protocol.BV4, protocol.Exact, 1, 16, 10},
+		{"bv4 (earmarked)", protocol.BV4, protocol.Designated, 2, 20, 12},
+	}
+	var perNode = map[string]float64{}
+	for _, sc := range scenarios {
+		net, err := buildNet(sc.w, sc.h, sc.r, grid.Linf)
+		if err != nil {
+			return rep, err
+		}
+		src := net.IDOf(grid.C(0, 0))
+		tMax := bounds.MaxByzantineLinf(sc.r)
+		if sc.kind == protocol.CPA {
+			tMax = bounds.MaxCPALinf(sc.r)
+		}
+		band, err := torusBands(net, sc.r, func(x0 int) ([]topology.NodeID, error) {
+			return fault.GreedyBand(net, x0, sc.r, tMax)
+		})
+		if err != nil {
+			return rep, err
+		}
+		cfg := protocol.RunConfig{
+			Kind:      sc.kind,
+			Params:    protocol.Params{Net: net, Source: src, Value: 1, T: tMax, Mode: sc.mode},
+			Byzantine: byzMap(band, fault.Silent),
+		}
+		if sc.kind == protocol.Flood {
+			cfg.Byzantine = nil
+			cfg.Crash = crashMap(band)
+		}
+		out, err := protocol.Run(cfg)
+		if err != nil {
+			return rep, err
+		}
+		if !out.AllCorrect() {
+			rep.Pass = false
+		}
+		pn := float64(out.Result.Stats.Broadcasts) / float64(net.Size())
+		key := fmt.Sprintf("%s/r%d", sc.name, sc.r)
+		perNode[key] = pn
+		rep.Rows = append(rep.Rows, []string{
+			sc.name, itoa(sc.r), itoa(net.Size()),
+			itoa(out.Result.Stats.Broadcasts), ftoa(pn),
+			itoa(out.Result.Stats.Rounds),
+		})
+	}
+	// The §III claim, quantified: earmarking must cut bv4's traffic by a
+	// large factor relative to unrestricted relaying.
+	ear := perNode["bv4 (earmarked)/r1"]
+	unr := perNode["bv4 (unrestricted)/r1"]
+	if ear <= 0 || unr/ear < 3 {
+		rep.Pass = false
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"earmarking reduces bv4 traffic %.1f× at r=1 (%.1f vs %.1f broadcasts/node)",
+		unr/ear, unr, ear))
+	rep.Notes = append(rep.Notes,
+		"flood and cpa send Θ(1) broadcasts/node; the indirect-report protocols pay for their evidence in messages — the price of the exact threshold")
+	return rep, nil
+}

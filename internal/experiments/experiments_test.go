@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20",
+		"E21", "E22", "E23", "E24", "E25", "E26",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	for i, id := range want {
+		if got[i] != id {
+			t.Errorf("IDs()[%d] = %s, want %s", i, got[i], id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown experiment id must error")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	rep := Report{
+		ID:         "EXX",
+		Title:      "demo",
+		PaperClaim: "claim",
+		Header:     []string{"a", "bb"},
+		Rows:       [][]string{{"1", "2"}, {"333", "4"}},
+		Pass:       true,
+		Notes:      []string{"a note"},
+	}
+	s := rep.Format()
+	for _, want := range []string{"EXX", "PASS", "claim", "333", "a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, s)
+		}
+	}
+	rep.Pass = false
+	if !strings.Contains(rep.Format(), "FAIL") {
+		t.Error("failing report must render FAIL")
+	}
+}
+
+// TestGeometryExperimentsPass runs the fast construction experiments.
+func TestGeometryExperimentsPass(t *testing.T) {
+	for _, id := range []string{"E01", "E02", "E03", "E04", "E06", "E07"} {
+		rep, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Pass {
+			t.Errorf("%s failed:\n%s", id, rep.Format())
+		}
+	}
+}
+
+// TestSimExperimentsPass runs the protocol simulations (moderate cost).
+func TestSimExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments are not short")
+	}
+	for _, id := range []string{"E09", "E10", "E11", "E12", "E13", "E17"} {
+		rep, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Pass {
+			t.Errorf("%s failed:\n%s", id, rep.Format())
+		}
+	}
+}
+
+// TestHeavyExperimentsPass runs the slowest reproductions (E05 flow
+// cross-checks, E08 threshold sims, E14 L2 flows).
+func TestHeavyExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiments are not short")
+	}
+	for _, id := range []string{"E05", "E08", "E14", "E15", "E16"} {
+		rep, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Pass {
+			t.Errorf("%s failed:\n%s", id, rep.Format())
+		}
+	}
+}
+
+// TestExtensionExperimentsPass runs the §X/§II what-if studies (E21-E23).
+func TestExtensionExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments are not short")
+	}
+	for _, id := range []string{"E21", "E22", "E23", "E25", "E26"} {
+		rep, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Pass {
+			t.Errorf("%s failed:\n%s", id, rep.Format())
+		}
+	}
+}
+
+func TestMiscExperimentsPass(t *testing.T) {
+	for _, id := range []string{"E18", "E19", "E20", "E24"} {
+		rep, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Pass {
+			t.Errorf("%s failed:\n%s", id, rep.Format())
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/grid"
+	"repro/internal/paths"
+)
+
+// geometryRadii is the sweep used by the construction experiments.
+var geometryRadii = []int{1, 2, 3, 4, 5, 6}
+
+func init() {
+	register("E01", runE01TableI)
+	register("E02", runE02RegionM)
+	register("E03", runE03RegionR)
+	register("E04", runE04Decompose)
+	register("E05", runE05FamiliesU)
+	register("E06", runE06FamiliesS1)
+	register("E07", runE07ArbitraryP)
+}
+
+// runE01TableI verifies the Table I region extents and the cardinality
+// identities |A|+|B1|+|C1|+|D1| = |J|+|K1| = r(2r+1) for every legal (p,q).
+func runE01TableI() (Report, error) {
+	rep := Report{
+		ID:         "E01",
+		Title:      "Table I — spatial extents of construction regions",
+		PaperClaim: "per-(p,q) region sizes sum to r(2r+1) along both the A-D and J-K routes",
+		Header:     []string{"r", "(p,q) pairs", "A+B+C+D=r(2r+1)", "J+K=r(2r+1)"},
+		Pass:       true,
+	}
+	for _, r := range geometryRadii {
+		pairs, okABCD, okJK := 0, 0, 0
+		for q := 1; q <= r; q++ {
+			for p := 1; p < q; p++ {
+				pairs++
+				if err := paths.CheckTableICounts(grid.C(0, 0), r, p, q); err != nil {
+					rep.Pass = false
+					rep.Notes = append(rep.Notes, err.Error())
+					continue
+				}
+				okABCD++
+				okJK++
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(r), itoa(pairs),
+			fmt.Sprintf("%d/%d", okABCD, pairs),
+			fmt.Sprintf("%d/%d", okJK, pairs),
+		})
+	}
+	return rep, nil
+}
+
+// runE02RegionM checks |M| = r(2r+1) (Fig 1).
+func runE02RegionM() (Report, error) {
+	rep := Report{
+		ID:         "E02",
+		Title:      "Fig 1 — region M (nodes P can reliably determine)",
+		PaperClaim: "|M| = r(2r+1)",
+		Header:     []string{"r", "|M| measured", "r(2r+1)"},
+		Pass:       true,
+	}
+	for _, r := range geometryRadii {
+		got := len(paths.RegionM(grid.C(0, 0), r))
+		want := r * (2*r + 1)
+		if got != want {
+			rep.Pass = false
+		}
+		rep.Rows = append(rep.Rows, []string{itoa(r), itoa(got), itoa(want)})
+	}
+	return rep, nil
+}
+
+// runE03RegionR checks |R| = r(r+1) and that P hears all of R (Fig 2).
+func runE03RegionR() (Report, error) {
+	rep := Report{
+		ID:         "E03",
+		Title:      "Fig 2 — region R (nodes P hears directly)",
+		PaperClaim: "|R| = r(r+1), every node within L∞ radius of P",
+		Header:     []string{"r", "|R| measured", "r(r+1)", "all heard"},
+		Pass:       true,
+	}
+	for _, r := range geometryRadii {
+		c := grid.C(0, 0)
+		p := paths.CornerP(c, r)
+		pts := paths.RegionR(c, r).Points()
+		heard := 0
+		for _, z := range pts {
+			if grid.DistLinf(z, p) <= r {
+				heard++
+			}
+		}
+		want := r * (r + 1)
+		ok := len(pts) == want && heard == len(pts)
+		if !ok {
+			rep.Pass = false
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(r), itoa(len(pts)), itoa(want), fmt.Sprintf("%d/%d", heard, len(pts)),
+		})
+	}
+	return rep, nil
+}
+
+// runE04Decompose checks M = R ⊎ U ⊎ S1 ⊎ S2 with the stated sizes (Fig 3).
+func runE04Decompose() (Report, error) {
+	rep := Report{
+		ID:         "E04",
+		Title:      "Fig 3 — decomposition M = R ⊎ U ⊎ S1 ⊎ S2",
+		PaperClaim: "|U| = |S2| = ½r(r−1), |S1| = r, and the parts tile M exactly",
+		Header:     []string{"r", "|U|", "|S1|", "|S2|", "tiles M"},
+		Pass:       true,
+	}
+	for _, r := range geometryRadii {
+		c := grid.C(0, 0)
+		u := paths.RegionU(c, r)
+		s1 := paths.RegionS1(c, r)
+		s2 := paths.RegionS2(c, r)
+		mset := grid.NewCoordSet(paths.RegionM(c, r)...)
+		parts := grid.NewCoordSet()
+		tiles := true
+		for _, group := range [][]grid.Coord{paths.RegionR(c, r).Points(), u, s1, s2} {
+			for _, z := range group {
+				if !mset.Has(z) || parts.Has(z) {
+					tiles = false
+				}
+				parts.Add(z)
+			}
+		}
+		tiles = tiles && len(parts) == len(mset)
+		ok := len(u) == r*(r-1)/2 && len(s1) == r && len(s2) == r*(r-1)/2 && tiles
+		if !ok {
+			rep.Pass = false
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(r), itoa(len(u)), itoa(len(s1)), itoa(len(s2)), fmt.Sprintf("%v", tiles),
+		})
+	}
+	return rep, nil
+}
+
+// familyFlowCheck cross-checks a constructed family against the exact
+// max-flow disjoint path count inside the family's neighborhood.
+func familyFlowCheck(r int, fam paths.Family) (int, error) {
+	nbd := grid.ClosedNbd(grid.Linf, fam.Center, r)
+	index := make(map[grid.Coord]int, len(nbd))
+	for i, z := range nbd {
+		index[z] = i
+	}
+	s, okS := index[fam.N]
+	t, okT := index[fam.P]
+	if !okS || !okT {
+		return 0, fmt.Errorf("experiments: family endpoints outside neighborhood")
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		for j, z := range nbd {
+			if i != j && grid.DistLinf(nbd[i], z) <= r {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	return flow.CountVertexDisjointPaths(flow.DisjointConfig{
+		N: len(nbd), Neighbors: neighbors, S: s, T: t,
+	})
+}
+
+// runE05FamiliesU verifies, for every U node, the explicit A/B/C/D path
+// family (Figs 4-5): r(2r+1) paths, disjoint, inside one neighborhood, and
+// never exceeding what max-flow says is possible.
+func runE05FamiliesU() (Report, error) {
+	rep := Report{
+		ID:         "E05",
+		Title:      "Figs 4-5 — node-disjoint path families for region U",
+		PaperClaim: "every N ∈ U has r(2r+1) node-disjoint ≤4-hop paths to P inside nbd(a, b+r+1)",
+		Header:     []string{"r", "U nodes", "valid families", "paths each", "≤ max-flow"},
+		Pass:       true,
+	}
+	for _, r := range geometryRadii[1:] { // U is empty at r=1
+		c := grid.C(0, 0)
+		nodes := paths.RegionU(c, r)
+		valid, flowOK := 0, 0
+		for _, n := range nodes {
+			d := n.Sub(c)
+			fam, err := paths.FamilyU(c, r, d.X, d.Y)
+			if err != nil {
+				return rep, err
+			}
+			if len(fam.Paths) == r*(2*r+1) && paths.VerifyFamily(r, fam) == nil {
+				valid++
+			}
+			cut, err := familyFlowCheck(r, fam)
+			if err != nil {
+				return rep, err
+			}
+			if len(fam.Paths) <= cut {
+				flowOK++
+			}
+		}
+		if valid != len(nodes) || flowOK != len(nodes) {
+			rep.Pass = false
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(r), itoa(len(nodes)),
+			fmt.Sprintf("%d/%d", valid, len(nodes)),
+			itoa(r * (2*r + 1)),
+			fmt.Sprintf("%d/%d", flowOK, len(nodes)),
+		})
+	}
+	return rep, nil
+}
+
+// runE06FamiliesS1 does the same for region S1 (Fig 6) and, via the
+// symmetry argument, region S2.
+func runE06FamiliesS1() (Report, error) {
+	rep := Report{
+		ID:         "E06",
+		Title:      "Fig 6 — path families for regions S1 and S2",
+		PaperClaim: "every N ∈ S1 ∪ S2 has r(2r+1) node-disjoint paths to P inside one neighborhood",
+		Header:     []string{"r", "S1 valid", "S2 valid"},
+		Pass:       true,
+	}
+	for _, r := range geometryRadii {
+		c := grid.C(0, 0)
+		s1ok, s1n := 0, 0
+		for p := 0; p <= r-1; p++ {
+			s1n++
+			fam, err := paths.FamilyS1(c, r, p)
+			if err != nil {
+				return rep, err
+			}
+			if len(fam.Paths) == r*(2*r+1) && paths.VerifyFamily(r, fam) == nil {
+				s1ok++
+			}
+		}
+		s2ok, s2n := 0, 0
+		for q := 1; q <= r-1; q++ {
+			for p := 0; p < q; p++ {
+				s2n++
+				fam, err := paths.FamilyS2(c, r, p, q)
+				if err != nil {
+					return rep, err
+				}
+				if len(fam.Paths) == r*(2*r+1) && paths.VerifyFamily(r, fam) == nil {
+					s2ok++
+				}
+			}
+		}
+		if s1ok != s1n || s2ok != s2n {
+			rep.Pass = false
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(r),
+			fmt.Sprintf("%d/%d", s1ok, s1n),
+			fmt.Sprintf("%d/%d", s2ok, s2n),
+		})
+	}
+	return rep, nil
+}
+
+// runE07ArbitraryP verifies §VI-A (Fig 7): for every lateral shift l of P
+// the determinable-node count stays at least r(2r+1).
+func runE07ArbitraryP() (Report, error) {
+	rep := Report{
+		ID:         "E07",
+		Title:      "Fig 7 — arbitrary position of P on the fringe",
+		PaperClaim: "direct r(r+l+1) nodes plus surviving families ≥ r(2r+1) for all 0 ≤ l ≤ r",
+		Header:     []string{"r", "l", "direct", "via paths", "lost", "total", "r(2r+1)"},
+		Pass:       true,
+	}
+	for _, r := range geometryRadii[:4] {
+		for l := 0; l <= r; l++ {
+			res, err := paths.VerifyArbitraryP(grid.C(0, 0), r, l)
+			if err != nil {
+				rep.Pass = false
+				rep.Notes = append(rep.Notes, err.Error())
+				continue
+			}
+			want := r * (2*r + 1)
+			if res.Total() < want {
+				rep.Pass = false
+			}
+			rep.Rows = append(rep.Rows, []string{
+				itoa(r), itoa(l), itoa(res.Direct), itoa(res.ViaPaths),
+				itoa(res.Lost), itoa(res.Total()), itoa(want),
+			})
+		}
+	}
+	return rep, nil
+}

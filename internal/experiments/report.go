@@ -1,0 +1,128 @@
+// Package experiments contains one runner per reproduced paper artifact
+// (Table I and Figs 1-19, plus every theorem's threshold) as indexed in
+// DESIGN.md. Each runner returns a structured Report whose rows mirror the
+// shape of the paper's claim; cmd/experiments renders them and EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E01").
+	ID string
+	// Title names the reproduced artifact.
+	Title string
+	// PaperClaim states what the paper says, in one line.
+	PaperClaim string
+	// Header labels the row columns.
+	Header []string
+	// Rows carry the measured series.
+	Rows [][]string
+	// Pass reports whether every measured value matched the claim.
+	Pass bool
+	// Notes carries caveats (substitutions, informal-claim status).
+	Notes []string
+}
+
+// Format renders the report as an aligned text table.
+func (r Report) Format() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+	fmt.Fprintf(&b, "   paper: %s\n", r.PaperClaim)
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			b.WriteString("   ")
+			for i, c := range cells {
+				if i < len(widths) {
+					fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+				} else {
+					b.WriteString(c + "  ")
+				}
+			}
+			b.WriteString("\n")
+		}
+		writeRow(r.Header)
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces a report. Runners must be deterministic.
+type Runner func() (Report, error)
+
+// registry maps experiment ids to runners; populated by init in each file.
+var registry = map[string]Runner{}
+
+// register adds a runner; duplicate ids panic at init time.
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns all registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string) (Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r()
+}
+
+// RunAll executes every experiment in id order, collecting reports. It
+// returns an error only for infrastructure failures; claim mismatches are
+// reported via Report.Pass.
+func RunAll() ([]Report, error) {
+	ids := IDs()
+	out := make([]Report, 0, len(ids))
+	for _, id := range ids {
+		rep, err := Run(id)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// itoa is shorthand for formatting ints in rows.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// ftoa is shorthand for formatting floats in rows.
+func ftoa(v float64) string { return fmt.Sprintf("%.3f", v) }

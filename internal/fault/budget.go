@@ -1,0 +1,125 @@
+// Package fault implements the paper's locally bounded adversary (§II): the
+// fault-budget checker (no closed neighborhood may contain more than t
+// faulty nodes), the worst-case placements used in the impossibility
+// constructions (the Fig 8 crash band and the Fig 13 checkerboard band),
+// randomized budget-respecting placements, iid percolation failures (§XI),
+// and the Byzantine node behaviours used in simulations.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Budget incrementally tracks, for every closed neighborhood on the torus,
+// how many faulty nodes it contains. It answers "can this node still be made
+// faulty without any neighborhood exceeding t?" in O(degree) time.
+type Budget struct {
+	net    *topology.Network
+	t      int
+	counts []int // counts[c] = number of faults in the closed nbd centered at c
+	faulty []bool
+	total  int
+}
+
+// NewBudget creates an empty budget for at most t faults per closed
+// neighborhood. t may be zero (no faults allowed anywhere).
+func NewBudget(net *topology.Network, t int) (*Budget, error) {
+	if net == nil {
+		return nil, fmt.Errorf("fault: network is required")
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("fault: negative fault bound %d", t)
+	}
+	return &Budget{
+		net:    net,
+		t:      t,
+		counts: make([]int, net.Size()),
+		faulty: make([]bool, net.Size()),
+	}, nil
+}
+
+// T returns the per-neighborhood fault bound.
+func (b *Budget) T() int { return b.t }
+
+// Total returns the number of faults placed so far.
+func (b *Budget) Total() int { return b.total }
+
+// IsFaulty reports whether id has been marked faulty.
+func (b *Budget) IsFaulty(id topology.NodeID) bool { return b.faulty[id] }
+
+// CanAdd reports whether marking id faulty keeps every closed neighborhood
+// within the bound. Already-faulty nodes cannot be re-added.
+func (b *Budget) CanAdd(id topology.NodeID) bool {
+	if b.faulty[id] {
+		return false
+	}
+	// id belongs to the closed neighborhoods centered at itself and at each
+	// of its neighbors.
+	if b.counts[id]+1 > b.t {
+		return false
+	}
+	for _, c := range b.net.Neighbors(id) {
+		if b.counts[c]+1 > b.t {
+			return false
+		}
+	}
+	return true
+}
+
+// Add marks id faulty. It returns an error if the addition would violate the
+// budget, leaving the state unchanged.
+func (b *Budget) Add(id topology.NodeID) error {
+	if b.faulty[id] {
+		return fmt.Errorf("fault: node %d already faulty", id)
+	}
+	if !b.CanAdd(id) {
+		return fmt.Errorf("fault: adding node %d would exceed %d faults in a neighborhood", id, b.t)
+	}
+	b.faulty[id] = true
+	b.total++
+	b.counts[id]++
+	for _, c := range b.net.Neighbors(id) {
+		b.counts[c]++
+	}
+	return nil
+}
+
+// Faulty returns the faulty node ids in ascending order.
+func (b *Budget) Faulty() []topology.NodeID {
+	out := make([]topology.NodeID, 0, b.total)
+	for id, f := range b.faulty {
+		if f {
+			out = append(out, topology.NodeID(id))
+		}
+	}
+	return out
+}
+
+// MaxPerNeighborhood exhaustively computes the maximum number of nodes of
+// `faulty` contained in any closed neighborhood on the torus. It is the
+// ground-truth validator for every placement (independent of Budget's
+// incremental counters).
+func MaxPerNeighborhood(net *topology.Network, faulty []topology.NodeID) int {
+	isF := make([]bool, net.Size())
+	for _, id := range faulty {
+		isF[id] = true
+	}
+	maxCount := 0
+	net.ForEach(func(center topology.NodeID) {
+		n := 0
+		if isF[center] {
+			n++
+		}
+		for _, nb := range net.Neighbors(center) {
+			if isF[nb] {
+				n++
+			}
+		}
+		if n > maxCount {
+			maxCount = n
+		}
+	})
+	return maxCount
+}

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Strategy names a Byzantine node behaviour. Strategies are sim.Process
+// factories: the engine runs them in place of the honest protocol. Except
+// for Spoofer (the §X what-if), strategies respect the medium's physical
+// guarantees — no identity spoofing, no collisions, no showing different
+// values to different neighbors; everything else (lying, forging reports,
+// staying silent) is fair game.
+type Strategy int
+
+const (
+	// Silent nodes never transmit: the strongest stalling adversary for
+	// threshold experiments (a silent fault also subsumes a crash).
+	Silent Strategy = iota + 1
+	// Liar nodes announce a flipped COMMITTED value as soon as they hear
+	// any value, then go quiet.
+	Liar
+	// Forger nodes announce a flipped COMMITTED value and additionally
+	// forge indirect HEARD reports: every honest COMMITTED or HEARD they
+	// hear is re-reported with the value flipped, attacking the
+	// indirect-evidence mechanism of §VI directly.
+	Forger
+	// Spoofer nodes impersonate honest neighbors, announcing flipped
+	// COMMITTED values under stolen identities. The paper's model forbids
+	// this ("a node may not spoof another node's identity"); the strategy
+	// only bites when the protocol runs with SpoofingPossible — the §X
+	// sensitivity study.
+	Spoofer
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Silent:
+		return "silent"
+	case Liar:
+		return "liar"
+	case Forger:
+		return "forger"
+	case Spoofer:
+		return "spoofer"
+	default:
+		return "unknown"
+	}
+}
+
+// NewProcess builds the sim.Process implementing the strategy for node id.
+func (s Strategy) NewProcess(id topology.NodeID) sim.Process {
+	switch s {
+	case Silent:
+		return sim.NopProcess{}
+	case Liar:
+		return &liarProc{}
+	case Forger:
+		return &forgerProc{seen: make(map[string]struct{})}
+	case Spoofer:
+		return &spooferProc{victims: make(map[topology.NodeID]struct{})}
+	default:
+		return sim.NopProcess{}
+	}
+}
+
+// flip inverts a binary broadcast value.
+func flip(v byte) byte {
+	if v == 0 {
+		return 1
+	}
+	return 0
+}
+
+// liarProc announces the flipped value once.
+type liarProc struct {
+	sent bool
+}
+
+// Init implements sim.Process.
+func (p *liarProc) Init(sim.Context) {}
+
+// Deliver implements sim.Process.
+func (p *liarProc) Deliver(ctx sim.Context, _ topology.NodeID, m sim.Message) {
+	if p.sent {
+		return
+	}
+	if m.Kind != sim.KindValue && m.Kind != sim.KindCommitted {
+		return
+	}
+	p.sent = true
+	ctx.Broadcast(sim.Message{
+		Kind: sim.KindCommitted, Origin: ctx.Self(), Value: flip(m.Value),
+		Instance: m.Instance,
+	})
+}
+
+// Decided implements sim.Process; adversaries never decide.
+func (p *liarProc) Decided() (byte, bool) { return 0, false }
+
+// forgerProc lies about its own commitment and about everything it relays.
+type forgerProc struct {
+	sentCommit bool
+	seen       map[string]struct{}
+}
+
+// Init implements sim.Process.
+func (p *forgerProc) Init(sim.Context) {}
+
+// Deliver implements sim.Process.
+func (p *forgerProc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) {
+	switch m.Kind {
+	case sim.KindValue, sim.KindCommitted:
+		if !p.sentCommit {
+			p.sentCommit = true
+			ctx.Broadcast(sim.Message{
+				Kind: sim.KindCommitted, Origin: ctx.Self(), Value: flip(m.Value),
+				Instance: m.Instance,
+			})
+		}
+		if m.Kind == sim.KindCommitted {
+			// Forge a first-hop report with the value flipped. The relayer
+			// identity (ourselves) is genuine — the medium authenticates it —
+			// but the reported value is a lie.
+			forged := sim.Message{
+				Kind:     sim.KindHeard,
+				Origin:   from,
+				Value:    flip(m.Value),
+				Path:     []topology.NodeID{ctx.Self()},
+				Instance: m.Instance,
+			}
+			p.broadcastOnce(ctx, forged)
+		}
+	case sim.KindHeard:
+		if len(m.Path) >= sim.MaxHeardRelays {
+			return
+		}
+		// Relay the chain with the value flipped, appending our (genuine)
+		// identifier as the protocol requires.
+		forged := m.ExtendPath(ctx.Self())
+		forged.Value = flip(m.Value)
+		p.broadcastOnce(ctx, forged)
+	}
+}
+
+// broadcastOnce suppresses duplicate forgeries (the medium preserves
+// per-sender ordering, so honest receivers would ignore duplicates anyway).
+func (p *forgerProc) broadcastOnce(ctx sim.Context, m sim.Message) {
+	k := m.Key()
+	if _, ok := p.seen[k]; ok {
+		return
+	}
+	p.seen[k] = struct{}{}
+	ctx.Broadcast(m)
+}
+
+// Decided implements sim.Process.
+func (p *forgerProc) Decided() (byte, bool) { return 0, false }
+
+var (
+	_ sim.Process = (*liarProc)(nil)
+	_ sim.Process = (*forgerProc)(nil)
+)
+
+// spooferProc impersonates every sender it hears: for each first message
+// from a node h carrying a value, it broadcasts COMMITTED(h, flip) with a
+// spoofed sender identity. Under the paper's authenticated medium these
+// messages are discarded (Origin equals the claimed sender but receivers
+// attribute them to the true transmitter); with SpoofingPossible they are
+// indistinguishable from h's own announcements.
+type spooferProc struct {
+	victims map[topology.NodeID]struct{}
+}
+
+// Init implements sim.Process.
+func (p *spooferProc) Init(sim.Context) {}
+
+// Deliver implements sim.Process.
+func (p *spooferProc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) {
+	if m.Kind != sim.KindValue && m.Kind != sim.KindCommitted {
+		return
+	}
+	if _, done := p.victims[from]; done {
+		return
+	}
+	p.victims[from] = struct{}{}
+	// Impersonate in both announcement dialects: VALUE (the simple
+	// protocol's vote format, and the source's own transmission) and
+	// COMMITTED (the indirect-report protocols' format).
+	ctx.Broadcast(sim.Message{
+		Kind:     sim.KindValue,
+		Value:    flip(m.Value),
+		Spoofed:  true,
+		Claimed:  from,
+		Instance: m.Instance,
+	})
+	ctx.Broadcast(sim.Message{
+		Kind:     sim.KindCommitted,
+		Origin:   from,
+		Value:    flip(m.Value),
+		Spoofed:  true,
+		Claimed:  from,
+		Instance: m.Instance,
+	})
+}
+
+// Decided implements sim.Process.
+func (p *spooferProc) Decided() (byte, bool) { return 0, false }
+
+var _ sim.Process = (*spooferProc)(nil)

@@ -1,0 +1,139 @@
+package flow
+
+import "fmt"
+
+// DisjointConfig describes a vertex-disjoint path query on an undirected
+// graph given by a neighbor function over dense vertex indices [0, N).
+type DisjointConfig struct {
+	// N is the vertex count.
+	N int
+	// Neighbors returns the adjacency of a vertex. It is consulted once
+	// per vertex during graph construction.
+	Neighbors func(int) []int
+	// S and T are the path endpoints (not split; arbitrarily many paths
+	// may meet there).
+	S, T int
+	// Allowed restricts intermediate vertices; nil allows all. S and T
+	// are always allowed.
+	Allowed func(int) bool
+	// MaxLen, when positive, bounds the number of edges per returned
+	// path during extraction. Paths longer than MaxLen are discarded
+	// from the result (the count reflects extracted paths only).
+	MaxLen int
+}
+
+// MaxVertexDisjointPaths returns a maximum-cardinality set of internally
+// vertex-disjoint S–T paths, each returned as a vertex sequence starting at
+// S and ending at T. When cfg.MaxLen is zero the count equals the
+// vertex-connectivity-style Menger bound between S and T restricted to
+// Allowed vertices.
+func MaxVertexDisjointPaths(cfg DisjointConfig) ([][]int, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("flow: vertex count %d must be positive", cfg.N)
+	}
+	if cfg.Neighbors == nil {
+		return nil, fmt.Errorf("flow: Neighbors function is required")
+	}
+	if cfg.S < 0 || cfg.S >= cfg.N || cfg.T < 0 || cfg.T >= cfg.N {
+		return nil, fmt.Errorf("flow: endpoints (%d,%d) out of range [0,%d)", cfg.S, cfg.T, cfg.N)
+	}
+	if cfg.S == cfg.T {
+		return nil, fmt.Errorf("flow: endpoints coincide")
+	}
+	allowed := cfg.Allowed
+	if allowed == nil {
+		allowed = func(int) bool { return true }
+	}
+	ok := func(v int) bool { return v == cfg.S || v == cfg.T || allowed(v) }
+
+	// Vertex splitting: in(v) = 2v, out(v) = 2v+1. Intermediates get a
+	// unit in→out edge; endpoints get effectively unbounded ones.
+	const big = 1 << 30
+	d := NewDinic(2 * cfg.N)
+	for v := 0; v < cfg.N; v++ {
+		if !ok(v) {
+			continue
+		}
+		capV := 1
+		if v == cfg.S || v == cfg.T {
+			capV = big
+		}
+		d.AddEdge(2*v, 2*v+1, capV)
+		for _, u := range cfg.Neighbors(v) {
+			if u < 0 || u >= cfg.N {
+				return nil, fmt.Errorf("flow: neighbor %d of %d out of range", u, v)
+			}
+			if !ok(u) {
+				continue
+			}
+			d.AddEdge(2*v+1, 2*u, 1)
+		}
+	}
+	total := d.MaxFlow(2*cfg.S, 2*cfg.T+1)
+	paths := d.extractPaths(cfg, total)
+	return paths, nil
+}
+
+// CountVertexDisjointPaths is MaxVertexDisjointPaths when only the count is
+// needed.
+func CountVertexDisjointPaths(cfg DisjointConfig) (int, error) {
+	paths, err := MaxVertexDisjointPaths(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return len(paths), nil
+}
+
+// extractPaths decomposes the computed unit flow into vertex paths. Each
+// saturated in→out edge is used at most once, so the paths are internally
+// vertex-disjoint by construction.
+func (d *Dinic) extractPaths(cfg DisjointConfig, total int) [][]int {
+	// usedFlow[ei] tracks decomposed units on edge index ei.
+	paths := make([][]int, 0, total)
+	src := 2*cfg.S + 1 // out-node of S
+	dst := 2 * cfg.T   // in-node of T
+	for p := 0; p < total; p++ {
+		// Walk saturated edges from S's out-node to T's in-node.
+		path := []int{cfg.S}
+		u := src
+		steps := 0
+		for u != dst {
+			advanced := false
+			for _, ei := range d.heads[u] {
+				if ei%2 != 0 { // skip reverse edges
+					continue
+				}
+				e := &d.edges[ei]
+				// A forward edge carried flow iff its reverse edge now has
+				// positive capacity.
+				rev := &d.edges[d.heads[e.to][e.rev]]
+				if rev.cap <= 0 {
+					continue
+				}
+				// Consume one unit.
+				rev.cap--
+				e.cap++
+				u = e.to
+				if u%2 == 0 && u != dst { // entered in(v): record v, hop to out(v)
+					path = append(path, u/2)
+				}
+				advanced = true
+				break
+			}
+			if !advanced {
+				// Flow decomposition cannot get stuck on a valid unit flow.
+				panic("flow: path extraction stuck")
+			}
+			steps++
+			if steps > 4*d.n {
+				panic("flow: path extraction cycled")
+			}
+		}
+		path = append(path, cfg.T)
+		if cfg.MaxLen > 0 && len(path)-1 > cfg.MaxLen {
+			continue
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}

@@ -1,0 +1,251 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDinicSimple(t *testing.T) {
+	// Classic diamond: s=0, t=3, two unit paths.
+	d := NewDinic(4)
+	d.AddEdge(0, 1, 1)
+	d.AddEdge(0, 2, 1)
+	d.AddEdge(1, 3, 1)
+	d.AddEdge(2, 3, 1)
+	if got := d.MaxFlow(0, 3); got != 2 {
+		t.Errorf("MaxFlow = %d, want 2", got)
+	}
+}
+
+func TestDinicBottleneck(t *testing.T) {
+	// s -> a (cap 5) -> t (cap 3): flow 3.
+	d := NewDinic(3)
+	d.AddEdge(0, 1, 5)
+	d.AddEdge(1, 2, 3)
+	if got := d.MaxFlow(0, 2); got != 3 {
+		t.Errorf("MaxFlow = %d, want 3", got)
+	}
+}
+
+func TestDinicDisconnected(t *testing.T) {
+	d := NewDinic(4)
+	d.AddEdge(0, 1, 7)
+	d.AddEdge(2, 3, 7)
+	if got := d.MaxFlow(0, 3); got != 0 {
+		t.Errorf("MaxFlow = %d, want 0", got)
+	}
+}
+
+func TestDinicParallelEdges(t *testing.T) {
+	d := NewDinic(2)
+	d.AddEdge(0, 1, 2)
+	d.AddEdge(0, 1, 3)
+	if got := d.MaxFlow(0, 1); got != 5 {
+		t.Errorf("MaxFlow = %d, want 5", got)
+	}
+}
+
+func TestDinicFlowQuery(t *testing.T) {
+	d := NewDinic(3)
+	e1 := d.AddEdge(0, 1, 4)
+	e2 := d.AddEdge(1, 2, 2)
+	d.MaxFlow(0, 2)
+	if got := d.Flow(e1, 4); got != 2 {
+		t.Errorf("edge1 flow = %d, want 2", got)
+	}
+	if got := d.Flow(e2, 2); got != 2 {
+		t.Errorf("edge2 flow = %d, want 2", got)
+	}
+}
+
+func TestDinicPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewDinic(-1) },
+		func() { NewDinic(2).AddEdge(0, 5, 1) },
+		func() { NewDinic(2).AddEdge(0, 1, -1) },
+		func() { NewDinic(2).MaxFlow(1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// completeNeighbors returns the adjacency of K_n.
+func completeNeighbors(n int) func(int) []int {
+	return func(v int) []int {
+		out := make([]int, 0, n-1)
+		for u := 0; u < n; u++ {
+			if u != v {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+}
+
+func TestDisjointPathsCompleteGraph(t *testing.T) {
+	// In K_n there are exactly n−1 internally vertex-disjoint s–t paths
+	// (the direct edge plus n−2 two-hop paths).
+	for n := 3; n <= 8; n++ {
+		paths, err := MaxVertexDisjointPaths(DisjointConfig{
+			N: n, Neighbors: completeNeighbors(n), S: 0, T: n - 1,
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(paths) != n-1 {
+			t.Errorf("K_%d: %d paths, want %d", n, len(paths), n-1)
+		}
+		assertDisjoint(t, paths, 0, n-1)
+	}
+}
+
+func TestDisjointPathsCycle(t *testing.T) {
+	// A cycle has exactly 2 disjoint paths between any two vertices.
+	n := 9
+	nb := func(v int) []int { return []int{(v + 1) % n, (v + n - 1) % n} }
+	paths, err := MaxVertexDisjointPaths(DisjointConfig{N: n, Neighbors: nb, S: 0, T: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Errorf("cycle: %d paths, want 2", len(paths))
+	}
+	assertDisjoint(t, paths, 0, 4)
+}
+
+func TestDisjointPathsAllowedFilter(t *testing.T) {
+	// Remove one side of the cycle: only one path remains.
+	n := 9
+	nb := func(v int) []int { return []int{(v + 1) % n, (v + n - 1) % n} }
+	paths, err := MaxVertexDisjointPaths(DisjointConfig{
+		N: n, Neighbors: nb, S: 0, T: 4,
+		Allowed: func(v int) bool { return v <= 4 }, // block 5..8
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("filtered cycle: %d paths, want 1", len(paths))
+	}
+}
+
+func TestDisjointPathsMaxLen(t *testing.T) {
+	// Cycle 0..8, s=0 t=4: paths have lengths 4 and 5. MaxLen 4 keeps one.
+	n := 9
+	nb := func(v int) []int { return []int{(v + 1) % n, (v + n - 1) % n} }
+	paths, err := MaxVertexDisjointPaths(DisjointConfig{N: n, Neighbors: nb, S: 0, T: 4, MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("MaxLen filter kept %d paths, want 1", len(paths))
+	}
+	if got := len(paths[0]) - 1; got != 4 {
+		t.Errorf("kept path has %d edges, want 4", got)
+	}
+}
+
+func TestDisjointPathsValidation(t *testing.T) {
+	nb := completeNeighbors(3)
+	cases := []DisjointConfig{
+		{N: 0, Neighbors: nb, S: 0, T: 1},
+		{N: 3, S: 0, T: 1},                 // nil Neighbors
+		{N: 3, Neighbors: nb, S: 0, T: 5},  // T out of range
+		{N: 3, Neighbors: nb, S: 1, T: 1},  // S == T
+		{N: 3, Neighbors: nb, S: -1, T: 1}, // S negative
+	}
+	for i, cfg := range cases {
+		if _, err := MaxVertexDisjointPaths(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCountVertexDisjointPaths(t *testing.T) {
+	n, err := CountVertexDisjointPaths(DisjointConfig{N: 5, Neighbors: completeNeighbors(5), S: 0, T: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("count = %d, want 4", n)
+	}
+}
+
+func TestDisjointPathsGridProperty(t *testing.T) {
+	// Property: on a random graph, extracted paths are valid (edges exist,
+	// endpoints correct) and internally disjoint, and the count equals the
+	// count on the reversed query (Menger symmetry).
+	f := func(seed uint32) bool {
+		n := 8
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		s := seed
+		rnd := func() uint32 { s = s*1664525 + 1013904223; return s }
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rnd()%3 == 0 {
+					adj[i][j] = true
+					adj[j][i] = true
+				}
+			}
+		}
+		nb := func(v int) []int {
+			var out []int
+			for u := 0; u < n; u++ {
+				if adj[v][u] {
+					out = append(out, u)
+				}
+			}
+			return out
+		}
+		fwd, err := MaxVertexDisjointPaths(DisjointConfig{N: n, Neighbors: nb, S: 0, T: n - 1})
+		if err != nil {
+			return false
+		}
+		for _, p := range fwd {
+			if p[0] != 0 || p[len(p)-1] != n-1 {
+				return false
+			}
+			for i := 1; i < len(p); i++ {
+				if !adj[p[i-1]][p[i]] {
+					return false
+				}
+			}
+		}
+		rev, err := MaxVertexDisjointPaths(DisjointConfig{N: n, Neighbors: nb, S: n - 1, T: 0})
+		if err != nil {
+			return false
+		}
+		return len(fwd) == len(rev)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// assertDisjoint verifies paths share no internal vertices.
+func assertDisjoint(t *testing.T, paths [][]int, s, sink int) {
+	t.Helper()
+	seen := make(map[int]bool)
+	for _, p := range paths {
+		if p[0] != s || p[len(p)-1] != sink {
+			t.Fatalf("path %v does not connect %d..%d", p, s, sink)
+		}
+		for _, v := range p[1 : len(p)-1] {
+			if seen[v] {
+				t.Fatalf("vertex %d reused across paths", v)
+			}
+			seen[v] = true
+		}
+	}
+}

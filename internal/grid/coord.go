@@ -1,0 +1,78 @@
+// Package grid provides the lattice geometry underlying the radio-network
+// model of Bhandari & Vaidya, "On Reliable Broadcast in a Radio Network"
+// (PODC 2005): integer grid coordinates, the L∞ and L2 distance metrics,
+// closed and open neighborhoods of radius r, and the explicit rectangular
+// regions used throughout the paper's constructions (Table I, Figs 1-7).
+//
+// All functions in this package operate on the infinite grid. Wrapping onto
+// a finite torus is the job of package topology.
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coord identifies a node by its grid location, as in the paper ("nodes can
+// be uniquely identified by their grid location (x,y)").
+type Coord struct {
+	X int
+	Y int
+}
+
+// C is shorthand for constructing a Coord.
+func C(x, y int) Coord { return Coord{X: x, Y: y} }
+
+// Add returns c translated by d.
+func (c Coord) Add(d Coord) Coord { return Coord{X: c.X + d.X, Y: c.Y + d.Y} }
+
+// Sub returns the offset from d to c (c - d).
+func (c Coord) Sub(d Coord) Coord { return Coord{X: c.X - d.X, Y: c.Y - d.Y} }
+
+// Neg returns the coordinate reflected through the origin.
+func (c Coord) Neg() Coord { return Coord{X: -c.X, Y: -c.Y} }
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Less orders coordinates lexicographically by (Y, X). It is used to give
+// deterministic iteration order to region enumerations.
+func (c Coord) Less(d Coord) bool {
+	if c.Y != d.Y {
+		return c.Y < d.Y
+	}
+	return c.X < d.X
+}
+
+// SortCoords sorts a slice of coordinates into the canonical (Y, X) order.
+func SortCoords(cs []Coord) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Less(cs[j]) })
+}
+
+// Origin is the designated source location. The paper assumes, without loss
+// of generality, that the broadcast source sits at the grid origin.
+var Origin = Coord{X: 0, Y: 0}
+
+// abs returns |v| for an int.
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// maxInt returns the larger of a and b.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// minInt returns the smaller of a and b.
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

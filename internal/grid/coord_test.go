@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordArithmetic(t *testing.T) {
+	a := C(3, -2)
+	b := C(-1, 5)
+	if got := a.Add(b); got != C(2, 3) {
+		t.Errorf("Add = %v, want (2,3)", got)
+	}
+	if got := a.Sub(b); got != C(4, -7) {
+		t.Errorf("Sub = %v, want (4,-7)", got)
+	}
+	if got := a.Neg(); got != C(-3, 2) {
+		t.Errorf("Neg = %v, want (-3,2)", got)
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if got := C(4, -7).String(); got != "(4,-7)" {
+		t.Errorf("String = %q, want (4,-7)", got)
+	}
+}
+
+func TestCoordAddSubInverse(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a := C(int(ax), int(ay))
+		b := C(int(bx), int(by))
+		return a.Add(b).Sub(b) == a && a.Sub(b).Add(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoordLessIsStrictTotalOrder(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := C(int(ax), int(ay))
+		b := C(int(bx), int(by))
+		switch {
+		case a == b:
+			return !a.Less(b) && !b.Less(a)
+		default:
+			return a.Less(b) != b.Less(a)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortCoords(t *testing.T) {
+	cs := []Coord{C(2, 1), C(0, 0), C(1, 1), C(5, 0), C(-3, 1)}
+	SortCoords(cs)
+	want := []Coord{C(0, 0), C(5, 0), C(-3, 1), C(1, 1), C(2, 1)}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Fatalf("SortCoords = %v, want %v", cs, want)
+		}
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if abs(-4) != 4 || abs(4) != 4 || abs(0) != 0 {
+		t.Error("abs broken")
+	}
+	if maxInt(2, 3) != 3 || maxInt(3, 2) != 3 {
+		t.Error("maxInt broken")
+	}
+	if minInt(2, 3) != 2 || minInt(3, 2) != 2 {
+		t.Error("minInt broken")
+	}
+}

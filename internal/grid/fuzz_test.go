@@ -1,0 +1,54 @@
+package grid
+
+import "testing"
+
+// FuzzTorusWrapDelta fuzzes the torus arithmetic invariants: Wrap is
+// idempotent and lands in range; Delta round-trips.
+func FuzzTorusWrapDelta(f *testing.F) {
+	f.Add(10, 8, 3, -5, 17, 2)
+	f.Add(5, 5, 0, 0, 4, 4)
+	f.Add(100, 3, -1000, 999, 50, 1)
+	f.Fuzz(func(t *testing.T, w, h, ax, ay, bx, by int) {
+		if w < 1 || h < 1 || w > 1000 || h > 1000 {
+			t.Skip()
+		}
+		tor := Torus{W: w, H: h}
+		a := tor.Wrap(C(ax, ay))
+		b := tor.Wrap(C(bx, by))
+		if a.X < 0 || a.X >= w || a.Y < 0 || a.Y >= h {
+			t.Fatalf("Wrap out of range: %v", a)
+		}
+		if tor.Wrap(a) != a {
+			t.Fatalf("Wrap not idempotent: %v", a)
+		}
+		d := tor.Delta(a, b)
+		if tor.Wrap(a.Add(d)) != b {
+			t.Fatalf("Delta does not round-trip: %v + %v != %v", a, d, b)
+		}
+	})
+}
+
+// FuzzMetricWithin fuzzes the metric relations: symmetry and the L2 ⊆ L∞
+// ball containment.
+func FuzzMetricWithin(f *testing.F) {
+	f.Add(0, 0, 3, 4, 5)
+	f.Add(-2, 7, 2, -7, 1)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, r int) {
+		if r < 0 || r > 1000 {
+			t.Skip()
+		}
+		if ax < -10000 || ax > 10000 || ay < -10000 || ay > 10000 ||
+			bx < -10000 || bx > 10000 || by < -10000 || by > 10000 {
+			t.Skip()
+		}
+		a, b := C(ax, ay), C(bx, by)
+		for _, m := range []Metric{Linf, L2} {
+			if m.Within(a, b, r) != m.Within(b, a, r) {
+				t.Fatalf("%v: Within not symmetric", m)
+			}
+		}
+		if L2.Within(a, b, r) && !Linf.Within(a, b, r) {
+			t.Fatal("L2 ball must be contained in the L∞ ball")
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package grid
+
+import "fmt"
+
+// Metric selects the distance metric used to define neighborhoods. The paper
+// analyzes both the L∞ (Chebyshev) metric, which yields exact thresholds, and
+// the L2 (Euclidean) metric, for which it gives approximate arguments (§VIII).
+type Metric int
+
+const (
+	// Linf is the L∞ metric: d((x1,y1),(x2,y2)) = max(|x1−x2|, |y1−y2|).
+	// Neighborhoods are (2r+1)×(2r+1) squares.
+	Linf Metric = iota + 1
+	// L2 is the Euclidean metric. Neighborhoods are radius-r disks.
+	L2
+)
+
+// String returns the conventional name of the metric.
+func (m Metric) String() string {
+	switch m {
+	case Linf:
+		return "Linf"
+	case L2:
+		return "L2"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a known metric.
+func (m Metric) Valid() bool { return m == Linf || m == L2 }
+
+// DistLinf returns the L∞ distance between a and b.
+func DistLinf(a, b Coord) int {
+	return maxInt(abs(a.X-b.X), abs(a.Y-b.Y))
+}
+
+// DistL2Sq returns the squared Euclidean distance between a and b. Squared
+// distances keep all comparisons in exact integer arithmetic.
+func DistL2Sq(a, b Coord) int {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return dx*dx + dy*dy
+}
+
+// Within reports whether a and b are within distance r of each other under
+// metric m, i.e. whether each hears the other's local broadcasts.
+func (m Metric) Within(a, b Coord, r int) bool {
+	switch m {
+	case Linf:
+		return DistLinf(a, b) <= r
+	case L2:
+		return DistL2Sq(a, b) <= r*r
+	default:
+		panic(fmt.Sprintf("grid: invalid metric %d", int(m)))
+	}
+}
+
+// Neighbors reports whether a and b are distinct nodes within distance r of
+// each other, i.e. radio neighbors.
+func (m Metric) Neighbors(a, b Coord, r int) bool {
+	return a != b && m.Within(a, b, r)
+}
+
+// BallOffsets returns the offsets d with 0 < d(0,d) ≤ r under metric m, in
+// canonical order. Adding these offsets to a center yields its open
+// neighborhood (the nodes that hear it, excluding itself).
+func (m Metric) BallOffsets(r int) []Coord {
+	if r < 1 {
+		return nil
+	}
+	offs := make([]Coord, 0, (2*r+1)*(2*r+1)-1)
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			d := Coord{X: dx, Y: dy}
+			if d == (Coord{}) {
+				continue
+			}
+			if m.Within(Coord{}, d, r) {
+				offs = append(offs, d)
+			}
+		}
+	}
+	return offs
+}
+
+// BallSize returns the number of nodes in an open neighborhood of radius r
+// under metric m (the neighbor count of any node). For L∞ this is
+// (2r+1)² − 1; for L2 it is the number of non-origin lattice points in a
+// radius-r disk.
+func (m Metric) BallSize(r int) int { return len(m.BallOffsets(r)) }
+
+// ClosedBallSize returns BallSize(r) + 1, counting the center itself. The
+// paper's locally bounded fault constraint is stated over closed
+// neighborhoods: no closed neighborhood may contain more than t faults.
+func (m Metric) ClosedBallSize(r int) int { return m.BallSize(r) + 1 }

@@ -1,0 +1,194 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricString(t *testing.T) {
+	tests := []struct {
+		m    Metric
+		want string
+	}{
+		{Linf, "Linf"},
+		{L2, "L2"},
+		{Metric(0), "Metric(0)"},
+		{Metric(99), "Metric(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("Metric(%d).String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+}
+
+func TestMetricValid(t *testing.T) {
+	if !Linf.Valid() || !L2.Valid() {
+		t.Error("Linf and L2 must be valid")
+	}
+	if Metric(0).Valid() || Metric(3).Valid() {
+		t.Error("unknown metrics must be invalid")
+	}
+}
+
+func TestDistLinf(t *testing.T) {
+	tests := []struct {
+		a, b Coord
+		want int
+	}{
+		{C(0, 0), C(0, 0), 0},
+		{C(0, 0), C(3, 1), 3},
+		{C(0, 0), C(1, 3), 3},
+		{C(-2, -2), C(2, 2), 4},
+		{C(5, 5), C(5, -5), 10},
+		{C(1, 1), C(-1, 2), 2},
+	}
+	for _, tt := range tests {
+		if got := DistLinf(tt.a, tt.b); got != tt.want {
+			t.Errorf("DistLinf(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestDistL2Sq(t *testing.T) {
+	tests := []struct {
+		a, b Coord
+		want int
+	}{
+		{C(0, 0), C(0, 0), 0},
+		{C(0, 0), C(3, 4), 25},
+		{C(-1, -1), C(1, 1), 8},
+		{C(2, 0), C(0, 0), 4},
+	}
+	for _, tt := range tests {
+		if got := DistL2Sq(tt.a, tt.b); got != tt.want {
+			t.Errorf("DistL2Sq(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestDistLinfProperties(t *testing.T) {
+	// Symmetry, non-negativity, triangle inequality, identity.
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := C(int(ax), int(ay))
+		b := C(int(bx), int(by))
+		c := C(int(cx), int(cy))
+		dab := DistLinf(a, b)
+		dba := DistLinf(b, a)
+		dac := DistLinf(a, c)
+		dcb := DistLinf(c, b)
+		if dab != dba || dab < 0 {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			return false
+		}
+		return dab <= dac+dcb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistL2SqProperties(t *testing.T) {
+	// Symmetry and consistency with float Euclidean distance.
+	f := func(ax, ay, bx, by int8) bool {
+		a := C(int(ax), int(ay))
+		b := C(int(bx), int(by))
+		sq := DistL2Sq(a, b)
+		if sq != DistL2Sq(b, a) || sq < 0 {
+			return false
+		}
+		d := math.Sqrt(float64(sq))
+		ref := math.Hypot(float64(a.X-b.X), float64(a.Y-b.Y))
+		return math.Abs(d-ref) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinfDominatedByL2(t *testing.T) {
+	// L∞ distance ≤ L2 distance ≤ √2·L∞ distance, so any L2 neighbor pair
+	// is also an L∞ neighbor pair at the same radius.
+	f := func(ax, ay, bx, by int8, rr uint8) bool {
+		a := C(int(ax), int(ay))
+		b := C(int(bx), int(by))
+		r := int(rr%10) + 1
+		if L2.Within(a, b, r) && !Linf.Within(a, b, r) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBallOffsetsLinf(t *testing.T) {
+	for r := 1; r <= 6; r++ {
+		offs := Linf.BallOffsets(r)
+		want := (2*r+1)*(2*r+1) - 1
+		if len(offs) != want {
+			t.Errorf("r=%d: |BallOffsets| = %d, want %d", r, len(offs), want)
+		}
+		for _, d := range offs {
+			if d == (Coord{}) {
+				t.Errorf("r=%d: ball offsets must exclude origin", r)
+			}
+			if DistLinf(Coord{}, d) > r {
+				t.Errorf("r=%d: offset %v outside ball", r, d)
+			}
+		}
+	}
+}
+
+func TestBallOffsetsL2(t *testing.T) {
+	// Known lattice-point counts for closed disks of radius r (excluding
+	// origin): r=1 → 4, r=2 → 12, r=3 → 28, r=4 → 48, r=5 → 80.
+	want := map[int]int{1: 4, 2: 12, 3: 28, 4: 48, 5: 80}
+	for r, n := range want {
+		if got := L2.BallSize(r); got != n {
+			t.Errorf("L2.BallSize(%d) = %d, want %d", r, got, n)
+		}
+	}
+}
+
+func TestBallOffsetsEdgeCases(t *testing.T) {
+	if got := Linf.BallOffsets(0); got != nil {
+		t.Errorf("BallOffsets(0) = %v, want nil", got)
+	}
+	if got := L2.BallOffsets(-1); got != nil {
+		t.Errorf("BallOffsets(-1) = %v, want nil", got)
+	}
+}
+
+func TestClosedBallSize(t *testing.T) {
+	for r := 1; r <= 4; r++ {
+		if got, want := Linf.ClosedBallSize(r), (2*r+1)*(2*r+1); got != want {
+			t.Errorf("Linf.ClosedBallSize(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestNeighborsExcludesSelf(t *testing.T) {
+	if Linf.Neighbors(C(3, 3), C(3, 3), 2) {
+		t.Error("a node must not be its own neighbor")
+	}
+	if !Linf.Neighbors(C(3, 3), C(5, 5), 2) {
+		t.Error("(3,3) and (5,5) are L∞ neighbors at r=2")
+	}
+	if L2.Neighbors(C(3, 3), C(5, 5), 2) {
+		t.Error("(3,3) and (5,5) are not L2 neighbors at r=2 (dist² = 8 > 4)")
+	}
+}
+
+func TestWithinPanicsOnInvalidMetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Within on invalid metric must panic")
+		}
+	}()
+	Metric(42).Within(C(0, 0), C(1, 1), 1)
+}

@@ -1,0 +1,130 @@
+package grid
+
+// Nbd returns the open neighborhood of center under metric m: every node
+// within distance r of center, excluding center itself. These are exactly
+// the nodes that hear center's local broadcasts.
+func Nbd(m Metric, center Coord, r int) []Coord {
+	offs := m.BallOffsets(r)
+	nbd := make([]Coord, len(offs))
+	for i, d := range offs {
+		nbd[i] = center.Add(d)
+	}
+	return nbd
+}
+
+// ClosedNbd returns the closed neighborhood of center: Nbd plus the center.
+// The locally bounded fault model constrains the number of faults in every
+// closed neighborhood ("a faulty node may have upto (t−1) neighbors that are
+// also faulty").
+func ClosedNbd(m Metric, center Coord, r int) []Coord {
+	offs := m.BallOffsets(r)
+	nbd := make([]Coord, 0, len(offs)+1)
+	nbd = append(nbd, center)
+	for _, d := range offs {
+		nbd = append(nbd, center.Add(d))
+	}
+	return nbd
+}
+
+// PNbd returns the perturbed neighborhood of (x,y) as defined in §IV:
+// pnbd(x,y) = nbd(x−1,y) ∪ nbd(x+1,y) ∪ nbd(x,y−1) ∪ nbd(x,y+1).
+// The result is deduplicated and in canonical order.
+func PNbd(m Metric, center Coord, r int) []Coord {
+	seen := make(map[Coord]struct{}, 4*m.BallSize(r))
+	for _, shift := range []Coord{{X: -1}, {X: 1}, {Y: -1}, {Y: 1}} {
+		for _, c := range Nbd(m, center.Add(shift), r) {
+			seen[c] = struct{}{}
+		}
+	}
+	out := make([]Coord, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	SortCoords(out)
+	return out
+}
+
+// PNbdFringe returns pnbd(center) − nbd(center) − {center}: the nodes that
+// the inductive step must newly reach. For L∞ these are the four side
+// segments one step outside the (2r+1)×(2r+1) square.
+func PNbdFringe(m Metric, center Coord, r int) []Coord {
+	inner := make(map[Coord]struct{}, m.ClosedBallSize(r))
+	inner[center] = struct{}{}
+	for _, c := range Nbd(m, center, r) {
+		inner[c] = struct{}{}
+	}
+	var out []Coord
+	for _, c := range PNbd(m, center, r) {
+		if _, ok := inner[c]; !ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CoordSet is a set of grid coordinates with canonical enumeration.
+type CoordSet map[Coord]struct{}
+
+// NewCoordSet builds a set from the given coordinates.
+func NewCoordSet(cs ...Coord) CoordSet {
+	s := make(CoordSet, len(cs))
+	for _, c := range cs {
+		s[c] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s CoordSet) Has(c Coord) bool {
+	_, ok := s[c]
+	return ok
+}
+
+// Add inserts c.
+func (s CoordSet) Add(c Coord) { s[c] = struct{}{} }
+
+// AddAll inserts every coordinate in cs.
+func (s CoordSet) AddAll(cs []Coord) {
+	for _, c := range cs {
+		s[c] = struct{}{}
+	}
+}
+
+// Sorted returns the members in canonical order.
+func (s CoordSet) Sorted() []Coord {
+	out := make([]Coord, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	SortCoords(out)
+	return out
+}
+
+// Intersect returns the members of s that are also in t.
+func (s CoordSet) Intersect(t CoordSet) CoordSet {
+	small, large := s, t
+	if len(t) < len(s) {
+		small, large = t, s
+	}
+	out := make(CoordSet, len(small))
+	for c := range small {
+		if large.Has(c) {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether s and t share no members.
+func (s CoordSet) Disjoint(t CoordSet) bool {
+	small, large := s, t
+	if len(t) < len(s) {
+		small, large = t, s
+	}
+	for c := range small {
+		if large.Has(c) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNbdLinfCount(t *testing.T) {
+	for r := 1; r <= 4; r++ {
+		nbd := Nbd(Linf, C(10, 10), r)
+		if want := (2*r+1)*(2*r+1) - 1; len(nbd) != want {
+			t.Errorf("r=%d: |nbd| = %d, want %d", r, len(nbd), want)
+		}
+		for _, c := range nbd {
+			if c == C(10, 10) {
+				t.Error("open neighborhood must exclude center")
+			}
+			if DistLinf(c, C(10, 10)) > r {
+				t.Errorf("node %v outside radius", c)
+			}
+		}
+	}
+}
+
+func TestClosedNbdIncludesCenter(t *testing.T) {
+	nbd := ClosedNbd(Linf, C(2, 3), 2)
+	if len(nbd) != 25 {
+		t.Fatalf("|closed nbd| = %d, want 25", len(nbd))
+	}
+	if nbd[0] != C(2, 3) {
+		t.Error("closed neighborhood must start with center")
+	}
+}
+
+func TestPNbdDefinition(t *testing.T) {
+	// pnbd(x,y) = union of the four unit-perturbed neighborhoods (§IV).
+	for _, m := range []Metric{Linf, L2} {
+		center := C(0, 0)
+		r := 2
+		want := NewCoordSet()
+		for _, s := range []Coord{C(-1, 0), C(1, 0), C(0, -1), C(0, 1)} {
+			want.AddAll(Nbd(m, center.Add(s), r))
+		}
+		got := PNbd(m, center, r)
+		if len(got) != len(want) {
+			t.Errorf("%v: |pnbd| = %d, want %d", m, len(got), len(want))
+		}
+		for _, c := range got {
+			if !want.Has(c) {
+				t.Errorf("%v: unexpected member %v", m, c)
+			}
+		}
+	}
+}
+
+func TestPNbdLinfShape(t *testing.T) {
+	// For L∞, pnbd(0,0) is the (2r+1)×(2r+3) ∪ (2r+3)×(2r+1) plus-shape.
+	r := 2
+	got := NewCoordSet(PNbd(Linf, C(0, 0), r)...)
+	wantCount := 0
+	for y := -r - 1; y <= r+1; y++ {
+		for x := -r - 1; x <= r+1; x++ {
+			inVert := abs(x) <= r && abs(y) <= r+1
+			inHoriz := abs(x) <= r+1 && abs(y) <= r
+			if inVert || inHoriz {
+				wantCount++
+				if !got.Has(C(x, y)) {
+					t.Errorf("missing %v", C(x, y))
+				}
+			}
+		}
+	}
+	if len(got) != wantCount {
+		t.Errorf("|pnbd| = %d, want %d", len(got), wantCount)
+	}
+}
+
+func TestPNbdFringe(t *testing.T) {
+	r := 2
+	fringe := PNbdFringe(Linf, C(0, 0), r)
+	// Fringe: four segments of 2r+1 nodes one step outside the square.
+	if want := 4 * (2*r + 1); len(fringe) != want {
+		t.Fatalf("|fringe| = %d, want %d", len(fringe), want)
+	}
+	for _, c := range fringe {
+		if DistLinf(c, C(0, 0)) != r+1 {
+			t.Errorf("fringe node %v not at distance r+1", c)
+		}
+	}
+}
+
+func TestPNbdFringeContainsCorner(t *testing.T) {
+	// The worst-case node P of Theorem 1's proof, (a−r, b+r+1), is in the
+	// fringe of nbd(a,b).
+	a, b, r := 5, 7, 3
+	fringe := NewCoordSet(PNbdFringe(Linf, C(a, b), r)...)
+	if !fringe.Has(C(a-r, b+r+1)) {
+		t.Error("corner node P must be in pnbd − nbd")
+	}
+}
+
+func TestCoordSetOps(t *testing.T) {
+	s := NewCoordSet(C(0, 0), C(1, 1))
+	u := NewCoordSet(C(1, 1), C(2, 2))
+	if !s.Has(C(0, 0)) || s.Has(C(2, 2)) {
+		t.Error("Has broken")
+	}
+	inter := s.Intersect(u)
+	if len(inter) != 1 || !inter.Has(C(1, 1)) {
+		t.Errorf("Intersect = %v", inter.Sorted())
+	}
+	if s.Disjoint(u) {
+		t.Error("s and u share (1,1)")
+	}
+	if !s.Disjoint(NewCoordSet(C(9, 9))) {
+		t.Error("disjoint sets reported overlapping")
+	}
+	s.Add(C(5, 5))
+	if !s.Has(C(5, 5)) {
+		t.Error("Add broken")
+	}
+	sorted := s.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if !sorted[i-1].Less(sorted[i]) {
+			t.Error("Sorted not in canonical order")
+		}
+	}
+}
+
+func TestCoordSetIntersectCommutes(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		s := NewCoordSet()
+		u := NewCoordSet()
+		for i := 0; i+1 < len(xs); i += 2 {
+			s.Add(C(int(xs[i]), int(xs[i+1])))
+		}
+		for i := 0; i+1 < len(ys); i += 2 {
+			u.Add(C(int(ys[i]), int(ys[i+1])))
+		}
+		a := s.Intersect(u).Sorted()
+		b := u.Intersect(s).Sorted()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return s.Disjoint(u) == (len(a) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

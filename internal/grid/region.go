@@ -1,0 +1,101 @@
+package grid
+
+import "fmt"
+
+// Rect is an axis-aligned inclusive rectangle of lattice points:
+// {(x,y) | X0 ≤ x ≤ X1, Y0 ≤ y ≤ Y1}. The paper's Table I specifies all of
+// its construction regions in exactly this form.
+type Rect struct {
+	X0, X1 int
+	Y0, Y1 int
+}
+
+// RectSpan builds a rectangle from inclusive coordinate spans.
+func RectSpan(x0, x1, y0, y1 int) Rect { return Rect{X0: x0, X1: x1, Y0: y0, Y1: y1} }
+
+// Empty reports whether the rectangle contains no lattice points.
+func (r Rect) Empty() bool { return r.X1 < r.X0 || r.Y1 < r.Y0 }
+
+// Count returns the number of lattice points in the rectangle.
+func (r Rect) Count() int {
+	if r.Empty() {
+		return 0
+	}
+	return (r.X1 - r.X0 + 1) * (r.Y1 - r.Y0 + 1)
+}
+
+// Contains reports whether c lies in the rectangle.
+func (r Rect) Contains(c Coord) bool {
+	return c.X >= r.X0 && c.X <= r.X1 && c.Y >= r.Y0 && c.Y <= r.Y1
+}
+
+// Points enumerates the rectangle's lattice points in canonical order.
+func (r Rect) Points() []Coord {
+	if r.Empty() {
+		return nil
+	}
+	pts := make([]Coord, 0, r.Count())
+	for y := r.Y0; y <= r.Y1; y++ {
+		for x := r.X0; x <= r.X1; x++ {
+			pts = append(pts, Coord{X: x, Y: y})
+		}
+	}
+	return pts
+}
+
+// Translate returns the rectangle shifted by d.
+func (r Rect) Translate(d Coord) Rect {
+	return Rect{X0: r.X0 + d.X, X1: r.X1 + d.X, Y0: r.Y0 + d.Y, Y1: r.Y1 + d.Y}
+}
+
+// Intersect returns the rectangle common to r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		X0: maxInt(r.X0, s.X0),
+		X1: minInt(r.X1, s.X1),
+		Y0: maxInt(r.Y0, s.Y0),
+		Y1: minInt(r.Y1, s.Y1),
+	}
+}
+
+// String renders the rectangle as its coordinate spans.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d..%d]x[%d..%d]", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+// NbdRect returns the closed L∞ neighborhood of center as a rectangle: the
+// (2r+1)×(2r+1) square with centroid at center.
+func NbdRect(center Coord, r int) Rect {
+	return Rect{
+		X0: center.X - r, X1: center.X + r,
+		Y0: center.Y - r, Y1: center.Y + r,
+	}
+}
+
+// RectContainsAll reports whether every coordinate of cs lies in r.
+func RectContainsAll(r Rect, cs []Coord) bool {
+	for _, c := range cs {
+		if !r.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Predicate selects lattice points; it backs arbitrary (non-rectangular)
+// regions such as the triangular regions U and S2 of Fig 3.
+type Predicate func(Coord) bool
+
+// FilterRect enumerates the points of bounding rectangle r that satisfy p.
+func FilterRect(r Rect, p Predicate) []Coord {
+	var out []Coord
+	for y := r.Y0; y <= r.Y1; y++ {
+		for x := r.X0; x <= r.X1; x++ {
+			c := Coord{X: x, Y: y}
+			if p(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectCount(t *testing.T) {
+	tests := []struct {
+		r    Rect
+		want int
+	}{
+		{RectSpan(0, 0, 0, 0), 1},
+		{RectSpan(0, 4, 0, 0), 5},
+		{RectSpan(-2, 2, -1, 1), 15},
+		{RectSpan(3, 2, 0, 0), 0}, // empty
+		{RectSpan(0, 0, 5, 1), 0}, // empty
+	}
+	for _, tt := range tests {
+		if got := tt.r.Count(); got != tt.want {
+			t.Errorf("%v.Count() = %d, want %d", tt.r, got, tt.want)
+		}
+		if got := len(tt.r.Points()); got != tt.want {
+			t.Errorf("%v.Points() has %d, want %d", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestRectContainsMatchesPoints(t *testing.T) {
+	r := RectSpan(-1, 2, 3, 5)
+	pts := NewCoordSet(r.Points()...)
+	for y := 2; y <= 6; y++ {
+		for x := -2; x <= 3; x++ {
+			c := C(x, y)
+			if r.Contains(c) != pts.Has(c) {
+				t.Errorf("Contains(%v) disagrees with Points", c)
+			}
+		}
+	}
+}
+
+func TestRectTranslate(t *testing.T) {
+	r := RectSpan(0, 2, 0, 1).Translate(C(10, -5))
+	if r != RectSpan(10, 12, -5, -4) {
+		t.Errorf("Translate = %v", r)
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := RectSpan(0, 10, 0, 10)
+	b := RectSpan(5, 15, -5, 5)
+	got := a.Intersect(b)
+	if got != RectSpan(5, 10, 0, 5) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Intersect(RectSpan(20, 30, 0, 1)).Empty() {
+		t.Error("disjoint intersection must be empty")
+	}
+}
+
+func TestRectIntersectIsContainment(t *testing.T) {
+	f := func(x0, x1, y0, y1, px, py int8) bool {
+		a := RectSpan(int(x0), int(x1), int(y0), int(y1))
+		b := RectSpan(-5, 5, -5, 5)
+		c := C(int(px), int(py))
+		return a.Intersect(b).Contains(c) == (a.Contains(c) && b.Contains(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNbdRect(t *testing.T) {
+	r := 3
+	rect := NbdRect(C(10, 20), r)
+	if rect.Count() != (2*r+1)*(2*r+1) {
+		t.Errorf("NbdRect count = %d", rect.Count())
+	}
+	// NbdRect must agree with the closed L∞ neighborhood.
+	nbd := NewCoordSet(ClosedNbd(Linf, C(10, 20), r)...)
+	for _, c := range rect.Points() {
+		if !nbd.Has(c) {
+			t.Errorf("%v in rect but not in closed nbd", c)
+		}
+	}
+}
+
+func TestRectContainsAll(t *testing.T) {
+	r := RectSpan(0, 5, 0, 5)
+	if !RectContainsAll(r, []Coord{C(0, 0), C(5, 5)}) {
+		t.Error("corners must be contained")
+	}
+	if RectContainsAll(r, []Coord{C(0, 0), C(6, 5)}) {
+		t.Error("(6,5) is outside")
+	}
+	if !RectContainsAll(r, nil) {
+		t.Error("vacuous containment must hold")
+	}
+}
+
+func TestFilterRect(t *testing.T) {
+	r := RectSpan(-2, 2, -2, 2)
+	diag := FilterRect(r, func(c Coord) bool { return c.X == c.Y })
+	if len(diag) != 5 {
+		t.Fatalf("|diag| = %d, want 5", len(diag))
+	}
+	for _, c := range diag {
+		if c.X != c.Y {
+			t.Errorf("filter leaked %v", c)
+		}
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if got := RectSpan(1, 2, 3, 4).String(); got != "[1..2]x[3..4]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,121 @@
+package grid
+
+import "fmt"
+
+// Torus describes a finite W×H toroidal grid. The paper notes (§I) that all
+// results stated for the infinite grid also hold for a finite toroidal
+// network, because wrapping eliminates boundary anomalies. Coordinates on
+// the torus are canonicalized to 0 ≤ x < W, 0 ≤ y < H.
+type Torus struct {
+	W int
+	H int
+}
+
+// NewTorus validates the dimensions and returns a torus. Dimensions must be
+// at least 1.
+func NewTorus(w, h int) (Torus, error) {
+	if w < 1 || h < 1 {
+		return Torus{}, fmt.Errorf("grid: torus dimensions must be positive, got %dx%d", w, h)
+	}
+	return Torus{W: w, H: h}, nil
+}
+
+// Size returns the number of nodes on the torus.
+func (t Torus) Size() int { return t.W * t.H }
+
+// Wrap canonicalizes c onto the torus.
+func (t Torus) Wrap(c Coord) Coord {
+	return Coord{X: mod(c.X, t.W), Y: mod(c.Y, t.H)}
+}
+
+// Delta returns the minimal signed offset from a to b on the torus: the
+// representative of b−a with components in (−W/2, W/2] × (−H/2, H/2].
+func (t Torus) Delta(a, b Coord) Coord {
+	return Coord{
+		X: wrapDelta(b.X-a.X, t.W),
+		Y: wrapDelta(b.Y-a.Y, t.H),
+	}
+}
+
+// Dist returns the toroidal distance between a and b under metric m.
+func (t Torus) Dist(m Metric, a, b Coord) int {
+	d := t.Delta(a, b)
+	switch m {
+	case Linf:
+		return maxInt(abs(d.X), abs(d.Y))
+	case L2:
+		// Callers comparing against a radius should prefer DistSq; this
+		// returns the floor of the Euclidean distance.
+		return isqrt(d.X*d.X + d.Y*d.Y)
+	default:
+		panic(fmt.Sprintf("grid: invalid metric %d", int(m)))
+	}
+}
+
+// DistSq returns the squared Euclidean toroidal distance between a and b.
+func (t Torus) DistSq(a, b Coord) int {
+	d := t.Delta(a, b)
+	return d.X*d.X + d.Y*d.Y
+}
+
+// Within reports whether a and b are within distance r on the torus under m.
+func (t Torus) Within(m Metric, a, b Coord, r int) bool {
+	d := t.Delta(a, b)
+	switch m {
+	case Linf:
+		return maxInt(abs(d.X), abs(d.Y)) <= r
+	case L2:
+		return d.X*d.X+d.Y*d.Y <= r*r
+	default:
+		panic(fmt.Sprintf("grid: invalid metric %d", int(m)))
+	}
+}
+
+// AdmitsRadius reports whether neighborhoods of radius r are unambiguous on
+// the torus, i.e. no node's neighborhood wraps onto itself and distinct
+// offsets stay distinct. Experiments require W, H ≥ 4r+3 so that a closed
+// neighborhood and its perturbations never self-overlap.
+func (t Torus) AdmitsRadius(r int) bool {
+	return t.W >= 4*r+3 && t.H >= 4*r+3
+}
+
+// Index maps a (wrapped) coordinate to a dense node index in [0, W*H).
+func (t Torus) Index(c Coord) int {
+	w := t.Wrap(c)
+	return w.Y*t.W + w.X
+}
+
+// CoordOf inverts Index.
+func (t Torus) CoordOf(idx int) Coord {
+	return Coord{X: idx % t.W, Y: idx / t.W}
+}
+
+// mod returns v mod m with a result in [0, m).
+func mod(v, m int) int {
+	v %= m
+	if v < 0 {
+		v += m
+	}
+	return v
+}
+
+// wrapDelta maps d to its representative in (−m/2, m/2].
+func wrapDelta(d, m int) int {
+	d = mod(d, m)
+	if d > m/2 {
+		d -= m
+	}
+	return d
+}
+
+// isqrt returns ⌊√v⌋ for v ≥ 0.
+func isqrt(v int) int {
+	if v < 0 {
+		panic("grid: isqrt of negative value")
+	}
+	x := 0
+	for (x+1)*(x+1) <= v {
+		x++
+	}
+	return x
+}

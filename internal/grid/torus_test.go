@@ -1,0 +1,164 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTorusValidation(t *testing.T) {
+	if _, err := NewTorus(0, 5); err == nil {
+		t.Error("zero width must be rejected")
+	}
+	if _, err := NewTorus(5, -1); err == nil {
+		t.Error("negative height must be rejected")
+	}
+	tor, err := NewTorus(8, 6)
+	if err != nil {
+		t.Fatalf("NewTorus: %v", err)
+	}
+	if tor.Size() != 48 {
+		t.Errorf("Size = %d, want 48", tor.Size())
+	}
+}
+
+func TestTorusWrap(t *testing.T) {
+	tor := Torus{W: 10, H: 8}
+	tests := []struct {
+		in, want Coord
+	}{
+		{C(0, 0), C(0, 0)},
+		{C(10, 8), C(0, 0)},
+		{C(-1, -1), C(9, 7)},
+		{C(25, -9), C(5, 7)},
+	}
+	for _, tt := range tests {
+		if got := tor.Wrap(tt.in); got != tt.want {
+			t.Errorf("Wrap(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTorusDelta(t *testing.T) {
+	tor := Torus{W: 10, H: 10}
+	tests := []struct {
+		a, b, want Coord
+	}{
+		{C(0, 0), C(1, 0), C(1, 0)},
+		{C(0, 0), C(9, 0), C(-1, 0)},
+		{C(0, 0), C(5, 5), C(5, 5)}, // exactly half: positive representative
+		{C(2, 3), C(8, 9), C(-4, -4)},
+	}
+	for _, tt := range tests {
+		if got := tor.Delta(tt.a, tt.b); got != tt.want {
+			t.Errorf("Delta(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestTorusDeltaConsistent(t *testing.T) {
+	tor := Torus{W: 13, H: 9}
+	f := func(ax, ay, bx, by uint8) bool {
+		a := tor.Wrap(C(int(ax), int(ay)))
+		b := tor.Wrap(C(int(bx), int(by)))
+		d := tor.Delta(a, b)
+		// a + delta wraps to b.
+		if tor.Wrap(a.Add(d)) != b {
+			return false
+		}
+		// Components lie in the canonical half-open range.
+		return d.X > -tor.W/2-1 && d.X <= tor.W/2 && d.Y > -tor.H/2-1 && d.Y <= tor.H/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusDistAndWithin(t *testing.T) {
+	tor := Torus{W: 12, H: 12}
+	// Wrap-around: (0,0) and (11,0) are at distance 1.
+	if d := tor.Dist(Linf, C(0, 0), C(11, 0)); d != 1 {
+		t.Errorf("Linf wrap dist = %d, want 1", d)
+	}
+	if !tor.Within(Linf, C(0, 0), C(11, 11), 1) {
+		t.Error("diagonal wrap neighbors at r=1")
+	}
+	if tor.Within(L2, C(0, 0), C(11, 11), 1) {
+		t.Error("diagonal is not within L2 radius 1 (dist² = 2)")
+	}
+	if got := tor.DistSq(C(0, 0), C(11, 11)); got != 2 {
+		t.Errorf("DistSq = %d, want 2", got)
+	}
+	if d := tor.Dist(L2, C(0, 0), C(3, 4)); d != 5 {
+		t.Errorf("L2 dist = %d, want 5", d)
+	}
+}
+
+func TestTorusWithinSymmetric(t *testing.T) {
+	tor := Torus{W: 11, H: 17}
+	f := func(ax, ay, bx, by uint8, rr uint8) bool {
+		a := tor.Wrap(C(int(ax), int(ay)))
+		b := tor.Wrap(C(int(bx), int(by)))
+		r := int(rr%5) + 1
+		for _, m := range []Metric{Linf, L2} {
+			if tor.Within(m, a, b, r) != tor.Within(m, b, a, r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusIndexRoundTrip(t *testing.T) {
+	tor := Torus{W: 7, H: 5}
+	seen := make(map[int]bool, tor.Size())
+	for y := 0; y < tor.H; y++ {
+		for x := 0; x < tor.W; x++ {
+			idx := tor.Index(C(x, y))
+			if idx < 0 || idx >= tor.Size() {
+				t.Fatalf("index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d assigned twice", idx)
+			}
+			seen[idx] = true
+			if tor.CoordOf(idx) != C(x, y) {
+				t.Fatalf("CoordOf(Index(%v)) = %v", C(x, y), tor.CoordOf(idx))
+			}
+		}
+	}
+	// Index must wrap out-of-range coordinates.
+	if tor.Index(C(-1, -1)) != tor.Index(C(6, 4)) {
+		t.Error("Index must canonicalize before mapping")
+	}
+}
+
+func TestAdmitsRadius(t *testing.T) {
+	tor := Torus{W: 11, H: 11}
+	if !tor.AdmitsRadius(2) {
+		t.Error("11 ≥ 4·2+3, radius 2 must be admitted")
+	}
+	if tor.AdmitsRadius(3) {
+		t.Error("11 < 4·3+3, radius 3 must be rejected")
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for v := 0; v <= 200; v++ {
+		got := isqrt(v)
+		if got*got > v || (got+1)*(got+1) <= v {
+			t.Errorf("isqrt(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestIsqrtPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("isqrt(-1) must panic")
+		}
+	}()
+	isqrt(-1)
+}

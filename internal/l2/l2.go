@@ -1,0 +1,262 @@
+// Package l2 reproduces the Euclidean-metric arguments of §VIII (Figs
+// 11-13): lattice-point counts of the construction regions, the
+// node-disjoint P-Q path count inside a single circular neighborhood
+// (Fig 12), and the Fig 13 impossibility construction's fault counts. The
+// paper's L2 results are explicitly informal ("A ± O(r)"), so the
+// reproduction reports measured lattice counts against the paper's area
+// constants: 0.23πr² (achievability), 0.3πr² (impossibility), 0.47πr²
+// (≈1.47r², the path-family total), and 0.6πr² (crash impossibility).
+package l2
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/flow"
+	"repro/internal/grid"
+)
+
+// DiskLatticeCount returns the number of lattice points z with |z| ≤ r
+// (including the origin).
+func DiskLatticeCount(r int) int {
+	n := 0
+	for y := -r; y <= r; y++ {
+		for x := -r; x <= r; x++ {
+			if x*x+y*y <= r*r {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HalfDiskLatticeCount returns the number of lattice points in the open
+// half-disk {z : |z| ≤ r, z.X > 0} — the paper's half-neighborhood
+// demarcated by the medial axis, not counting points on the axis (Fig 11).
+func HalfDiskLatticeCount(r int) int {
+	n := 0
+	for y := -r; y <= r; y++ {
+		for x := 1; x <= r; x++ {
+			if x*x+y*y <= r*r {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BandDiskOverlap returns the lattice count of the width-w vertical band
+// [0, w) intersected with the closed disk of radius r centered on the
+// band's midline (the densest placement of a disk over the band — the
+// "circled region" of Fig 13). Centers are scanned at half-integer
+// positions via doubled coordinates to find the true maximum.
+func BandDiskOverlap(r, w int) int {
+	best := 0
+	// Center x in doubled coordinates: scan 2cx in [0, 2w]; cy at 0 or ½.
+	for cx2 := 0; cx2 <= 2*w; cx2++ {
+		for _, cy2 := range []int{0, 1} {
+			n := 0
+			for y := -2 * r; y <= 2*r; y++ {
+				for x := 0; x < w; x++ {
+					dx := 2*x - cx2
+					dy := 2*y - cy2
+					if dx*dx+dy*dy <= 4*r*r {
+						n++
+					}
+				}
+			}
+			if n > best {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+// CheckerboardBandDiskOverlap is BandDiskOverlap restricted to the
+// checkerboard half of the band ((x+y) even) — the faulty set of the Fig 13
+// Byzantine construction. The maximum is taken over disk centers, so it is
+// the worst per-neighborhood fault count of the placement.
+func CheckerboardBandDiskOverlap(r, w int) int {
+	best := 0
+	for cx2 := 0; cx2 <= 2*w; cx2++ {
+		for _, cy2 := range []int{0, 1} {
+			n := 0
+			for y := -2 * r; y <= 2*r; y++ {
+				for x := 0; x < w; x++ {
+					if ((x+y)%2+2)%2 != 0 {
+						continue // keep (x+y) even; y may be negative
+					}
+					dx := 2*x - cx2
+					dy := 2*y - cy2
+					if dx*dx+dy*dy <= 4*r*r {
+						n++
+					}
+				}
+			}
+			if n > best {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+// HalfNbdReport checks the premise of Fig 11: for t < 0.23πr², the
+// half-neighborhood of (a,b) demarcated by the medial axis perpendicular to
+// NQ (points on the axis excluded) must still hold at least 2t+1 nodes.
+type HalfNbdReport struct {
+	R int
+	// HalfCount is the lattice population of the open half-disk.
+	HalfCount int
+	// Needed is 2t+1 with t = ⌊0.23πr²⌋.
+	Needed int
+}
+
+// Holds reports whether the premise is satisfied.
+func (h HalfNbdReport) Holds() bool { return h.HalfCount >= h.Needed }
+
+// HalfNbdPremise evaluates the Fig 11 premise for radius r.
+func HalfNbdPremise(r int) HalfNbdReport {
+	t := int(math.Floor(0.23 * math.Pi * float64(r) * float64(r)))
+	return HalfNbdReport{
+		R:         r,
+		HalfCount: HalfDiskLatticeCount(r),
+		Needed:    2*t + 1,
+	}
+}
+
+// PathReport is the Fig 12 reproduction for one radius.
+type PathReport struct {
+	R int
+	// DiskNodes is the lattice population of the neighborhood disk
+	// centered at the P-Q midpoint.
+	DiskNodes int
+	// MaxDisjoint is the exact maximum number of internally
+	// vertex-disjoint P-Q paths inside the disk (unbounded length).
+	MaxDisjoint int
+	// ShortDisjoint counts paths of at most 4 edges (3 intermediates —
+	// the HEARD relay budget) in a maximum monotone packing.
+	ShortDisjoint int
+	// PaperFamily is the paper's claimed family size ≈ 1.47r².
+	PaperFamily float64
+	// Needed is 2t+1 with t = 0.23πr², the bound the family must exceed
+	// for the induction to go through.
+	Needed float64
+}
+
+// DisjointPathsPQ reproduces the Fig 12 counting argument on the lattice:
+// P = (0,0) and Q = (r,r) are at Euclidean distance r√2 (the worst case of
+// Fig 11); all paths must lie in the closed disk of radius r centered at
+// the midpoint M = (r/2, r/2). It returns the exact maximum disjoint-path
+// count and the short-path (≤ 4 edges) count from a monotone packing.
+func DisjointPathsPQ(r int) (PathReport, error) {
+	if r < 1 {
+		return PathReport{}, fmt.Errorf("l2: radius must be ≥ 1, got %d", r)
+	}
+	p := grid.C(0, 0)
+	q := grid.C(r, r)
+	// Disk membership via doubled coordinates: |2z − (r,r)|² ≤ (2r)².
+	inDisk := func(z grid.Coord) bool {
+		dx := 2*z.X - r
+		dy := 2*z.Y - r
+		return dx*dx+dy*dy <= 4*r*r
+	}
+	// Enumerate disk vertices.
+	var verts []grid.Coord
+	index := make(map[grid.Coord]int)
+	for y := -r; y <= 2*r; y++ {
+		for x := -r; x <= 2*r; x++ {
+			z := grid.C(x, y)
+			if inDisk(z) {
+				index[z] = len(verts)
+				verts = append(verts, z)
+			}
+		}
+	}
+	if _, ok := index[p]; !ok {
+		return PathReport{}, fmt.Errorf("l2: P outside disk (r=%d)", r)
+	}
+	if _, ok := index[q]; !ok {
+		return PathReport{}, fmt.Errorf("l2: Q outside disk (r=%d)", r)
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		zi := verts[i]
+		for j, zj := range verts {
+			if i != j && grid.DistL2Sq(zi, zj) <= r*r {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	total, err := flow.CountVertexDisjointPaths(flow.DisjointConfig{
+		N: len(verts), Neighbors: neighbors, S: index[p], T: index[q],
+	})
+	if err != nil {
+		return PathReport{}, fmt.Errorf("l2: flow: %w", err)
+	}
+	// Short families per the Fig 12 structure: region A (common neighbors
+	// of P and Q) yields one-intermediate paths; the private sides X ⊆
+	// nbd(P) and Y ⊆ nbd(Q) yield two-intermediate paths P→z→w→Q for every
+	// matched pair (z,w) with |z−w| ≤ r — the lattice counterpart of the
+	// paper's shifted-region pairings (B, C, D, E). A maximum bipartite
+	// matching makes the pairing exact.
+	short := shortFamilyCount(r, p, q, verts)
+	if short > total {
+		return PathReport{}, fmt.Errorf("l2: short family %d exceeds max flow %d", short, total)
+	}
+	rf := float64(r)
+	return PathReport{
+		R:             r,
+		DiskNodes:     len(verts),
+		MaxDisjoint:   total,
+		ShortDisjoint: short,
+		PaperFamily:   1.47 * rf * rf,
+		Needed:        2*0.23*math.Pi*rf*rf + 1,
+	}, nil
+}
+
+// shortFamilyCount builds the explicit short-path family between P and Q:
+// every node of A = nbd(P) ∩ nbd(Q) carries a one-intermediate path, and a
+// maximum matching between the private sides X = nbd(P)∖A and Y = nbd(Q)∖A
+// (edges where |z−w| ≤ r) carries two-intermediate paths. All family
+// members are internally disjoint by construction and lie inside the disk.
+func shortFamilyCount(r int, p, q grid.Coord, verts []grid.Coord) int {
+	within := func(a, b grid.Coord) bool { return grid.DistL2Sq(a, b) <= r*r }
+	var a, xs, ys []grid.Coord
+	for _, z := range verts {
+		if z == p || z == q {
+			continue
+		}
+		inP := within(z, p)
+		inQ := within(z, q)
+		switch {
+		case inP && inQ:
+			a = append(a, z)
+		case inP:
+			xs = append(xs, z)
+		case inQ:
+			ys = append(ys, z)
+		}
+	}
+	// Bipartite maximum matching X–Y via unit-capacity flow.
+	n := len(xs) + len(ys) + 2
+	src := n - 2
+	dst := n - 1
+	d := flow.NewDinic(n)
+	for i := range xs {
+		d.AddEdge(src, i, 1)
+	}
+	for j := range ys {
+		d.AddEdge(len(xs)+j, dst, 1)
+	}
+	for i, z := range xs {
+		for j, w := range ys {
+			if within(z, w) {
+				d.AddEdge(i, len(xs)+j, 1)
+			}
+		}
+	}
+	return len(a) + d.MaxFlow(src, dst)
+}

@@ -1,0 +1,124 @@
+package paths
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// BV2Chain is one evidence chain of the two-hop protocol (§VI-B): an
+// already-committed origin N in nbd(a,b), heard by P either directly or
+// through exactly one relay.
+type BV2Chain struct {
+	// N is the committed origin.
+	N grid.Coord
+	// Relay is the single intermediate; Direct chains have none.
+	Relay grid.Coord
+	// Direct marks a relay-free chain (P hears N itself).
+	Direct bool
+}
+
+// BV2Family is the §VI-B sufficiency structure: r(2r+1) = 2t+1 (at the
+// threshold) chains from nodes of nbd(a,b) to the fringe node P that are
+// collectively node-disjoint — origins and relays all distinct — and lie,
+// endpoints and intermediates alike, inside one single closed neighborhood.
+type BV2Family struct {
+	// P is the receiving fringe node.
+	P grid.Coord
+	// Center is the single neighborhood containing every chain node.
+	Center grid.Coord
+	// Chains are collectively node-disjoint.
+	Chains []BV2Chain
+}
+
+// BuildBV2Family constructs the explicit family for the worst-case corner
+// fringe node P = (a−r, b+r+1) of nbd(a,b). The paper states the condition
+// (§VI-B) but leaves the construction implicit; this is the natural one:
+//
+//   - the r(r+1) nodes of R = [a−r..a] × [b+1..b+r] are heard directly;
+//   - each node N = (a−i, b−j) of W = [a−r..a−1] × [b−r+1..b] (r² nodes)
+//     is reported by the dedicated relay w = (a−r−i, b+r−j), which is a
+//     neighbor of both N and P.
+//
+// Everything lies inside nbd(a−r, b+1), relays occupy the strip left of R,
+// and all origins and relays are pairwise distinct — so the family has
+// exactly r(2r+1) collectively disjoint chains.
+func BuildBV2Family(c grid.Coord, r int) (BV2Family, error) {
+	if r < 1 {
+		return BV2Family{}, fmt.Errorf("paths: radius must be ≥ 1, got %d", r)
+	}
+	a, b := c.X, c.Y
+	fam := BV2Family{
+		P:      CornerP(c, r),
+		Center: NbdCenterS1(c, r), // (a−r, b+1)
+	}
+	for _, n := range RegionR(c, r).Points() {
+		fam.Chains = append(fam.Chains, BV2Chain{N: n, Direct: true})
+	}
+	for i := 1; i <= r; i++ {
+		for j := 0; j <= r-1; j++ {
+			fam.Chains = append(fam.Chains, BV2Chain{
+				N:     grid.C(a-i, b-j),
+				Relay: grid.C(a-r-i, b+r-j),
+			})
+		}
+	}
+	return fam, nil
+}
+
+// VerifyBV2Family checks every property §VI-B requires:
+//
+//  1. exactly r(2r+1) chains;
+//  2. every origin lies in nbd(a,b) (the already-committed neighborhood);
+//  3. direct chains: P hears N; relayed chains: N–relay and relay–P are
+//     radio links;
+//  4. origins and relays are collectively pairwise distinct and never equal
+//     to P;
+//  5. every origin and relay lies in the closed neighborhood of Center.
+func VerifyBV2Family(c grid.Coord, r int, fam BV2Family) error {
+	if want := r * (2*r + 1); len(fam.Chains) != want {
+		return fmt.Errorf("paths: %d chains, want %d", len(fam.Chains), want)
+	}
+	nbdAB := grid.NbdRect(c, r)
+	seen := grid.NewCoordSet()
+	use := func(x grid.Coord) error {
+		if x == fam.P {
+			return fmt.Errorf("paths: chain reuses P at %v", x)
+		}
+		if seen.Has(x) {
+			return fmt.Errorf("paths: node %v used by two chains", x)
+		}
+		seen.Add(x)
+		return nil
+	}
+	for i, ch := range fam.Chains {
+		if !nbdAB.Contains(ch.N) {
+			return fmt.Errorf("paths: chain %d origin %v outside nbd(a,b)", i, ch.N)
+		}
+		if err := use(ch.N); err != nil {
+			return err
+		}
+		if grid.DistLinf(ch.N, fam.Center) > r {
+			return fmt.Errorf("paths: chain %d origin %v outside nbd(center)", i, ch.N)
+		}
+		if ch.Direct {
+			if !grid.Linf.Neighbors(ch.N, fam.P, r) {
+				return fmt.Errorf("paths: direct chain %d: P cannot hear %v", i, ch.N)
+			}
+			continue
+		}
+		if err := use(ch.Relay); err != nil {
+			return err
+		}
+		if grid.DistLinf(ch.Relay, fam.Center) > r {
+			return fmt.Errorf("paths: chain %d relay %v outside nbd(center)", i, ch.Relay)
+		}
+		if !grid.Linf.Neighbors(ch.N, ch.Relay, r) {
+			return fmt.Errorf("paths: chain %d: relay %v cannot hear origin %v", i, ch.Relay, ch.N)
+		}
+		if !grid.Linf.Neighbors(ch.Relay, fam.P, r) {
+			return fmt.Errorf("paths: chain %d: P cannot hear relay %v", i, ch.Relay)
+		}
+	}
+	return nil
+}

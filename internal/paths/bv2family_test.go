@@ -1,0 +1,105 @@
+package paths
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestBuildBV2FamilyValidation(t *testing.T) {
+	if _, err := BuildBV2Family(center, 0); err == nil {
+		t.Error("radius 0 must be rejected")
+	}
+}
+
+func TestBV2FamilyAllRadii(t *testing.T) {
+	for r := 1; r <= 8; r++ {
+		fam, err := BuildBV2Family(center, r)
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		if err := VerifyBV2Family(center, r, fam); err != nil {
+			t.Errorf("r=%d: %v", r, err)
+		}
+		direct, relayed := 0, 0
+		for _, ch := range fam.Chains {
+			if ch.Direct {
+				direct++
+			} else {
+				relayed++
+			}
+		}
+		if direct != r*(r+1) {
+			t.Errorf("r=%d: %d direct chains, want r(r+1)=%d", r, direct, r*(r+1))
+		}
+		if relayed != r*r {
+			t.Errorf("r=%d: %d relayed chains, want r²=%d", r, relayed, r*r)
+		}
+	}
+}
+
+func TestBV2FamilyTranslationInvariant(t *testing.T) {
+	for _, c := range []grid.Coord{grid.C(13, -7), grid.C(-50, 91)} {
+		fam, err := BuildBV2Family(c, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyBV2Family(c, 3, fam); err != nil {
+			t.Errorf("center %v: %v", c, err)
+		}
+	}
+}
+
+func TestBV2FamilyThresholdArithmetic(t *testing.T) {
+	// At the Theorem 1 threshold t = ⌈r(2r+1)/2⌉−1, the family size
+	// r(2r+1) is at least 2t+1, so t+1 chains survive any legal fault
+	// placement — the §VI-B commit rule fires.
+	for r := 1; r <= 10; r++ {
+		famSize := r * (2*r + 1)
+		tMax := (famSize+1)/2 - 1
+		if famSize < 2*tMax+1 {
+			t.Errorf("r=%d: family %d < 2t+1 = %d", r, famSize, 2*tMax+1)
+		}
+	}
+}
+
+func TestVerifyBV2FamilyDetectsViolations(t *testing.T) {
+	r := 2
+	good, err := BuildBV2Family(center, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong count.
+	bad := good
+	bad.Chains = good.Chains[:len(good.Chains)-1]
+	if VerifyBV2Family(center, r, bad) == nil {
+		t.Error("short family must fail")
+	}
+	// Duplicate origin.
+	bad2 := good
+	bad2.Chains = append([]BV2Chain{}, good.Chains...)
+	bad2.Chains[len(bad2.Chains)-1] = bad2.Chains[0]
+	if VerifyBV2Family(center, r, bad2) == nil {
+		t.Error("duplicated chain must fail disjointness")
+	}
+	// Origin outside nbd(a,b).
+	bad3 := good
+	bad3.Chains = append([]BV2Chain{}, good.Chains...)
+	bad3.Chains[0] = BV2Chain{N: grid.C(center.X+r+1, center.Y), Direct: true}
+	if VerifyBV2Family(center, r, bad3) == nil {
+		t.Error("out-of-neighborhood origin must fail")
+	}
+	// Relay out of radio range of P.
+	bad4 := good
+	bad4.Chains = append([]BV2Chain{}, good.Chains...)
+	for i, ch := range bad4.Chains {
+		if !ch.Direct {
+			ch.Relay = grid.C(center.X-3*r, center.Y-3*r)
+			bad4.Chains[i] = ch
+			break
+		}
+	}
+	if VerifyBV2Family(center, r, bad4) == nil {
+		t.Error("unreachable relay must fail")
+	}
+}

@@ -1,0 +1,144 @@
+package paths
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Path is a node sequence from N (the already-committed node whose value P
+// must reliably determine) to P, including both endpoints. Intermediate
+// nodes are the HEARD-message relayers; the paper's construction uses paths
+// of one to three intermediates.
+type Path []grid.Coord
+
+// Family is a set of node-disjoint N→P paths together with the center of
+// the single closed neighborhood that contains every node of every path.
+type Family struct {
+	// N is the committed node (paths' common first element).
+	N grid.Coord
+	// P is the determining node (paths' common last element).
+	P grid.Coord
+	// Center is the neighborhood center containing all paths.
+	Center grid.Coord
+	// Paths are internally node-disjoint.
+	Paths []Path
+}
+
+// FamilyU builds the r(2r+1) node-disjoint paths between N = (a+p, b+q) in
+// region U and the corner node P, per Figs 4-5: direct-common region A plus
+// the translated chains B1→B2, C1→C2 and D1→D2→D3. Requires r ≥ q > p ≥ 1.
+func FamilyU(c grid.Coord, r, p, q int) (Family, error) {
+	if !(r >= q && q > p && p >= 1) {
+		return Family{}, fmt.Errorf("paths: FamilyU requires r ≥ q > p ≥ 1, got r=%d q=%d p=%d", r, q, p)
+	}
+	n := grid.C(c.X+p, c.Y+q)
+	pp := CornerP(c, r)
+	tr := TableI(c, r, p, q)
+	fam := Family{N: n, P: pp, Center: NbdCenterU(c, r)}
+
+	// A: one-intermediate paths through common neighbors.
+	for _, x := range tr.A.Points() {
+		fam.Paths = append(fam.Paths, Path{n, x, pp})
+	}
+	// B: (x,y) in B1 pairs with (x−r, y) in B2.
+	for _, x := range tr.B1.Points() {
+		fam.Paths = append(fam.Paths, Path{n, x, x.Add(grid.C(-r, 0)), pp})
+	}
+	// C: (x,y) in C1 pairs with (x−r, y+r) in C2.
+	for _, x := range tr.C1.Points() {
+		fam.Paths = append(fam.Paths, Path{n, x, x.Add(grid.C(-r, r)), pp})
+	}
+	// D: every node of D2 neighbors every node of D1 (max pairwise distance
+	// ≤ r), so the canonical-order pairing is valid; D3 = D2 − (r, 0).
+	d1 := tr.D1.Points()
+	d2 := tr.D2.Points()
+	if len(d1) != len(d2) {
+		return Family{}, fmt.Errorf("paths: |D1|=%d != |D2|=%d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		d3 := d2[i].Add(grid.C(-r, 0))
+		fam.Paths = append(fam.Paths, Path{n, d1[i], d2[i], d3, pp})
+	}
+	return fam, nil
+}
+
+// FamilyS1 builds the r(2r+1) node-disjoint paths between N = (a−r, b−p) in
+// region S1 and the corner node P, per Fig 6: the common-neighbor region J
+// plus the vertically translated chains K1→K2. Requires 0 ≤ p ≤ r−1.
+func FamilyS1(c grid.Coord, r, p int) (Family, error) {
+	if !(p >= 0 && p <= r-1) {
+		return Family{}, fmt.Errorf("paths: FamilyS1 requires 0 ≤ p ≤ r−1, got p=%d r=%d", p, r)
+	}
+	n := grid.C(c.X-r, c.Y-p)
+	pp := CornerP(c, r)
+	tr := TableI(c, r, p, 0) // J/K rows only use p
+	fam := Family{N: n, P: pp, Center: NbdCenterS1(c, r)}
+
+	for _, x := range tr.J.Points() {
+		fam.Paths = append(fam.Paths, Path{n, x, pp})
+	}
+	// K: (x,y) in K1 pairs with (x, y+r) in K2.
+	for _, x := range tr.K1.Points() {
+		fam.Paths = append(fam.Paths, Path{n, x, x.Add(grid.C(0, r)), pp})
+	}
+	return fam, nil
+}
+
+// FamilyS2 builds the family for N = (a−q, b−p) in region S2 (with
+// r−1 ≥ q > p ≥ 0) by the axial symmetry of §VI: the S2 node corresponds to
+// the U node (a+p+1, b+q+1) under the L∞ isometry that reflects offsets
+// about the anti-diagonal through P ((dx,dy) ↦ (−dy,−dx)), which fixes P and
+// maps the U-family neighborhood center (a, b+r+1) to (a−r, b+1).
+func FamilyS2(c grid.Coord, r, p, q int) (Family, error) {
+	if !(r-1 >= q && q > p && p >= 0) {
+		return Family{}, fmt.Errorf("paths: FamilyS2 requires r−1 ≥ q > p ≥ 0, got r=%d q=%d p=%d", r, q, p)
+	}
+	uFam, err := FamilyU(c, r, p+1, q+1)
+	if err != nil {
+		return Family{}, fmt.Errorf("paths: FamilyS2 via U(%d,%d): %w", p+1, q+1, err)
+	}
+	pp := CornerP(c, r)
+	reflect := func(x grid.Coord) grid.Coord {
+		d := x.Sub(pp)
+		return pp.Add(grid.C(-d.Y, -d.X))
+	}
+	fam := Family{
+		N:      reflect(uFam.N),
+		P:      pp,
+		Center: reflect(uFam.Center),
+	}
+	wantN := grid.C(c.X-q, c.Y-p)
+	if fam.N != wantN {
+		return Family{}, fmt.Errorf("paths: reflected N = %v, want %v", fam.N, wantN)
+	}
+	fam.Paths = make([]Path, len(uFam.Paths))
+	for i, path := range uFam.Paths {
+		rp := make(Path, len(path))
+		for j, x := range path {
+			rp[j] = reflect(x)
+		}
+		fam.Paths[i] = rp
+	}
+	return fam, nil
+}
+
+// FamilyFor dispatches on the position of N relative to c: direct (region
+// R), U, S1 or S2, returning a nil-path family with only N and P set for
+// direct-hearing nodes. N must lie in region M.
+func FamilyFor(c grid.Coord, r int, n grid.Coord) (Family, error) {
+	pp := CornerP(c, r)
+	d := n.Sub(c)
+	switch {
+	case RegionR(c, r).Contains(n):
+		return Family{N: n, P: pp, Center: pp}, nil // heard directly
+	case d.X >= 1 && d.Y > d.X && d.Y <= r:
+		return FamilyU(c, r, d.X, d.Y)
+	case d.X == -r && d.Y <= 0 && d.Y >= -(r-1):
+		return FamilyS1(c, r, -d.Y)
+	case d.X <= 0 && d.X > -r && d.Y <= 0 && -d.X > -d.Y:
+		return FamilyS2(c, r, -d.Y, -d.X)
+	default:
+		return Family{}, fmt.Errorf("paths: node %v is not in region M of center %v (r=%d)", n, c, r)
+	}
+}

@@ -1,0 +1,158 @@
+// Package paths implements the explicit geometric constructions at the core
+// of Theorem 1's completeness proof (§VI, Figs 1-7 and Table I): the regions
+// M, R, U, S1, S2 around a neighborhood nbd(a,b), and for each node N in
+// those regions, the family of r(2r+1) node-disjoint N→P paths that lie
+// entirely inside one single neighborhood. These constructions are the
+// evidence plan the protocol relies on, and the experiments verify them
+// computationally for every node and every r.
+//
+// Everything here is in the infinite-grid L∞ world; (a,b) denotes the center
+// of the already-committed neighborhood and P the newly-reached node of
+// pnbd(a,b) − nbd(a,b) (worst case: the corner (a−r, b+r+1)).
+package paths
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// CornerP returns the worst-case fringe node P = (a−r, b+r+1) used
+// throughout the proof of Theorem 1 (Fig 1).
+func CornerP(c grid.Coord, r int) grid.Coord {
+	return grid.C(c.X-r, c.Y+r+1)
+}
+
+// NbdCenterU returns the center of the single neighborhood containing all
+// U-family paths: (a, b+r+1) (Fig 5).
+func NbdCenterU(c grid.Coord, r int) grid.Coord {
+	return grid.C(c.X, c.Y+r+1)
+}
+
+// NbdCenterS1 returns the center of the single neighborhood containing all
+// S1-family paths: (a−r, b+1) (Fig 6).
+func NbdCenterS1(c grid.Coord, r int) grid.Coord {
+	return grid.C(c.X-r, c.Y+1)
+}
+
+// RegionM enumerates the region M = {(a−r+p, b−r+q) | 2r ≥ q > p ≥ 0} of
+// Fig 1: the r(2r+1) nodes of nbd(a,b) whose committed values P can reliably
+// determine.
+func RegionM(c grid.Coord, r int) []grid.Coord {
+	var out []grid.Coord
+	for q := 0; q <= 2*r; q++ {
+		for p := 0; p < q; p++ {
+			out = append(out, grid.C(c.X-r+p, c.Y-r+q))
+		}
+	}
+	grid.SortCoords(out)
+	return out
+}
+
+// RegionR returns the rectangle R = [a−r..a] × [b+1..b+r] of Fig 2: the
+// r(r+1) nodes of M that P hears directly.
+func RegionR(c grid.Coord, r int) grid.Rect {
+	return grid.RectSpan(c.X-r, c.X, c.Y+1, c.Y+r)
+}
+
+// RegionU enumerates the upper-triangular region U = {(a+p, b+q) |
+// r ≥ q > p ≥ 1} of Fig 3, containing ½r(r−1) nodes.
+func RegionU(c grid.Coord, r int) []grid.Coord {
+	var out []grid.Coord
+	for q := 1; q <= r; q++ {
+		for p := 1; p < q; p++ {
+			out = append(out, grid.C(c.X+p, c.Y+q))
+		}
+	}
+	grid.SortCoords(out)
+	return out
+}
+
+// RegionS1 enumerates S1 = {(a−r, b−p) | 0 ≤ p ≤ r−1} of Fig 3 (r nodes).
+func RegionS1(c grid.Coord, r int) []grid.Coord {
+	out := make([]grid.Coord, 0, r)
+	for p := 0; p <= r-1; p++ {
+		out = append(out, grid.C(c.X-r, c.Y-p))
+	}
+	grid.SortCoords(out)
+	return out
+}
+
+// RegionS2 enumerates S2 = {(a−q, b−p) | r−1 ≥ q > p ≥ 0} of Fig 3
+// (½r(r−1) nodes).
+func RegionS2(c grid.Coord, r int) []grid.Coord {
+	var out []grid.Coord
+	for q := 0; q <= r-1; q++ {
+		for p := 0; p < q; p++ {
+			out = append(out, grid.C(c.X-q, c.Y-p))
+		}
+	}
+	grid.SortCoords(out)
+	return out
+}
+
+// TableIRegions holds the spatial extents of the construction regions
+// exactly as tabulated in Table I of the paper. The A–D rows are
+// parameterized by the U-region node N = (a+p, b+q); the J/K rows by the
+// S1-region node N = (a−r, b−p).
+type TableIRegions struct {
+	A  grid.Rect
+	B1 grid.Rect
+	B2 grid.Rect
+	C1 grid.Rect
+	C2 grid.Rect
+	D1 grid.Rect
+	D2 grid.Rect
+	D3 grid.Rect
+	J  grid.Rect
+	K1 grid.Rect
+	K2 grid.Rect
+}
+
+// TableI materializes Table I for center (a,b) = c, radius r and region
+// parameters p, q. Callers working with U-family rows must satisfy
+// r ≥ q > p ≥ 1; the J/K rows only use p (with 0 ≤ p ≤ r−1).
+func TableI(c grid.Coord, r, p, q int) TableIRegions {
+	a, b := c.X, c.Y
+	return TableIRegions{
+		A:  grid.RectSpan(a+p-r, a, b+1, b+q+r),
+		B1: grid.RectSpan(a+1, a+p-1, b+1, b+q+r),
+		B2: grid.RectSpan(a+1-r, a+p-1-r, b+1, b+q+r),
+		C1: grid.RectSpan(a+p+1, a+r, b+q+1, b+r+1),
+		C2: grid.RectSpan(a+p+1-r, a, b+q+1+r, b+1+2*r),
+		D1: grid.RectSpan(a+p, a+p+r-q, b+r+q-p+1, b+r+q),
+		D2: grid.RectSpan(a+1, a+p, b+1+r+q, b+1+2*r),
+		D3: grid.RectSpan(a+1-r, a+p-r, b+1+r+q, b+1+2*r),
+		J:  grid.RectSpan(a-2*r, a, b+1, b-p+r),
+		K1: grid.RectSpan(a-2*r, a, b-p+1, b),
+		K2: grid.RectSpan(a-2*r, a, b-p+r+1, b+r),
+	}
+}
+
+// CheckTableICounts verifies the cardinality identities that make the
+// construction work: |A|+|B1|+|C1|+|D1| = r(2r+1) with |B1|=|B2|,
+// |C1|=|C2|, |D1|=|D2|=|D3|; and |J|+|K1| = r(2r+1) with |K1|=|K2|.
+// It returns an error naming the first failed identity.
+func CheckTableICounts(c grid.Coord, r, p, q int) error {
+	tr := TableI(c, r, p, q)
+	want := r * (2*r + 1)
+	if got := tr.A.Count() + tr.B1.Count() + tr.C1.Count() + tr.D1.Count(); got != want {
+		return fmt.Errorf("paths: |A|+|B1|+|C1|+|D1| = %d, want %d (r=%d p=%d q=%d)", got, want, r, p, q)
+	}
+	if tr.B1.Count() != tr.B2.Count() {
+		return fmt.Errorf("paths: |B1|=%d but |B2|=%d", tr.B1.Count(), tr.B2.Count())
+	}
+	if tr.C1.Count() != tr.C2.Count() {
+		return fmt.Errorf("paths: |C1|=%d but |C2|=%d", tr.C1.Count(), tr.C2.Count())
+	}
+	if tr.D1.Count() != tr.D2.Count() || tr.D2.Count() != tr.D3.Count() {
+		return fmt.Errorf("paths: |D1|=%d |D2|=%d |D3|=%d differ", tr.D1.Count(), tr.D2.Count(), tr.D3.Count())
+	}
+	if got := tr.J.Count() + tr.K1.Count(); got != want {
+		return fmt.Errorf("paths: |J|+|K1| = %d, want %d (r=%d p=%d)", got, want, r, p)
+	}
+	if tr.K1.Count() != tr.K2.Count() {
+		return fmt.Errorf("paths: |K1|=%d but |K2|=%d", tr.K1.Count(), tr.K2.Count())
+	}
+	return nil
+}

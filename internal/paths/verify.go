@@ -1,0 +1,220 @@
+package paths
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// MaxIntermediates is the relay budget of the 4-hop protocol: HEARD reports
+// carry at most three relayers, so evidence paths have at most four edges.
+const MaxIntermediates = 3
+
+// VerifyFamily checks every property the completeness proof requires of a
+// path family:
+//
+//  1. every path runs from fam.N to fam.P;
+//  2. consecutive path nodes are L∞ neighbors at radius r;
+//  3. paths have at most MaxIntermediates intermediates;
+//  4. intermediates are pairwise distinct across the whole family and never
+//     equal to N or P (internal node-disjointness);
+//  5. every node of every path (including N and P) lies in the closed
+//     radius-r neighborhood of fam.Center.
+//
+// A nil error means the family is valid evidence for the commit rule.
+func VerifyFamily(r int, fam Family) error {
+	seen := grid.NewCoordSet()
+	for i, path := range fam.Paths {
+		if len(path) < 2 {
+			return fmt.Errorf("paths: path %d too short (%d nodes)", i, len(path))
+		}
+		if path[0] != fam.N {
+			return fmt.Errorf("paths: path %d starts at %v, want N=%v", i, path[0], fam.N)
+		}
+		if path[len(path)-1] != fam.P {
+			return fmt.Errorf("paths: path %d ends at %v, want P=%v", i, path[len(path)-1], fam.P)
+		}
+		if inter := len(path) - 2; inter > MaxIntermediates {
+			return fmt.Errorf("paths: path %d has %d intermediates, max %d", i, inter, MaxIntermediates)
+		}
+		for j := 1; j < len(path); j++ {
+			if !grid.Linf.Neighbors(path[j-1], path[j], r) {
+				return fmt.Errorf("paths: path %d hop %v→%v is not a radio link at r=%d",
+					i, path[j-1], path[j], r)
+			}
+		}
+		for _, x := range path[1 : len(path)-1] {
+			if x == fam.N || x == fam.P {
+				return fmt.Errorf("paths: path %d revisits endpoint %v", i, x)
+			}
+			if seen.Has(x) {
+				return fmt.Errorf("paths: intermediate %v shared between paths", x)
+			}
+			seen.Add(x)
+		}
+		for _, x := range path {
+			if grid.DistLinf(x, fam.Center) > r {
+				return fmt.Errorf("paths: node %v of path %d outside nbd(%v) at r=%d",
+					x, i, fam.Center, r)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyCornerConstruction runs the full Theorem 1 check for the worst-case
+// corner node P: region M decomposes exactly into R ⊎ U ⊎ S1 ⊎ S2; P hears
+// every node of R directly; and every node of U, S1 and S2 has a valid
+// family of exactly r(2r+1) node-disjoint paths. It returns the total
+// number of M-nodes whose committed value P can reliably determine.
+func VerifyCornerConstruction(c grid.Coord, r int) (int, error) {
+	m := RegionM(c, r)
+	want := r * (2*r + 1)
+	if len(m) != want {
+		return 0, fmt.Errorf("paths: |M| = %d, want %d", len(m), want)
+	}
+
+	// Decomposition check.
+	mset := grid.NewCoordSet(m...)
+	parts := make(grid.CoordSet, len(m))
+	addPart := func(name string, cs []grid.Coord) error {
+		for _, x := range cs {
+			if !mset.Has(x) {
+				return fmt.Errorf("paths: %s node %v not in M", name, x)
+			}
+			if parts.Has(x) {
+				return fmt.Errorf("paths: %s node %v double-covered", name, x)
+			}
+			parts.Add(x)
+		}
+		return nil
+	}
+	if err := addPart("R", RegionR(c, r).Points()); err != nil {
+		return 0, err
+	}
+	if err := addPart("U", RegionU(c, r)); err != nil {
+		return 0, err
+	}
+	if err := addPart("S1", RegionS1(c, r)); err != nil {
+		return 0, err
+	}
+	if err := addPart("S2", RegionS2(c, r)); err != nil {
+		return 0, err
+	}
+	if len(parts) != len(m) {
+		return 0, fmt.Errorf("paths: decomposition covers %d of %d M-nodes", len(parts), len(m))
+	}
+
+	// Direct hearing for R.
+	p := CornerP(c, r)
+	determined := 0
+	for _, x := range RegionR(c, r).Points() {
+		if grid.DistLinf(x, p) > r {
+			return 0, fmt.Errorf("paths: R node %v not directly heard by P=%v", x, p)
+		}
+		determined++
+	}
+
+	// Families for U, S1, S2.
+	for _, n := range append(append(append([]grid.Coord{}, RegionU(c, r)...), RegionS1(c, r)...), RegionS2(c, r)...) {
+		fam, err := FamilyFor(c, r, n)
+		if err != nil {
+			return 0, err
+		}
+		if len(fam.Paths) != want {
+			return 0, fmt.Errorf("paths: node %v has %d paths, want %d", n, len(fam.Paths), want)
+		}
+		if err := VerifyFamily(r, fam); err != nil {
+			return 0, fmt.Errorf("paths: node %v: %w", n, err)
+		}
+		determined++
+	}
+	return determined, nil
+}
+
+// ArbitraryPReport summarizes the §VI-A argument for a shifted fringe node
+// P_l = (a−r+l, b+r+1).
+type ArbitraryPReport struct {
+	L int
+	// Direct is the number of nbd(a,b) nodes P_l hears directly
+	// (paper: r(r+l+1)).
+	Direct int
+	// ViaPaths is the number of additional nbd(a,b) nodes reached through
+	// valid translated path families.
+	ViaPaths int
+	// Lost counts base-construction nodes whose translate left nbd(a,b)
+	// (paper: ½l(l−1)).
+	Lost int
+}
+
+// Total returns the count of nbd(a,b) nodes P_l can reliably determine.
+func (rep ArbitraryPReport) Total() int { return rep.Direct + rep.ViaPaths }
+
+// VerifyArbitraryP checks §VI-A (Fig 7) for one l in [0..r]: the construction
+// for the corner P translates right by l; the direct region grows to
+// r(r+l+1) nodes while ½l(l−1) path-connected nodes are lost, leaving at
+// least r(2r+1) determinable nodes. Every surviving translated family is
+// re-verified node by node.
+func VerifyArbitraryP(c grid.Coord, r, l int) (ArbitraryPReport, error) {
+	if l < 0 || l > r {
+		return ArbitraryPReport{}, fmt.Errorf("paths: l must be in [0,%d], got %d", r, l)
+	}
+	rep := ArbitraryPReport{L: l}
+	shift := grid.C(l, 0)
+	pl := CornerP(c, r).Add(shift)
+	nbd := grid.NbdRect(c, r)
+
+	// Direct region: nodes of nbd(a,b) heard directly by P_l.
+	for _, x := range nbd.Points() {
+		if grid.DistLinf(x, pl) <= r {
+			rep.Direct++
+		}
+	}
+	if want := r * (r + l + 1); rep.Direct != want {
+		return rep, fmt.Errorf("paths: direct count %d, want r(r+l+1) = %d", rep.Direct, want)
+	}
+
+	// Translated families for U, S1, S2 nodes that remain in nbd(a,b).
+	base := append(append(append([]grid.Coord{}, RegionU(c, r)...), RegionS1(c, r)...), RegionS2(c, r)...)
+	for _, n := range base {
+		nt := n.Add(shift)
+		if !nbd.Contains(nt) {
+			rep.Lost++
+			continue
+		}
+		fam, err := FamilyFor(c, r, n)
+		if err != nil {
+			return rep, err
+		}
+		tfam := translateFamily(fam, shift)
+		if err := VerifyFamily(r, tfam); err != nil {
+			return rep, fmt.Errorf("paths: l=%d node %v: %w", l, nt, err)
+		}
+		rep.ViaPaths++
+	}
+	if wantLost := l * (l - 1) / 2; rep.Lost != wantLost {
+		return rep, fmt.Errorf("paths: lost %d nodes, want ½l(l−1) = %d", rep.Lost, wantLost)
+	}
+	if rep.Total() < r*(2*r+1) {
+		return rep, fmt.Errorf("paths: only %d determinable nodes, need ≥ %d", rep.Total(), r*(2*r+1))
+	}
+	return rep, nil
+}
+
+// translateFamily shifts every coordinate of a family by d.
+func translateFamily(fam Family, d grid.Coord) Family {
+	out := Family{
+		N:      fam.N.Add(d),
+		P:      fam.P.Add(d),
+		Center: fam.Center.Add(d),
+		Paths:  make([]Path, len(fam.Paths)),
+	}
+	for i, path := range fam.Paths {
+		tp := make(Path, len(path))
+		for j, x := range path {
+			tp[j] = x.Add(d)
+		}
+		out.Paths[i] = tp
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package protocol
+
+import (
+	"repro/internal/evidence"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// bv2Proc is the simplified two-hop protocol of §VI-B: only the immediate
+// neighbors of a node that sent a COMMITTED message send a one-time HEARD
+// report of it, so information about a commitment propagates exactly two
+// hops. A node commits to v once it holds t+1 report chains for v (direct
+// COMMITTED receptions or one-relay HEARD reports) that are collectively
+// node-disjoint — including the committing endpoints — and lie inside one
+// single closed neighborhood. The threshold matches Theorem 1.
+type bv2Proc struct {
+	self   topology.NodeID
+	source topology.NodeID
+	t      int
+	net    *topology.Network
+	spoof  bool // §X study: medium does not authenticate senders
+
+	value     byte
+	decided   bool
+	announced bool
+
+	store *evidence.Store
+	// firstCommit dedupes contradictory COMMITTED retransmissions by
+	// sender (§V: accept the first version only).
+	firstCommit map[topology.NodeID]struct{}
+	// firstHeard dedupes HEARD reports by (sender, origin).
+	firstHeard map[[2]topology.NodeID]struct{}
+	// relayed tracks committers whose announcement we already reported.
+	relayed map[topology.NodeID]struct{}
+}
+
+// newBV2Factory builds two-hop protocol processes.
+func newBV2Factory(p Params) sim.ProcessFactory {
+	return func(id topology.NodeID) sim.Process {
+		return &bv2Proc{
+			self:        id,
+			source:      p.Source,
+			t:           p.T,
+			net:         p.Net,
+			spoof:       p.SpoofingPossible,
+			value:       p.Value,
+			store:       evidence.NewStore(),
+			firstCommit: make(map[topology.NodeID]struct{}),
+			firstHeard:  make(map[[2]topology.NodeID]struct{}),
+			relayed:     make(map[topology.NodeID]struct{}),
+		}
+	}
+}
+
+// Init implements sim.Process.
+func (b *bv2Proc) Init(ctx sim.Context) {
+	if b.self == b.source {
+		b.decided = true
+		b.announced = true
+		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: b.value})
+	}
+}
+
+// Deliver implements sim.Process.
+func (b *bv2Proc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) {
+	if m.Value > 1 {
+		return // not a binary broadcast value
+	}
+	sender := attributedSender(b.spoof, from, m)
+	switch m.Kind {
+	case sim.KindValue:
+		if sender != b.source {
+			return // only the designated source originates values
+		}
+		// The source's initial transmission doubles as its COMMITTED
+		// announcement; its neighbors commit immediately (base case).
+		b.acceptCommitted(ctx, sender, m.Value)
+		if !b.decided {
+			b.commit(ctx, m.Value)
+		}
+	case sim.KindCommitted:
+		if m.Origin != sender {
+			return // under authentication, spoofed origins are impossible
+		}
+		b.acceptCommitted(ctx, sender, m.Value)
+	case sim.KindHeard:
+		if len(m.Path) != 1 || m.Path[0] != sender {
+			return // two-hop protocol: exactly one relay, and it must be the sender
+		}
+		if m.Origin == sender || m.Origin == b.self {
+			return
+		}
+		key := [2]topology.NodeID{sender, m.Origin}
+		if _, dup := b.firstHeard[key]; dup {
+			return
+		}
+		b.firstHeard[key] = struct{}{}
+		chain := evidence.Chain{Origin: m.Origin, Value: m.Value, Relays: []topology.NodeID{sender}}
+		b.store.Add(chain)
+		b.tryCommit(ctx, chain)
+	}
+}
+
+// acceptCommitted processes a (first) commitment announcement from a
+// neighbor: record it, report it once, and re-evaluate the commit rule.
+func (b *bv2Proc) acceptCommitted(ctx sim.Context, committer topology.NodeID, v byte) {
+	if _, dup := b.firstCommit[committer]; dup {
+		return
+	}
+	b.firstCommit[committer] = struct{}{}
+	b.store.AddDirect(committer, v)
+	direct := evidence.Chain{Origin: committer, Value: v}
+	if _, done := b.relayed[committer]; !done {
+		b.relayed[committer] = struct{}{}
+		ctx.Broadcast(sim.Message{
+			Kind:   sim.KindHeard,
+			Origin: committer,
+			Value:  v,
+			Path:   []topology.NodeID{b.self},
+		})
+	}
+	b.tryCommit(ctx, direct)
+}
+
+// tryCommit applies the §VI-B commit rule for the value of the newly
+// recorded chain, evaluating only neighborhoods that contain it.
+func (b *bv2Proc) tryCommit(ctx sim.Context, chain evidence.Chain) {
+	if b.decided {
+		return
+	}
+	if evidence.CommitSingleLevelFocused(b.net, b.store, b.self, chain.Value, b.t+1, chain) {
+		b.commit(ctx, chain.Value)
+	}
+}
+
+// commit records the decision and announces it once.
+func (b *bv2Proc) commit(ctx sim.Context, v byte) {
+	b.decided = true
+	b.value = v
+	if !b.announced {
+		b.announced = true
+		ctx.Broadcast(sim.Message{Kind: sim.KindCommitted, Origin: b.self, Value: v})
+	}
+}
+
+// Decided implements sim.Process.
+func (b *bv2Proc) Decided() (byte, bool) {
+	if !b.decided {
+		return 0, false
+	}
+	return b.value, true
+}
+
+var _ sim.Process = (*bv2Proc)(nil)

@@ -1,0 +1,296 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/evidence"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// familyTables caches designated-family tables per radius; the table is
+// immutable and shared by every process of a run (and across runs).
+var familyTables sync.Map // int -> *evidence.FamilyTable
+
+// familyTableFor returns the (cached) designated table for radius r.
+func familyTableFor(r int) (*evidence.FamilyTable, error) {
+	if v, ok := familyTables.Load(r); ok {
+		return v.(*evidence.FamilyTable), nil
+	}
+	ft, err := evidence.NewFamilyTable(r)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := familyTables.LoadOrStore(r, ft)
+	return actual.(*evidence.FamilyTable), nil
+}
+
+// bv4Proc is the paper's main protocol (§VI): COMMITTED announcements are
+// reported through HEARD chains of up to three relayers; a node reliably
+// determines an origin's value by hearing it directly or via t+1 internally
+// node-disjoint recorded chains inside one single neighborhood, and commits
+// once t+1 reliably-determined committers lie inside one single
+// neighborhood. Tolerates t < r(2r+1)/2 in L∞ (Theorem 1).
+type bv4Proc struct {
+	self   topology.NodeID
+	source topology.NodeID
+	t      int
+	net    *topology.Network
+	mode   EvidenceMode
+	ft     *evidence.FamilyTable // nil in Exact mode
+	spoof  bool                  // §X study: medium does not authenticate senders
+
+	value     byte
+	decided   bool
+	announced bool
+
+	store *evidence.Store
+	// firstCommit dedupes COMMITTED by sender.
+	firstCommit map[topology.NodeID]struct{}
+	// firstHeard dedupes HEARD by (sender, origin, relay path) — the value
+	// is deliberately excluded so contradictory retransmissions of the
+	// same logical message are ignored after the first (§V).
+	firstHeard map[string]struct{}
+	// determined tracks reliably-determined (origin, value) pairs.
+	determined map[detKey]struct{}
+	// counters[v][center] counts determined committers of value v in the
+	// closed neighborhood centered at center.
+	counters [2]map[topology.NodeID]int
+}
+
+type detKey struct {
+	origin topology.NodeID
+	value  byte
+}
+
+// newBV4Factory builds indirect-report protocol processes.
+func newBV4Factory(p Params) (sim.ProcessFactory, error) {
+	mode := p.Mode
+	if mode == 0 {
+		mode = Designated
+	}
+	if mode != Designated && mode != Exact {
+		return nil, fmt.Errorf("protocol: invalid evidence mode %d", int(mode))
+	}
+	if p.Net.Metric() != grid.Linf && mode == Designated {
+		return nil, fmt.Errorf("protocol: designated mode requires the L∞ metric (constructive families are L∞)")
+	}
+	var ft *evidence.FamilyTable
+	if mode == Designated {
+		var err error
+		ft, err = familyTableFor(p.Net.Radius())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func(id topology.NodeID) sim.Process {
+		return &bv4Proc{
+			self:        id,
+			source:      p.Source,
+			t:           p.T,
+			net:         p.Net,
+			mode:        mode,
+			ft:          ft,
+			spoof:       p.SpoofingPossible,
+			value:       p.Value,
+			store:       evidence.NewStore(),
+			firstCommit: make(map[topology.NodeID]struct{}),
+			firstHeard:  make(map[string]struct{}),
+			determined:  make(map[detKey]struct{}),
+			counters: [2]map[topology.NodeID]int{
+				make(map[topology.NodeID]int),
+				make(map[topology.NodeID]int),
+			},
+		}
+	}, nil
+}
+
+// Init implements sim.Process.
+func (b *bv4Proc) Init(ctx sim.Context) {
+	if b.self == b.source {
+		b.decided = true
+		b.announced = true
+		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: b.value})
+	}
+}
+
+// Deliver implements sim.Process.
+func (b *bv4Proc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) {
+	if m.Value > 1 {
+		return
+	}
+	sender := attributedSender(b.spoof, from, m)
+	switch m.Kind {
+	case sim.KindValue:
+		if sender != b.source {
+			return
+		}
+		// Base case: direct neighbors of the source commit immediately;
+		// the source's transmission is also its COMMITTED announcement.
+		b.acceptCommitted(ctx, sender, m.Value)
+		if !b.decided {
+			b.commit(ctx, m.Value)
+		}
+	case sim.KindCommitted:
+		if m.Origin != sender {
+			return // under authentication, spoofing is physically impossible
+		}
+		b.acceptCommitted(ctx, sender, m.Value)
+	case sim.KindHeard:
+		b.acceptHeard(ctx, sender, m)
+	}
+}
+
+// acceptCommitted handles a first-hand commitment announcement.
+func (b *bv4Proc) acceptCommitted(ctx sim.Context, committer topology.NodeID, v byte) {
+	if _, dup := b.firstCommit[committer]; dup {
+		return
+	}
+	b.firstCommit[committer] = struct{}{}
+	b.store.AddDirect(committer, v)
+	b.onDetermined(ctx, committer, v)
+	// Report it: HEARD(self, committer, v), subject to earmarking.
+	if b.shouldRelay(committer, []topology.NodeID{b.self}) {
+		ctx.Broadcast(sim.Message{
+			Kind:   sim.KindHeard,
+			Origin: committer,
+			Value:  v,
+			Path:   []topology.NodeID{b.self},
+		})
+	}
+}
+
+// acceptHeard validates, records, evaluates and possibly re-relays an
+// indirect report.
+func (b *bv4Proc) acceptHeard(ctx sim.Context, from topology.NodeID, m sim.Message) {
+	n := len(m.Path)
+	if n < 1 || n > sim.MaxHeardRelays {
+		return
+	}
+	if m.Path[n-1] != from {
+		return // the sender must have affixed its own identifier last
+	}
+	if m.Origin == b.self {
+		return // reports about ourselves carry no information
+	}
+	seen := make(map[topology.NodeID]struct{}, n+1)
+	seen[m.Origin] = struct{}{}
+	for _, rel := range m.Path {
+		if rel == b.self || rel == m.Origin {
+			return // cyclic or self-involving chains are worthless
+		}
+		if _, dup := seen[rel]; dup {
+			return
+		}
+		seen[rel] = struct{}{}
+	}
+	key := heardKey(m.Origin, m.Path)
+	if _, dup := b.firstHeard[key]; dup {
+		return
+	}
+	b.firstHeard[key] = struct{}{}
+	relays := make([]topology.NodeID, n)
+	copy(relays, m.Path)
+	b.store.Add(evidence.Chain{Origin: m.Origin, Value: m.Value, Relays: relays})
+
+	// Evaluate reliable determination for this (origin, value).
+	if b.isDetermined(m.Origin, m.Value) {
+		b.onDetermined(ctx, m.Origin, m.Value)
+	}
+
+	// Re-relay with our identifier affixed, if the extended chain is still
+	// designated (or always, in exact mode) and under the relay cap.
+	if n < sim.MaxHeardRelays {
+		ext := append(append(make([]topology.NodeID, 0, n+1), m.Path...), b.self)
+		if b.shouldRelay(m.Origin, ext) {
+			fwd := m.ExtendPath(b.self)
+			ctx.Broadcast(fwd)
+		}
+	}
+}
+
+// isDetermined applies the mode's reliable-determination rule.
+func (b *bv4Proc) isDetermined(origin topology.NodeID, v byte) bool {
+	if _, done := b.determined[detKey{origin: origin, value: v}]; done {
+		return false // already counted; avoid re-evaluation
+	}
+	need := b.t + 1
+	if b.mode == Designated {
+		return evidence.DeterminedDesignated(b.net, b.ft, b.store, b.self, origin, v, need)
+	}
+	return evidence.DeterminedExact(b.net, b.store, b.self, origin, v, need)
+}
+
+// onDetermined counts a newly reliably-determined committer and applies the
+// commit rule: t+1 determined committers of v inside one closed nbd.
+func (b *bv4Proc) onDetermined(ctx sim.Context, origin topology.NodeID, v byte) {
+	k := detKey{origin: origin, value: v}
+	if _, done := b.determined[k]; done {
+		return
+	}
+	b.determined[k] = struct{}{}
+	commit := false
+	for _, center := range b.net.ClosedNbdIDs(b.net.CoordOf(origin)) {
+		b.counters[v][center]++
+		if b.counters[v][center] >= b.t+1 {
+			commit = true
+		}
+	}
+	if commit && !b.decided {
+		b.commit(ctx, v)
+	}
+}
+
+// shouldRelay applies the earmarking filter: in exact mode everything under
+// the cap is relayed; in designated mode only prefixes of designated paths.
+func (b *bv4Proc) shouldRelay(origin topology.NodeID, relays []topology.NodeID) bool {
+	if b.mode == Exact {
+		return true
+	}
+	offs := make([]grid.Coord, len(relays))
+	for i, rel := range relays {
+		offs[i] = b.net.Delta(origin, rel)
+	}
+	return b.ft.ShouldRelay(offs)
+}
+
+// commit records the decision and announces it once.
+func (b *bv4Proc) commit(ctx sim.Context, v byte) {
+	b.decided = true
+	b.value = v
+	if !b.announced {
+		b.announced = true
+		ctx.Broadcast(sim.Message{Kind: sim.KindCommitted, Origin: b.self, Value: v})
+	}
+}
+
+// Decided implements sim.Process.
+func (b *bv4Proc) Decided() (byte, bool) {
+	if !b.decided {
+		return 0, false
+	}
+	return b.value, true
+}
+
+// heardKey canonically identifies a logical HEARD message (value excluded,
+// so only the first of contradictory versions is accepted).
+func heardKey(origin topology.NodeID, path []topology.NodeID) string {
+	var sb strings.Builder
+	sb.Grow(4 * (len(path) + 1))
+	write := func(id topology.NodeID) {
+		sb.WriteByte(byte(id))
+		sb.WriteByte(byte(id >> 8))
+		sb.WriteByte(byte(id >> 16))
+		sb.WriteByte(byte(id >> 24))
+	}
+	write(origin)
+	for _, p := range path {
+		write(p)
+	}
+	return sb.String()
+}
+
+var _ sim.Process = (*bv4Proc)(nil)

@@ -1,0 +1,87 @@
+package protocol
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// cpaProc is the simple protocol of §IX (Koo's protocol; the Certified
+// Propagation Algorithm): the source transmits its value; the source's
+// neighbors commit instantly and announce their committed value once; every
+// other node commits when it has heard the same value announced by at least
+// t+1 distinct neighbors, announces once, and terminates. Theorem 6 proves
+// this tolerates t ≤ (2/3)r² in L∞.
+type cpaProc struct {
+	self    topology.NodeID
+	source  topology.NodeID
+	t       int
+	spoof   bool // §X study: medium does not authenticate senders
+	value   byte
+	decided bool
+	// votes[v] = distinct neighbors that announced value v. Only a
+	// neighbor's first announcement counts (§V: accept the first version,
+	// ignore the rest).
+	votes [2]map[topology.NodeID]struct{}
+	heard map[topology.NodeID]struct{} // neighbors whose announcement was consumed
+}
+
+// newCPAFactory builds CPA processes.
+func newCPAFactory(p Params) sim.ProcessFactory {
+	return func(id topology.NodeID) sim.Process {
+		return &cpaProc{
+			self:   id,
+			source: p.Source,
+			t:      p.T,
+			spoof:  p.SpoofingPossible,
+			value:  p.Value,
+			votes:  [2]map[topology.NodeID]struct{}{make(map[topology.NodeID]struct{}), make(map[topology.NodeID]struct{})},
+			heard:  make(map[topology.NodeID]struct{}),
+		}
+	}
+}
+
+// Init implements sim.Process.
+func (c *cpaProc) Init(ctx sim.Context) {
+	if c.self == c.source {
+		c.decided = true
+		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: c.value})
+	}
+}
+
+// Deliver implements sim.Process.
+func (c *cpaProc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) {
+	if c.decided || m.Kind != sim.KindValue || m.Value > 1 {
+		return
+	}
+	sender := attributedSender(c.spoof, from, m)
+	// Direct reception from the designated source: commit immediately.
+	if sender == c.source {
+		c.commit(ctx, m.Value)
+		return
+	}
+	if _, seen := c.heard[sender]; seen {
+		return // only a neighbor's first announcement counts
+	}
+	c.heard[sender] = struct{}{}
+	c.votes[m.Value][sender] = struct{}{}
+	if len(c.votes[m.Value]) >= c.t+1 {
+		c.commit(ctx, m.Value)
+	}
+}
+
+// commit records the decision and makes the one-time announcement.
+func (c *cpaProc) commit(ctx sim.Context, v byte) {
+	c.decided = true
+	c.value = v
+	ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: v})
+}
+
+// Decided implements sim.Process.
+func (c *cpaProc) Decided() (byte, bool) {
+	if !c.decided {
+		return 0, false
+	}
+	return c.value, true
+}
+
+var _ sim.Process = (*cpaProc)(nil)

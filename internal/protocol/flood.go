@@ -1,0 +1,52 @@
+package protocol
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// floodProc is the crash-stop protocol of §VII: "Each node that receives a
+// value, commits to it, re-broadcasts it once for the benefit of others, and
+// then may terminate local execution of the protocol." No fault bound is
+// consulted — with crash-stop failures the sole criterion is reachability.
+type floodProc struct {
+	self    topology.NodeID
+	source  topology.NodeID
+	value   byte
+	decided bool
+}
+
+// newFloodFactory builds flood processes.
+func newFloodFactory(p Params) sim.ProcessFactory {
+	return func(id topology.NodeID) sim.Process {
+		return &floodProc{self: id, source: p.Source, value: p.Value}
+	}
+}
+
+// Init implements sim.Process.
+func (f *floodProc) Init(ctx sim.Context) {
+	if f.self == f.source {
+		f.decided = true
+		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: f.value})
+	}
+}
+
+// Deliver implements sim.Process.
+func (f *floodProc) Deliver(ctx sim.Context, _ topology.NodeID, m sim.Message) {
+	if f.decided || m.Kind != sim.KindValue {
+		return
+	}
+	f.decided = true
+	f.value = m.Value
+	ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: m.Value})
+}
+
+// Decided implements sim.Process.
+func (f *floodProc) Decided() (byte, bool) {
+	if !f.decided {
+		return 0, false
+	}
+	return f.value, true
+}
+
+var _ sim.Process = (*floodProc)(nil)

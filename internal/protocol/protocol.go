@@ -1,0 +1,152 @@
+// Package protocol implements the paper's four broadcast protocols as
+// sim.Process state machines over a shared radio network:
+//
+//   - Flood — the crash-stop protocol of §VII: commit to the first value
+//     heard, relay once.
+//   - CPA — the "extremely simple" protocol of §IX (Koo's protocol, called
+//     the Certified Propagation Algorithm in later work): commit when t+1
+//     neighbors announced the same value.
+//   - BV4 — the paper's main contribution (§VI): indirect HEARD reports up
+//     to four hops, commit on t+1 reliably-determined committers inside one
+//     neighborhood. Tolerates t < r(2r+1)/2 in L∞ (Theorem 1).
+//   - BV2 — the simplified two-hop protocol of §VI-B with the same
+//     threshold.
+//
+// All honest processes enforce the medium's assumptions defensively: a
+// COMMITTED message's origin is its authenticated sender; a HEARD message's
+// last relay must be its sender; and for contradictory retransmissions only
+// the first version is accepted (§V).
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Kind selects a protocol.
+type Kind int
+
+const (
+	// Flood is the crash-stop flooding protocol (§VII).
+	Flood Kind = iota + 1
+	// CPA is the simple protocol of §IX.
+	CPA
+	// BV4 is the 4-hop indirect-report protocol of §VI.
+	BV4
+	// BV2 is the 2-hop simplified protocol of §VI-B.
+	BV2
+)
+
+// String names the protocol.
+func (k Kind) String() string {
+	switch k {
+	case Flood:
+		return "flood"
+	case CPA:
+		return "cpa"
+	case BV4:
+		return "bv4"
+	case BV2:
+		return "bv2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// EvidenceMode selects how BV4 evaluates indirect evidence.
+type EvidenceMode int
+
+const (
+	// Designated uses the precomputed path families from the constructive
+	// proof — the paper's "earmarking" state reduction. Nodes relay only
+	// chain prefixes belonging to a designated family. This is the
+	// default: sound, complete (per the proof), and polynomial.
+	Designated EvidenceMode = iota + 1
+	// Exact relays every chain up to the relay cap and evaluates the
+	// commit rule by exact disjoint-path packing over all recorded
+	// chains. Exponential message volume in dense networks; intended for
+	// r = 1 validation runs.
+	Exact
+)
+
+// String names the mode.
+func (m EvidenceMode) String() string {
+	switch m {
+	case Designated:
+		return "designated"
+	case Exact:
+		return "exact"
+	default:
+		return fmt.Sprintf("EvidenceMode(%d)", int(m))
+	}
+}
+
+// Params configures a protocol instance.
+type Params struct {
+	// Net is the radio network (required).
+	Net *topology.Network
+	// Source is the designated broadcast source.
+	Source topology.NodeID
+	// Value is the source's binary input.
+	Value byte
+	// T is the assumed per-neighborhood fault bound (ignored by Flood).
+	T int
+	// Mode selects BV4 evidence handling; defaults to Designated.
+	Mode EvidenceMode
+	// SpoofingPossible drops the paper's no-address-spoofing assumption
+	// (§X sensitivity study): honest receivers attribute messages to the
+	// claimed sender instead of the physical transmitter, so a malicious
+	// node may impersonate honest ones. The paper predicts reliable
+	// broadcast becomes "extremely difficult to achieve"; experiment E22
+	// demonstrates the resulting safety collapse.
+	SpoofingPossible bool
+}
+
+// attributedSender resolves the identity a receiver ascribes a message to:
+// the physical transmitter under the paper's authenticated medium, or the
+// claimed identity when spoofing is possible and exercised.
+func attributedSender(spoofingPossible bool, from topology.NodeID, m sim.Message) topology.NodeID {
+	if spoofingPossible && m.Spoofed {
+		return m.Claimed
+	}
+	return from
+}
+
+// validate checks common parameter constraints.
+func (p Params) validate() error {
+	if p.Net == nil {
+		return fmt.Errorf("protocol: Params.Net is required")
+	}
+	if p.Source < 0 || int(p.Source) >= p.Net.Size() {
+		return fmt.Errorf("protocol: source %d out of range", p.Source)
+	}
+	if p.Value > 1 {
+		return fmt.Errorf("protocol: value must be binary, got %d", p.Value)
+	}
+	if p.T < 0 {
+		return fmt.Errorf("protocol: negative fault bound %d", p.T)
+	}
+	return nil
+}
+
+// NewFactory returns the honest-process factory for the selected protocol.
+// Combine it with fault strategies at the runner level to model adversaries.
+func NewFactory(kind Kind, p Params) (sim.ProcessFactory, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case Flood:
+		return newFloodFactory(p), nil
+	case CPA:
+		return newCPAFactory(p), nil
+	case BV4:
+		return newBV4Factory(p)
+	case BV2:
+		return newBV2Factory(p), nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown protocol kind %d", int(kind))
+	}
+}

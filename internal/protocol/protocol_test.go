@@ -1,0 +1,182 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+func testNet(t *testing.T, w, h, r int) *topology.Network {
+	t.Helper()
+	net, err := topology.New(grid.Torus{W: w, H: h}, grid.Linf, r)
+	if err != nil {
+		t.Fatalf("topology.New: %v", err)
+	}
+	return net
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Flood, "flood"},
+		{CPA, "cpa"},
+		{BV4, "bv4"},
+		{BV2, "bv2"},
+		{Kind(0), "Kind(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestEvidenceModeString(t *testing.T) {
+	if Designated.String() != "designated" || Exact.String() != "exact" {
+		t.Error("mode names wrong")
+	}
+	if EvidenceMode(9).String() != "EvidenceMode(9)" {
+		t.Error("unknown mode formatting")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	net := testNet(t, 9, 9, 1)
+	cases := []Params{
+		{},                         // nil net
+		{Net: net, Source: -1},     // bad source
+		{Net: net, Source: 10_000}, // bad source
+		{Net: net, Value: 2},       // non-binary value
+		{Net: net, T: -1},          // negative bound
+	}
+	for i, p := range cases {
+		if _, err := NewFactory(Flood, p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewFactory(Kind(99), Params{Net: net}); err == nil {
+		t.Error("unknown protocol must be rejected")
+	}
+}
+
+func TestBV4ModeValidation(t *testing.T) {
+	net := testNet(t, 9, 9, 1)
+	if _, err := NewFactory(BV4, Params{Net: net, Mode: EvidenceMode(9)}); err == nil {
+		t.Error("invalid evidence mode must be rejected")
+	}
+	l2net, err := topology.New(grid.Torus{W: 9, H: 9}, grid.L2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFactory(BV4, Params{Net: l2net, Mode: Designated}); err == nil {
+		t.Error("designated mode requires L∞")
+	}
+	if _, err := NewFactory(BV4, Params{Net: l2net, Mode: Exact}); err != nil {
+		t.Errorf("exact mode must allow L2: %v", err)
+	}
+}
+
+func TestRunRejectsInvalidAssignments(t *testing.T) {
+	net := testNet(t, 9, 9, 1)
+	src := net.IDOf(grid.C(0, 0))
+	_, err := Run(RunConfig{
+		Kind:      Flood,
+		Params:    Params{Net: net, Source: src, Value: 1},
+		Byzantine: map[topology.NodeID]fault.Strategy{5: fault.Silent},
+		Crash:     map[topology.NodeID]int{5: 0},
+	})
+	if err == nil {
+		t.Error("byzantine+crashed node must be rejected")
+	}
+	_, err = Run(RunConfig{
+		Kind:      Flood,
+		Params:    Params{Net: net, Source: src, Value: 1},
+		Byzantine: map[topology.NodeID]fault.Strategy{src: fault.Silent},
+	})
+	if err == nil {
+		t.Error("byzantine source must be rejected")
+	}
+}
+
+func TestFloodAllCommitFaultFree(t *testing.T) {
+	net := testNet(t, 12, 12, 2)
+	src := net.IDOf(grid.C(0, 0))
+	out, err := Run(RunConfig{Kind: Flood, Params: Params{Net: net, Source: src, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllCorrect() {
+		t.Errorf("flood fault-free: %+v", out)
+	}
+	if out.Honest != net.Size() {
+		t.Errorf("honest = %d", out.Honest)
+	}
+}
+
+func TestCPAAllCommitFaultFree(t *testing.T) {
+	for _, r := range []int{1, 2, 3} {
+		net := testNet(t, 8*r, 8*r, r)
+		src := net.IDOf(grid.C(0, 0))
+		out, err := Run(RunConfig{Kind: CPA, Params: Params{Net: net, Source: src, Value: 1, T: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllCorrect() {
+			t.Errorf("r=%d: CPA fault-free: correct=%d wrong=%d undecided=%d",
+				r, out.Correct, out.Wrong, out.Undecided)
+		}
+	}
+}
+
+func TestBV2AllCommitFaultFree(t *testing.T) {
+	for _, r := range []int{1, 2} {
+		net := testNet(t, 9*r, 9*r, r)
+		src := net.IDOf(grid.C(0, 0))
+		out, err := Run(RunConfig{Kind: BV2, Params: Params{Net: net, Source: src, Value: 1, T: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllCorrect() {
+			t.Errorf("r=%d: BV2 fault-free: correct=%d wrong=%d undecided=%d",
+				r, out.Correct, out.Wrong, out.Undecided)
+		}
+	}
+}
+
+func TestBV4AllCommitFaultFree(t *testing.T) {
+	for _, mode := range []EvidenceMode{Designated, Exact} {
+		net := testNet(t, 9, 9, 1)
+		src := net.IDOf(grid.C(0, 0))
+		out, err := Run(RunConfig{
+			Kind:   BV4,
+			Params: Params{Net: net, Source: src, Value: 1, T: 0, Mode: mode},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllCorrect() {
+			t.Errorf("mode=%v: BV4 fault-free: correct=%d wrong=%d undecided=%d",
+				mode, out.Correct, out.Wrong, out.Undecided)
+		}
+	}
+}
+
+func TestBV4DesignatedFaultFreeR2(t *testing.T) {
+	net := testNet(t, 15, 15, 2)
+	src := net.IDOf(grid.C(0, 0))
+	out, err := Run(RunConfig{
+		Kind:   BV4,
+		Params: Params{Net: net, Source: src, Value: 1, T: 0, Mode: Designated},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllCorrect() {
+		t.Errorf("BV4 designated r=2: correct=%d wrong=%d undecided=%d",
+			out.Correct, out.Wrong, out.Undecided)
+	}
+}

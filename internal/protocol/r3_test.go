@@ -1,0 +1,46 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+// TestTheorem1AtRadius3 pushes the exact-threshold reproduction to r=3
+// (t = 10, 48-degree nodes) with the designated evidence engine. Skipped in
+// -short mode: the run is heavier than the r ≤ 2 suites.
+func TestTheorem1AtRadius3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("r=3 threshold run is not short")
+	}
+	r := 3
+	net := testNet(t, 32, 16, r)
+	tMax := bounds.MaxByzantineLinf(r)
+	var byz []topology.NodeID
+	for _, x0 := range []int{8, 24} {
+		band, err := fault.GreedyBand(net, x0, r, tMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byz = append(byz, band...)
+	}
+	if got := fault.MaxPerNeighborhood(net, byz); got > tMax {
+		t.Fatalf("budget exceeded: %d > %d", got, tMax)
+	}
+	src := net.IDOf(grid.C(0, 0))
+	out, err := Run(RunConfig{
+		Kind:      BV4,
+		Params:    Params{Net: net, Source: src, Value: 1, T: tMax},
+		Byzantine: byzMap(byz, fault.Silent),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllCorrect() {
+		t.Errorf("BV4 r=3 t=%d: correct=%d wrong=%d undecided=%d",
+			tMax, out.Correct, out.Wrong, out.Undecided)
+	}
+}

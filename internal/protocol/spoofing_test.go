@@ -1,0 +1,105 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// TestSpooferHarmlessUnderAuthentication verifies that the §X spoofing
+// adversary is completely neutralized by the paper's no-spoofing assumption:
+// honest receivers attribute each message to its physical transmitter and
+// discard the inconsistent COMMITTED origins.
+func TestSpooferHarmlessUnderAuthentication(t *testing.T) {
+	for _, kind := range []Kind{CPA, BV2, BV4} {
+		net := testNet(t, 14, 14, 1)
+		src := net.IDOf(grid.C(0, 0))
+		byz, err := fault.RandomBounded(net, 1, -1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered := byz[:0]
+		for _, id := range byz {
+			if id != src {
+				filtered = append(filtered, id)
+			}
+		}
+		out, err := Run(RunConfig{
+			Kind:      kind,
+			Params:    Params{Net: net, Source: src, Value: 1, T: 1},
+			Byzantine: byzMap(filtered, fault.Spoofer),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllCorrect() {
+			t.Errorf("%v: spoofer broke an authenticated run: %+v", kind, out)
+		}
+	}
+}
+
+// TestSpooferBreaksSafetyWithoutAuthentication reproduces the §X warning:
+// once SpoofingPossible is set, the same adversary produces wrong commits.
+func TestSpooferBreaksSafetyWithoutAuthentication(t *testing.T) {
+	broken := 0
+	for _, kind := range []Kind{CPA, BV2, BV4} {
+		net := testNet(t, 14, 14, 1)
+		src := net.IDOf(grid.C(0, 0))
+		byz, err := fault.RandomBounded(net, 1, -1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered := byz[:0]
+		for _, id := range byz {
+			if id != src {
+				filtered = append(filtered, id)
+			}
+		}
+		out, err := Run(RunConfig{
+			Kind: kind,
+			Params: Params{
+				Net: net, Source: src, Value: 1, T: 1,
+				SpoofingPossible: true,
+			},
+			Byzantine: byzMap(filtered, fault.Spoofer),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Wrong > 0 {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Error("no protocol lost safety under spoofing — the §X sensitivity is not reproduced")
+	}
+}
+
+// TestLossyMediumNeverCausesWrongCommits: random loss can only remove
+// messages, so safety is unaffected even at heavy loss.
+func TestLossyMediumNeverCausesWrongCommits(t *testing.T) {
+	net := testNet(t, 14, 14, 1)
+	src := net.IDOf(grid.C(0, 0))
+	for _, kind := range []Kind{Flood, CPA, BV2} {
+		for seed := int64(0); seed < 3; seed++ {
+			out, err := Run(RunConfig{
+				Kind:   kind,
+				Params: Params{Net: net, Source: src, Value: 1, T: 1},
+				Medium: simMedium(0.5, 2, seed),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Wrong != 0 {
+				t.Errorf("%v seed=%d: %d wrong commits under random loss", kind, seed, out.Wrong)
+			}
+		}
+	}
+}
+
+// simMedium builds a sim.Medium without importing sim at every call site.
+func simMedium(loss float64, retx int, seed int64) sim.Medium {
+	return sim.Medium{LossRate: loss, Retransmit: retx, Seed: seed}
+}

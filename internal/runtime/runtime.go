@@ -1,0 +1,236 @@
+// Package runtime executes the same Process state machines as package sim,
+// but with a goroutine per node communicating over channels — the natural
+// Go embedding of the paper's node-per-grid-point model. Rounds are
+// lock-step: all messages produced in round k are delivered in round k+1,
+// matching sim.ModeNextRound exactly, so the two engines are differentially
+// testable against each other.
+//
+// Within a round every node processes its (deterministically ordered) inbox
+// concurrently; the coordinator collects transmissions, applies crash
+// filtering, and fans deliveries out for the next round. The result is
+// bit-for-bit identical to the sequential engine while genuinely exercising
+// Go's concurrency runtime.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config mirrors sim.Config for the concurrent engine.
+type Config struct {
+	// Net is the radio network (required).
+	Net *topology.Network
+	// Schedule fixes the deterministic delivery order; defaults to
+	// topology.BestSchedule(Net).
+	Schedule topology.Schedule
+	// Factory builds each node's process (required).
+	Factory sim.ProcessFactory
+	// CrashAt silences nodes from the given round onward (see sim.Config).
+	CrashAt map[topology.NodeID]int
+	// MaxRounds bounds the execution; 0 means sim.DefaultMaxRounds.
+	MaxRounds int
+	// Workers caps the number of concurrently processing node goroutines;
+	// 0 means one goroutine per node (fully concurrent).
+	Workers int
+}
+
+// transmission is a message sent by a node in some round.
+type transmission struct {
+	from topology.NodeID
+	msg  sim.Message
+}
+
+// nodeState is the per-goroutine worker state.
+type nodeState struct {
+	id      topology.NodeID
+	proc    sim.Process
+	inbox   []transmission // deliveries for the current round, pre-sorted
+	out     []sim.Message  // broadcasts produced this round
+	decided bool
+	value   byte
+	decRnd  int
+}
+
+// nodeCtx adapts the worker state to sim.Context.
+type nodeCtx struct {
+	st    *nodeState
+	round int
+}
+
+// Self implements sim.Context.
+func (c *nodeCtx) Self() topology.NodeID { return c.st.id }
+
+// Round implements sim.Context.
+func (c *nodeCtx) Round() int { return c.round }
+
+// Broadcast implements sim.Context.
+func (c *nodeCtx) Broadcast(m sim.Message) { c.st.out = append(c.st.out, m) }
+
+var _ sim.Context = (*nodeCtx)(nil)
+
+// Run executes the configured protocol to quiescence (or MaxRounds) and
+// returns a result identical in shape to the sequential engine's.
+func Run(cfg Config) (sim.Result, error) {
+	if cfg.Net == nil {
+		return sim.Result{}, fmt.Errorf("runtime: Config.Net is required")
+	}
+	if cfg.Factory == nil {
+		return sim.Result{}, fmt.Errorf("runtime: Config.Factory is required")
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = topology.BestSchedule(cfg.Net)
+	}
+	maxR := cfg.MaxRounds
+	if maxR <= 0 {
+		maxR = sim.DefaultMaxRounds
+	}
+	net := cfg.Net
+	size := net.Size()
+
+	states := make([]*nodeState, size)
+	for i := 0; i < size; i++ {
+		id := topology.NodeID(i)
+		states[i] = &nodeState{id: id, proc: cfg.Factory(id)}
+	}
+
+	slotOf := func(id topology.NodeID) int { return sched.SlotOf(id) }
+	crashed := func(id topology.NodeID, round int) bool {
+		at, ok := cfg.CrashAt[id]
+		return ok && round >= at
+	}
+
+	// Round 0: initialize processes (sequentially; Init is cheap and the
+	// source broadcast must be deterministic anyway).
+	var pending []transmission
+	for _, st := range states {
+		if crashed(st.id, 0) {
+			continue
+		}
+		st.proc.Init(&nodeCtx{st: st, round: 0})
+		st.noteDecision(0)
+		pending = append(pending, st.drain(1, crashed)...) // transmits in round 1
+	}
+	sortTransmissions(pending, slotOf)
+
+	stats := sim.Stats{}
+	workers := cfg.Workers
+	if workers <= 0 || workers > size {
+		workers = size
+	}
+
+	for round := 1; round <= maxR; round++ {
+		if len(pending) == 0 {
+			stats.Quiesced = true
+			break
+		}
+		stats.Rounds = round
+		stats.Broadcasts += len(pending)
+
+		// Fan deliveries out to receiver inboxes. pending is already in
+		// slot order, so each inbox is deterministically ordered.
+		active := make(map[topology.NodeID]struct{})
+		for _, tx := range pending {
+			for _, nb := range net.Neighbors(tx.from) {
+				if crashed(nb, round) {
+					continue
+				}
+				stats.Deliveries++
+				states[nb].inbox = append(states[nb].inbox, tx)
+				active[nb] = struct{}{}
+			}
+		}
+
+		// Process all inboxes concurrently.
+		ids := make([]topology.NodeID, 0, len(active))
+		for id := range active {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for _, id := range ids {
+			st := states[id]
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				ctx := &nodeCtx{st: st, round: round}
+				for _, tx := range st.inbox {
+					st.proc.Deliver(ctx, tx.from, tx.msg)
+				}
+				st.inbox = st.inbox[:0]
+				st.noteDecision(round)
+			}()
+		}
+		wg.Wait()
+
+		// Collect next round's transmissions in slot order.
+		pending = pending[:0]
+		for _, id := range ids {
+			pending = append(pending, states[id].drain(round+1, crashed)...)
+		}
+		sortTransmissions(pending, slotOf)
+	}
+
+	res := sim.Result{
+		Stats:        stats,
+		Decided:      make(map[topology.NodeID]byte, size),
+		DecidedRound: make(map[topology.NodeID]int, size),
+	}
+	for _, st := range states {
+		if st.decided {
+			res.Decided[st.id] = st.value
+			res.DecidedRound[st.id] = st.decRnd
+		}
+	}
+	return res, nil
+}
+
+// drain moves the node's produced broadcasts into transmissions, dropping
+// them if the node will be crashed when they would transmit.
+func (st *nodeState) drain(txRound int, crashed func(topology.NodeID, int) bool) []transmission {
+	if len(st.out) == 0 {
+		return nil
+	}
+	out := st.out
+	st.out = nil
+	if crashed(st.id, txRound) {
+		return nil
+	}
+	txs := make([]transmission, len(out))
+	for i, m := range out {
+		txs[i] = transmission{from: st.id, msg: m}
+	}
+	return txs
+}
+
+// noteDecision records the first decision.
+func (st *nodeState) noteDecision(round int) {
+	if st.decided {
+		return
+	}
+	if v, ok := st.proc.Decided(); ok {
+		st.decided = true
+		st.value = v
+		st.decRnd = round
+	}
+}
+
+// sortTransmissions orders by (sender slot, sender id, FIFO within sender).
+func sortTransmissions(txs []transmission, slotOf func(topology.NodeID) int) {
+	sort.SliceStable(txs, func(i, j int) bool {
+		si, sj := slotOf(txs[i].from), slotOf(txs[j].from)
+		if si != sj {
+			return si < sj
+		}
+		return txs[i].from < txs[j].from
+	})
+}

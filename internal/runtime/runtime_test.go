@@ -1,0 +1,191 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// floodProc mirrors the test protocol in package sim: commit to the first
+// value heard and relay once.
+type floodProc struct {
+	id      topology.NodeID
+	source  topology.NodeID
+	value   byte
+	decided bool
+}
+
+func (p *floodProc) Init(ctx sim.Context) {
+	if p.id == p.source {
+		p.decided = true
+		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: p.value})
+	}
+}
+
+func (p *floodProc) Deliver(ctx sim.Context, _ topology.NodeID, m sim.Message) {
+	if p.decided || m.Kind != sim.KindValue {
+		return
+	}
+	p.decided = true
+	p.value = m.Value
+	ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: m.Value})
+}
+
+func (p *floodProc) Decided() (byte, bool) {
+	if !p.decided {
+		return 0, false
+	}
+	return p.value, true
+}
+
+func floodFactory(source topology.NodeID, v byte) sim.ProcessFactory {
+	return func(id topology.NodeID) sim.Process {
+		p := &floodProc{id: id, source: source}
+		if id == source {
+			p.value = v
+		}
+		return p
+	}
+}
+
+func testNet(t *testing.T, w, h, r int) *topology.Network {
+	t.Helper()
+	net, err := topology.New(grid.Torus{W: w, H: h}, grid.Linf, r)
+	if err != nil {
+		t.Fatalf("topology.New: %v", err)
+	}
+	return net
+}
+
+func TestRunValidation(t *testing.T) {
+	net := testNet(t, 9, 9, 1)
+	if _, err := Run(Config{Factory: floodFactory(0, 1)}); err == nil {
+		t.Error("missing Net must be rejected")
+	}
+	if _, err := Run(Config{Net: net}); err == nil {
+		t.Error("missing Factory must be rejected")
+	}
+}
+
+func TestConcurrentFloodDelivers(t *testing.T) {
+	net := testNet(t, 10, 10, 1)
+	source := net.IDOf(grid.C(0, 0))
+	res, err := Run(Config{Net: net, Factory: floodFactory(source, 1)})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Stats.Quiesced {
+		t.Error("must quiesce")
+	}
+	if len(res.Decided) != net.Size() {
+		t.Fatalf("decided %d of %d", len(res.Decided), net.Size())
+	}
+	for id, v := range res.Decided {
+		if v != 1 {
+			t.Errorf("node %d decided %d", id, v)
+		}
+	}
+}
+
+// TestEquivalenceWithSequentialEngine is the E20 differential test: the
+// concurrent runtime and the sequential engine in lock-step mode must agree
+// on every decided value, every decision round, and all traffic statistics.
+func TestEquivalenceWithSequentialEngine(t *testing.T) {
+	for _, tc := range []struct {
+		w, h, r int
+		crash   map[topology.NodeID]int
+	}{
+		{10, 10, 1, nil},
+		{10, 10, 2, nil},
+		{12, 9, 1, map[topology.NodeID]int{5: 0, 17: 2, 40: 1}},
+	} {
+		net := testNet(t, tc.w, tc.h, tc.r)
+		source := net.IDOf(grid.C(0, 0))
+		seq, err := sim.Run(sim.Config{
+			Net:     net,
+			Mode:    sim.ModeNextRound,
+			Factory: floodFactory(source, 1),
+			CrashAt: tc.crash,
+		})
+		if err != nil {
+			t.Fatalf("sim.Run: %v", err)
+		}
+		conc, err := Run(Config{Net: net, Factory: floodFactory(source, 1), CrashAt: tc.crash})
+		if err != nil {
+			t.Fatalf("runtime.Run: %v", err)
+		}
+		if seq.Stats != conc.Stats {
+			t.Errorf("%dx%d r=%d: stats differ: seq %+v conc %+v", tc.w, tc.h, tc.r, seq.Stats, conc.Stats)
+		}
+		if len(seq.Decided) != len(conc.Decided) {
+			t.Fatalf("decided counts differ: %d vs %d", len(seq.Decided), len(conc.Decided))
+		}
+		for id, v := range seq.Decided {
+			if conc.Decided[id] != v {
+				t.Errorf("node %d: value %d vs %d", id, v, conc.Decided[id])
+			}
+			if seq.DecidedRound[id] != conc.DecidedRound[id] {
+				t.Errorf("node %d: round %d vs %d", id, seq.DecidedRound[id], conc.DecidedRound[id])
+			}
+		}
+	}
+}
+
+func TestWorkerCapRuns(t *testing.T) {
+	net := testNet(t, 10, 10, 1)
+	source := net.IDOf(grid.C(0, 0))
+	res, err := Run(Config{Net: net, Factory: floodFactory(source, 1), Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Decided) != net.Size() {
+		t.Errorf("decided %d of %d", len(res.Decided), net.Size())
+	}
+}
+
+func TestCrashedSourceNeverStarts(t *testing.T) {
+	net := testNet(t, 9, 9, 1)
+	source := net.IDOf(grid.C(0, 0))
+	res, err := Run(Config{
+		Net:     net,
+		Factory: floodFactory(source, 1),
+		CrashAt: map[topology.NodeID]int{source: 0},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Decided) != 0 {
+		t.Errorf("nothing should decide when the source is crashed, got %d", len(res.Decided))
+	}
+	if res.Stats.Broadcasts != 0 {
+		t.Errorf("no broadcasts expected, got %d", res.Stats.Broadcasts)
+	}
+}
+
+func TestMaxRoundsBounds(t *testing.T) {
+	net := testNet(t, 9, 9, 1)
+	factory := func(id topology.NodeID) sim.Process { return &babbler{} }
+	res, err := Run(Config{Net: net, Factory: factory, MaxRounds: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stats.Quiesced {
+		t.Error("babbler must not quiesce")
+	}
+	if res.Stats.Rounds != 5 {
+		t.Errorf("rounds = %d, want 5", res.Stats.Rounds)
+	}
+}
+
+type babbler struct{ lastRound int }
+
+func (b *babbler) Init(ctx sim.Context) { ctx.Broadcast(sim.Message{Kind: sim.KindValue}) }
+func (b *babbler) Deliver(ctx sim.Context, _ topology.NodeID, _ sim.Message) {
+	if ctx.Round() > b.lastRound {
+		b.lastRound = ctx.Round()
+		ctx.Broadcast(sim.Message{Kind: sim.KindValue})
+	}
+}
+func (b *babbler) Decided() (byte, bool) { return 0, false }

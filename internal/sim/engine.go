@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Observer receives engine events; all callbacks are optional. Observers
+// power the figure reproductions (frontier traces, message counts) without
+// entangling the engine with experiment code.
+type Observer struct {
+	// OnBroadcast fires when `from` transmits m in round `round`.
+	OnBroadcast func(round int, from topology.NodeID, m Message)
+	// OnDecide fires the first time a node reports Decided.
+	OnDecide func(round int, node topology.NodeID, value byte)
+}
+
+// DeliveryMode selects when a queued broadcast is transmitted relative to
+// the round in which it was produced.
+type DeliveryMode int
+
+const (
+	// ModeFrame (default) models a full TDMA frame per round: a node whose
+	// slot comes after the sender's hears and may react within the same
+	// frame. Broadcasts therefore cascade down the slot order inside one
+	// round.
+	ModeFrame DeliveryMode = iota + 1
+	// ModeNextRound defers every broadcast to the next round: all messages
+	// produced in round k are transmitted (in slot order) in round k+1.
+	// This is the lock-step semantics used by the concurrent runtime.
+	ModeNextRound
+)
+
+// Config configures an engine run.
+type Config struct {
+	// Net is the radio network (required).
+	Net *topology.Network
+	// Schedule fixes transmission order; defaults to BestSchedule(Net).
+	Schedule topology.Schedule
+	// Mode selects frame or lock-step delivery; defaults to ModeFrame.
+	Mode DeliveryMode
+	// Factory builds each node's process (required).
+	Factory ProcessFactory
+	// CrashAt silences a node from the given round onward (1-based;
+	// round 0 or negative means crashed from the start). Nodes absent
+	// from the map never crash. Crashes are atomic at frame boundaries,
+	// so local broadcasts are heard by all neighbors or none — the
+	// reliable-local-broadcast assumption is never violated.
+	CrashAt map[topology.NodeID]int
+	// MaxRounds bounds the execution; 0 means DefaultMaxRounds.
+	MaxRounds int
+	// Observer receives events (optional).
+	Observer Observer
+	// Medium configures the optional unreliable-channel extension. The
+	// zero value is the paper's ideal medium (no loss, one transmission
+	// per message).
+	Medium Medium
+}
+
+// Medium models the channel-quality extension of §II/§X: the paper's ideal
+// medium delivers every local broadcast to every neighbor, but a real
+// wireless channel suffers accidental collisions and transmission errors.
+// The paper notes a local-broadcast primitive "can provide probabilistic
+// guarantees" when each transmission succeeds with some probability; this
+// models exactly that, with per-receiver iid loss and blind retransmission.
+type Medium struct {
+	// LossRate is the per-transmission per-receiver drop probability in
+	// [0, 1). Zero (default) is the ideal reliable channel.
+	LossRate float64
+	// Retransmit is the number of times each broadcast is transmitted
+	// (the probabilistic reliable-local-broadcast primitive); values < 1
+	// mean 1. A receiver processes the first surviving copy only —
+	// deduplication is the receiver's job, which every honest protocol
+	// here already performs.
+	Retransmit int
+	// Seed drives the loss process deterministically.
+	Seed int64
+}
+
+// lossy reports whether the medium deviates from the ideal channel.
+func (m Medium) lossy() bool { return m.LossRate > 0 }
+
+// DefaultMaxRounds bounds runs whose protocols fail to quiesce.
+const DefaultMaxRounds = 10_000
+
+// Stats aggregates an execution.
+type Stats struct {
+	// Rounds is the number of TDMA frames executed.
+	Rounds int
+	// Broadcasts counts local broadcasts transmitted.
+	Broadcasts int
+	// Deliveries counts per-receiver message deliveries.
+	Deliveries int
+	// Quiesced reports whether the run ended because no node had
+	// anything left to transmit (as opposed to hitting MaxRounds).
+	Quiesced bool
+}
+
+// Result is the outcome of an engine run.
+type Result struct {
+	Stats Stats
+	// Decided maps node id to committed value for nodes that decided.
+	Decided map[topology.NodeID]byte
+	// DecidedRound records the frame in which each decision was first
+	// observed (after the node's deliveries of that frame).
+	DecidedRound map[topology.NodeID]int
+}
+
+// Engine is the deterministic round/slot executor.
+type Engine struct {
+	net      *topology.Network
+	sched    topology.Schedule
+	mode     DeliveryMode
+	procs    []Process
+	order    []topology.NodeID // node ids in slot order
+	outbox   [][]Message
+	crashAt  map[topology.NodeID]int
+	maxR     int
+	obs      Observer
+	medium   Medium
+	rng      *rand.Rand // non-nil only for a lossy medium
+	decided  map[topology.NodeID]byte
+	decRound map[topology.NodeID]int
+	stats    Stats
+}
+
+// NewEngine validates cfg and builds the engine with all processes
+// initialized (Init runs in slot order, with round = 0).
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("sim: Config.Net is required")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("sim: Config.Factory is required")
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = topology.BestSchedule(cfg.Net)
+	}
+	maxR := cfg.MaxRounds
+	if maxR <= 0 {
+		maxR = DefaultMaxRounds
+	}
+	mode := cfg.Mode
+	if mode == 0 {
+		mode = ModeFrame
+	}
+	if mode != ModeFrame && mode != ModeNextRound {
+		return nil, fmt.Errorf("sim: invalid delivery mode %d", int(mode))
+	}
+	if cfg.Medium.LossRate < 0 || cfg.Medium.LossRate >= 1 {
+		return nil, fmt.Errorf("sim: loss rate %v outside [0,1)", cfg.Medium.LossRate)
+	}
+	size := cfg.Net.Size()
+	e := &Engine{
+		net:      cfg.Net,
+		sched:    sched,
+		mode:     mode,
+		procs:    make([]Process, size),
+		order:    make([]topology.NodeID, size),
+		outbox:   make([][]Message, size),
+		crashAt:  cfg.CrashAt,
+		maxR:     maxR,
+		obs:      cfg.Observer,
+		medium:   cfg.Medium,
+		decided:  make(map[topology.NodeID]byte),
+		decRound: make(map[topology.NodeID]int),
+	}
+	if e.medium.Retransmit < 1 {
+		e.medium.Retransmit = 1
+	}
+	if e.medium.lossy() {
+		e.rng = rand.New(rand.NewSource(e.medium.Seed))
+	}
+	for i := 0; i < size; i++ {
+		e.order[i] = topology.NodeID(i)
+	}
+	// Stable order: by slot, ties by id (slots may repeat across cells).
+	sort.SliceStable(e.order, func(i, j int) bool {
+		si, sj := sched.SlotOf(e.order[i]), sched.SlotOf(e.order[j])
+		if si != sj {
+			return si < sj
+		}
+		return e.order[i] < e.order[j]
+	})
+	for _, id := range e.order {
+		e.procs[id] = cfg.Factory(id)
+	}
+	for _, id := range e.order {
+		if e.isCrashed(id, 0) {
+			continue
+		}
+		e.procs[id].Init(&nodeCtx{engine: e, id: id, round: 0})
+		e.noteDecision(0, id)
+	}
+	return e, nil
+}
+
+// survives reports whether at least one of the Retransmit copies of a
+// transmission reaches a given receiver. On the ideal medium it is always
+// true and consumes no randomness.
+func (e *Engine) survives() bool {
+	if !e.medium.lossy() {
+		return true
+	}
+	for i := 0; i < e.medium.Retransmit; i++ {
+		if e.rng.Float64() >= e.medium.LossRate {
+			return true
+		}
+	}
+	return false
+}
+
+// isCrashed reports whether id is silent in the given round.
+func (e *Engine) isCrashed(id topology.NodeID, round int) bool {
+	at, ok := e.crashAt[id]
+	if !ok {
+		return false
+	}
+	return round >= at
+}
+
+// noteDecision records a first-time decision and fires the observer.
+func (e *Engine) noteDecision(round int, id topology.NodeID) {
+	if _, done := e.decided[id]; done {
+		return
+	}
+	if v, ok := e.procs[id].Decided(); ok {
+		e.decided[id] = v
+		e.decRound[id] = round
+		if e.obs.OnDecide != nil {
+			e.obs.OnDecide(round, id, v)
+		}
+	}
+}
+
+// Step executes one TDMA frame. It returns true if any node transmitted.
+func (e *Engine) Step() bool {
+	e.stats.Rounds++
+	round := e.stats.Rounds
+	progress := false
+	var snapshot [][]Message
+	if e.mode == ModeNextRound {
+		// Lock-step: freeze all outboxes before any delivery so broadcasts
+		// produced this round wait for the next.
+		snapshot = make([][]Message, len(e.outbox))
+		copy(snapshot, e.outbox)
+		for i := range e.outbox {
+			e.outbox[i] = nil
+		}
+	}
+	for _, from := range e.order {
+		var out []Message
+		if e.mode == ModeNextRound {
+			out = snapshot[from]
+		} else {
+			out = e.outbox[from]
+			e.outbox[from] = nil
+		}
+		if len(out) == 0 {
+			continue
+		}
+		if e.isCrashed(from, round) {
+			continue // crashed: queued messages are never transmitted
+		}
+		for _, m := range out {
+			progress = true
+			e.stats.Broadcasts += e.medium.Retransmit
+			if e.obs.OnBroadcast != nil {
+				e.obs.OnBroadcast(round, from, m)
+			}
+			for _, nb := range e.net.Neighbors(from) {
+				if e.isCrashed(nb, round) {
+					continue
+				}
+				if !e.survives() {
+					continue // lost to an accidental collision / channel error
+				}
+				e.stats.Deliveries++
+				e.procs[nb].Deliver(&nodeCtx{engine: e, id: nb, round: round}, from, m)
+				e.noteDecision(round, nb)
+			}
+		}
+	}
+	return progress
+}
+
+// Run executes frames until quiescence or MaxRounds and returns the result.
+func (e *Engine) Run() Result {
+	for e.stats.Rounds < e.maxR {
+		if !e.Step() {
+			e.stats.Rounds-- // final empty frame is bookkeeping, not protocol time
+			e.stats.Quiesced = true
+			break
+		}
+	}
+	return e.result()
+}
+
+// result snapshots decisions and stats.
+func (e *Engine) result() Result {
+	dec := make(map[topology.NodeID]byte, len(e.decided))
+	rounds := make(map[topology.NodeID]int, len(e.decRound))
+	for id, v := range e.decided {
+		dec[id] = v
+		rounds[id] = e.decRound[id]
+	}
+	return Result{Stats: e.stats, Decided: dec, DecidedRound: rounds}
+}
+
+// nodeCtx is the per-delivery Context implementation.
+type nodeCtx struct {
+	engine *Engine
+	id     topology.NodeID
+	round  int
+}
+
+// Self implements Context.
+func (c *nodeCtx) Self() topology.NodeID { return c.id }
+
+// Round implements Context.
+func (c *nodeCtx) Round() int { return c.round }
+
+// Broadcast implements Context.
+func (c *nodeCtx) Broadcast(m Message) {
+	e := c.engine
+	e.outbox[c.id] = append(e.outbox[c.id], m)
+}
+
+var _ Context = (*nodeCtx)(nil)
+
+// Run is the one-call convenience wrapper: build an engine and run it.
+func Run(cfg Config) (Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(), nil
+}

@@ -1,0 +1,122 @@
+// Package sim implements the synchronous, collision-free radio medium of the
+// paper as a deterministic round/slot engine. Each round is one full TDMA
+// frame: nodes transmit in slot order and every local broadcast is heard by
+// all neighbors — the paper's "reliable local broadcast assumption" (§II).
+// Per-node message ordering is preserved, identities cannot be spoofed, and
+// transmissions never collide.
+//
+// The engine is protocol-agnostic: protocols (and Byzantine adversaries) are
+// Process state machines driven by Deliver events.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Kind discriminates the protocol message types used across the paper's
+// protocols. The engine itself does not interpret kinds.
+type Kind uint8
+
+const (
+	// KindValue carries the bare broadcast value: the source's initial
+	// transmission and the single relay of the crash-stop flooding
+	// protocol (§VII) and of the simple protocol's announcements.
+	KindValue Kind = iota + 1
+	// KindCommitted is the one-time COMMITTED(i, v) announcement (§VI).
+	KindCommitted
+	// KindHeard is an indirect report HEARD(jk, ..., j1, i, v): the
+	// relayer affixes its identifier so the full relay path is carried in
+	// the message (§VI).
+	KindHeard
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindValue:
+		return "VALUE"
+	case KindCommitted:
+		return "COMMITTED"
+	case KindHeard:
+		return "HEARD"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// MaxHeardRelays caps the relay list of a transmitted HEARD report. The
+// protocol of §VI propagates a COMMITTED announcement through at most three
+// relayers (the fourth-hop receiver records but does not re-propagate), so
+// no transmitted message carries more than three path entries.
+const MaxHeardRelays = 3
+
+// Message is a local-broadcast payload. Messages are immutable once
+// broadcast: the engine delivers the same value to every neighbor, and
+// receivers must not mutate Path (extend it with ExtendPath instead).
+type Message struct {
+	Kind   Kind
+	Value  byte
+	Origin topology.NodeID // committing node for COMMITTED/HEARD reports
+	// Path lists the relayers of a HEARD report in order from the first
+	// relay (the node that heard COMMITTED directly) to the last. Empty
+	// for other kinds.
+	Path []topology.NodeID
+	// Instance tags the message with a broadcast-instance id, used when
+	// several reliable broadcasts run concurrently (e.g. the agreement
+	// layer, where every committee member is the source of its own
+	// instance). Single-broadcast runs leave it zero.
+	Instance int32
+	// Spoofed and Claimed implement the §X sensitivity study: when the
+	// medium does not authenticate senders (protocols running with
+	// SpoofingPossible), a receiver attributes a Spoofed message to
+	// Claimed instead of its physical transmitter. Honest processes never
+	// set these; under the paper's assumptions (authentication on) they
+	// are ignored entirely.
+	Spoofed bool
+	Claimed topology.NodeID
+}
+
+// ExtendPath returns a copy of m with relay appended to the path. The
+// original message is left untouched, preserving immutability for other
+// receivers of the same broadcast.
+func (m Message) ExtendPath(relay topology.NodeID) Message {
+	p := make([]topology.NodeID, 0, len(m.Path)+1)
+	p = append(p, m.Path...)
+	p = append(p, relay)
+	m.Path = p
+	return m
+}
+
+// Key returns a canonical string identity for deduplication: kind, origin,
+// value and full path. Two broadcasts with equal keys are the same logical
+// protocol message.
+func (m Message) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%d|%d|", m.Instance, m.Kind, m.Origin, m.Value)
+	for _, p := range m.Path {
+		fmt.Fprintf(&b, "%d,", p)
+	}
+	return b.String()
+}
+
+// String renders the message in the paper's notation.
+func (m Message) String() string {
+	switch m.Kind {
+	case KindValue:
+		return fmt.Sprintf("VALUE(%d)", m.Value)
+	case KindCommitted:
+		return fmt.Sprintf("COMMITTED(%d,%d)", m.Origin, m.Value)
+	case KindHeard:
+		parts := make([]string, 0, len(m.Path)+2)
+		for i := len(m.Path) - 1; i >= 0; i-- {
+			parts = append(parts, fmt.Sprint(m.Path[i]))
+		}
+		parts = append(parts, fmt.Sprint(m.Origin), fmt.Sprint(m.Value))
+		return "HEARD(" + strings.Join(parts, ",") + ")"
+	default:
+		return fmt.Sprintf("Message{kind=%d}", m.Kind)
+	}
+}

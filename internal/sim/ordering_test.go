@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+// recorderProc logs every delivery it sees, in order.
+type recorderProc struct {
+	log *[]delivery
+	id  topology.NodeID
+}
+
+type delivery struct {
+	to    topology.NodeID
+	from  topology.NodeID
+	value byte
+	round int
+}
+
+func (r *recorderProc) Init(ctx Context) {}
+func (r *recorderProc) Deliver(ctx Context, from topology.NodeID, m Message) {
+	*r.log = append(*r.log, delivery{to: r.id, from: from, value: m.Value, round: ctx.Round()})
+}
+func (r *recorderProc) Decided() (byte, bool) { return 0, false }
+
+// senderProc transmits a fixed sequence of values, one batch in Init.
+type senderProc struct {
+	values []byte
+}
+
+func (s *senderProc) Init(ctx Context) {
+	for _, v := range s.values {
+		ctx.Broadcast(Message{Kind: KindValue, Value: v})
+	}
+}
+func (s *senderProc) Deliver(Context, topology.NodeID, Message) {}
+func (s *senderProc) Decided() (byte, bool)                     { return 0, false }
+
+// TestPerSenderFIFO verifies the paper's channel-ordering guarantee (§II):
+// "if a node transmits messages m1 and m2 respectively in order, they will
+// be received in that same order by all neighbors."
+func TestPerSenderFIFO(t *testing.T) {
+	net, err := topology.New(grid.Torus{W: 9, H: 9}, grid.Linf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := net.IDOf(grid.C(4, 4))
+	seq := []byte{1, 0, 1, 1, 0}
+	var log []delivery
+	factory := func(id topology.NodeID) Process {
+		if id == sender {
+			return &senderProc{values: seq}
+		}
+		return &recorderProc{log: &log, id: id}
+	}
+	for _, mode := range []DeliveryMode{ModeFrame, ModeNextRound} {
+		log = nil
+		if _, err := Run(Config{Net: net, Factory: factory, Mode: mode}); err != nil {
+			t.Fatal(err)
+		}
+		perReceiver := make(map[topology.NodeID][]byte)
+		for _, d := range log {
+			if d.from != sender {
+				t.Fatalf("unexpected sender %d", d.from)
+			}
+			perReceiver[d.to] = append(perReceiver[d.to], d.value)
+		}
+		if len(perReceiver) != net.Degree() {
+			t.Fatalf("mode %d: %d receivers, want %d", mode, len(perReceiver), net.Degree())
+		}
+		for to, got := range perReceiver {
+			if len(got) != len(seq) {
+				t.Fatalf("mode %d: receiver %d got %d messages, want %d", mode, to, len(got), len(seq))
+			}
+			for i := range seq {
+				if got[i] != seq[i] {
+					t.Errorf("mode %d: receiver %d order %v, want %v", mode, to, got, seq)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastHeardByAllNeighborsIdentically checks the no-duplicity
+// property: a single broadcast reaches every neighbor in the same round
+// with the same content.
+func TestBroadcastHeardByAllNeighborsIdentically(t *testing.T) {
+	net, err := topology.New(grid.Torus{W: 9, H: 9}, grid.Linf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := net.IDOf(grid.C(4, 4))
+	var log []delivery
+	factory := func(id topology.NodeID) Process {
+		if id == sender {
+			return &senderProc{values: []byte{1}}
+		}
+		return &recorderProc{log: &log, id: id}
+	}
+	if _, err := Run(Config{Net: net, Factory: factory}); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != net.Degree() {
+		t.Fatalf("deliveries %d, want %d", len(log), net.Degree())
+	}
+	round := log[0].round
+	for _, d := range log {
+		if d.round != round || d.value != 1 {
+			t.Errorf("non-identical reception: %+v", d)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package topology materializes the paper's radio network on a finite torus:
+// dense node indexing, per-node neighbor lists under a chosen metric and
+// radius, and the collision-free TDMA schedule that the model assumes
+// ("there exists a pre-determined TDMA schedule that all nodes follow",
+// §II). It also provides translation-invariant offset canonicalization used
+// to cache per-offset structures such as designated path families.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// NodeID densely identifies a node on the torus: id = y*W + x.
+type NodeID int32
+
+// None is the sentinel for "no node".
+const None NodeID = -1
+
+// Network is an immutable radio network on a torus. All nodes share the
+// same transmission radius; the neighbor relation is symmetric.
+type Network struct {
+	torus     grid.Torus
+	metric    grid.Metric
+	radius    int
+	offsets   []grid.Coord // ball offsets defining the open neighborhood
+	neighbors [][]NodeID   // per-node sorted neighbor lists
+}
+
+// New constructs the network. The torus must be at least (2r+1) wide and
+// tall so that distinct ball offsets reach distinct nodes, and the metric
+// must be valid.
+func New(t grid.Torus, m grid.Metric, r int) (*Network, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("topology: invalid metric %d", int(m))
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("topology: radius must be ≥ 1, got %d", r)
+	}
+	if t.W < 2*r+1 || t.H < 2*r+1 {
+		return nil, fmt.Errorf("topology: torus %dx%d too small for radius %d (need ≥ %d)",
+			t.W, t.H, r, 2*r+1)
+	}
+	n := &Network{
+		torus:   t,
+		metric:  m,
+		radius:  r,
+		offsets: m.BallOffsets(r),
+	}
+	size := t.Size()
+	// One contiguous backing array for all neighbor lists.
+	deg := len(n.offsets)
+	backing := make([]NodeID, size*deg)
+	n.neighbors = make([][]NodeID, size)
+	for id := 0; id < size; id++ {
+		c := t.CoordOf(id)
+		row := backing[id*deg : id*deg : (id+1)*deg]
+		for _, d := range n.offsets {
+			row = append(row, NodeID(t.Index(c.Add(d))))
+		}
+		n.neighbors[id] = row
+	}
+	return n, nil
+}
+
+// MustNew is New for statically valid parameters; it panics on error.
+func MustNew(t grid.Torus, m grid.Metric, r int) *Network {
+	n, err := New(t, m, r)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Torus returns the underlying torus.
+func (n *Network) Torus() grid.Torus { return n.torus }
+
+// Metric returns the distance metric.
+func (n *Network) Metric() grid.Metric { return n.metric }
+
+// Radius returns the transmission radius r.
+func (n *Network) Radius() int { return n.radius }
+
+// Size returns the number of nodes.
+func (n *Network) Size() int { return n.torus.Size() }
+
+// Degree returns the (uniform) neighbor count of every node.
+func (n *Network) Degree() int { return len(n.offsets) }
+
+// Neighbors returns the nodes that hear id's local broadcasts. The returned
+// slice is shared; callers must not mutate it.
+func (n *Network) Neighbors(id NodeID) []NodeID { return n.neighbors[id] }
+
+// AreNeighbors reports whether a and b are distinct radio neighbors.
+func (n *Network) AreNeighbors(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	return n.torus.Within(n.metric, n.CoordOf(a), n.CoordOf(b), n.radius)
+}
+
+// WithinClosed reports whether b lies in the closed neighborhood of center c
+// (distance ≤ r, including b == center).
+func (n *Network) WithinClosed(center, b NodeID) bool {
+	return n.torus.Within(n.metric, n.CoordOf(center), n.CoordOf(b), n.radius)
+}
+
+// IDOf maps a grid coordinate (wrapped onto the torus) to its node id.
+func (n *Network) IDOf(c grid.Coord) NodeID { return NodeID(n.torus.Index(c)) }
+
+// CoordOf maps a node id back to its canonical coordinate.
+func (n *Network) CoordOf(id NodeID) grid.Coord { return n.torus.CoordOf(int(id)) }
+
+// Delta returns the minimal toroidal offset from a to b.
+func (n *Network) Delta(a, b NodeID) grid.Coord {
+	return n.torus.Delta(n.CoordOf(a), n.CoordOf(b))
+}
+
+// Dist returns the toroidal distance from a to b under the network metric
+// (for L2, the floor of the Euclidean distance).
+func (n *Network) Dist(a, b NodeID) int {
+	return n.torus.Dist(n.metric, n.CoordOf(a), n.CoordOf(b))
+}
+
+// ClosedNbdIDs returns the ids of the closed neighborhood of the grid point
+// centered at c (which need not be a node of interest itself).
+func (n *Network) ClosedNbdIDs(c grid.Coord) []NodeID {
+	ids := make([]NodeID, 0, len(n.offsets)+1)
+	ids = append(ids, n.IDOf(c))
+	for _, d := range n.offsets {
+		ids = append(ids, n.IDOf(c.Add(d)))
+	}
+	return ids
+}
+
+// ForEach invokes fn for every node id in ascending order.
+func (n *Network) ForEach(fn func(NodeID)) {
+	for id := 0; id < n.Size(); id++ {
+		fn(NodeID(id))
+	}
+}

@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func mustNet(t *testing.T, w, h int, m grid.Metric, r int) *Network {
+	t.Helper()
+	net, err := New(grid.Torus{W: w, H: h}, m, r)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return net
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(grid.Torus{W: 4, H: 10}, grid.Linf, 2); err == nil {
+		t.Error("torus narrower than 2r+1 must be rejected")
+	}
+	if _, err := New(grid.Torus{W: 10, H: 10}, grid.Metric(9), 2); err == nil {
+		t.Error("invalid metric must be rejected")
+	}
+	if _, err := New(grid.Torus{W: 10, H: 10}, grid.Linf, 0); err == nil {
+		t.Error("radius 0 must be rejected")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic on invalid input")
+		}
+	}()
+	MustNew(grid.Torus{W: 1, H: 1}, grid.Linf, 5)
+}
+
+func TestUniformDegree(t *testing.T) {
+	tests := []struct {
+		m    grid.Metric
+		r    int
+		want int
+	}{
+		{grid.Linf, 1, 8},
+		{grid.Linf, 2, 24},
+		{grid.L2, 2, 12},
+		{grid.L2, 3, 28},
+	}
+	for _, tt := range tests {
+		net := mustNet(t, 15, 15, tt.m, tt.r)
+		if net.Degree() != tt.want {
+			t.Errorf("%v r=%d: Degree = %d, want %d", tt.m, tt.r, net.Degree(), tt.want)
+		}
+		net.ForEach(func(id NodeID) {
+			if len(net.Neighbors(id)) != tt.want {
+				t.Fatalf("node %d: %d neighbors", id, len(net.Neighbors(id)))
+			}
+		})
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	net := mustNet(t, 9, 9, grid.Linf, 2)
+	net.ForEach(func(a NodeID) {
+		for _, b := range net.Neighbors(a) {
+			found := false
+			for _, c := range net.Neighbors(b) {
+				if c == a {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric neighbor relation %d -> %d", a, b)
+			}
+		}
+	})
+}
+
+func TestNeighborsMatchMetric(t *testing.T) {
+	net := mustNet(t, 12, 10, grid.L2, 2)
+	f := func(ai, bi uint16) bool {
+		a := NodeID(int(ai) % net.Size())
+		b := NodeID(int(bi) % net.Size())
+		inList := false
+		for _, nb := range net.Neighbors(a) {
+			if nb == b {
+				inList = true
+				break
+			}
+		}
+		return inList == net.AreNeighbors(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborsDistinct(t *testing.T) {
+	net := mustNet(t, 5, 5, grid.Linf, 2) // tightest legal torus: 2r+1 = 5
+	net.ForEach(func(a NodeID) {
+		seen := make(map[NodeID]bool)
+		for _, b := range net.Neighbors(a) {
+			if b == a {
+				t.Fatalf("node %d is its own neighbor", a)
+			}
+			if seen[b] {
+				t.Fatalf("node %d appears twice in neighbors of %d", b, a)
+			}
+			seen[b] = true
+		}
+	})
+}
+
+func TestIDCoordRoundTrip(t *testing.T) {
+	net := mustNet(t, 8, 6, grid.Linf, 1)
+	net.ForEach(func(id NodeID) {
+		if net.IDOf(net.CoordOf(id)) != id {
+			t.Fatalf("round trip failed for %d", id)
+		}
+	})
+	if net.IDOf(grid.C(-1, 0)) != net.IDOf(grid.C(7, 0)) {
+		t.Error("IDOf must wrap")
+	}
+}
+
+func TestWithinClosed(t *testing.T) {
+	net := mustNet(t, 11, 11, grid.Linf, 2)
+	center := net.IDOf(grid.C(5, 5))
+	if !net.WithinClosed(center, center) {
+		t.Error("closed neighborhood includes the center")
+	}
+	if !net.WithinClosed(center, net.IDOf(grid.C(7, 7))) {
+		t.Error("(7,7) is within L∞ distance 2 of (5,5)")
+	}
+	if net.WithinClosed(center, net.IDOf(grid.C(8, 5))) {
+		t.Error("(8,5) is at distance 3")
+	}
+}
+
+func TestClosedNbdIDs(t *testing.T) {
+	net := mustNet(t, 11, 11, grid.Linf, 2)
+	ids := net.ClosedNbdIDs(grid.C(3, 3))
+	if len(ids) != 25 {
+		t.Fatalf("|closed nbd| = %d, want 25", len(ids))
+	}
+	seen := make(map[NodeID]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		if !net.WithinClosed(net.IDOf(grid.C(3, 3)), id) {
+			t.Errorf("id %d outside closed nbd", id)
+		}
+	}
+}
+
+func TestDeltaAndDist(t *testing.T) {
+	net := mustNet(t, 10, 10, grid.Linf, 2)
+	a := net.IDOf(grid.C(0, 0))
+	b := net.IDOf(grid.C(9, 9))
+	if d := net.Delta(a, b); d != grid.C(-1, -1) {
+		t.Errorf("Delta = %v, want (-1,-1)", d)
+	}
+	if net.Dist(a, b) != 1 {
+		t.Errorf("Dist = %d, want 1", net.Dist(a, b))
+	}
+}

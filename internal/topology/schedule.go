@@ -1,0 +1,105 @@
+package topology
+
+import "fmt"
+
+// Schedule assigns every node a TDMA slot. The paper's model rules out
+// collisions by assuming a pre-determined TDMA schedule (§II); any proper
+// schedule works because time-optimality is explicitly not a concern. The
+// slot order also fixes the deterministic delivery order used by the
+// round-based engine.
+type Schedule interface {
+	// SlotOf returns the slot index of id in [0, NumSlots()).
+	SlotOf(id NodeID) int
+	// NumSlots returns the schedule period.
+	NumSlots() int
+}
+
+// CellSchedule colors nodes by (x mod s, y mod s) with s = 2r+1. Two nodes
+// sharing a slot are at L∞ distance ≥ 2r+1 > 2r apart, so no third node can
+// hear both — the schedule is collision-free for both metrics. It is proper
+// on the torus only when both dimensions are divisible by s.
+type CellSchedule struct {
+	net *Network
+	s   int
+}
+
+// NewCellSchedule builds the (2r+1)²-slot cell schedule. It fails if the
+// torus dimensions are not divisible by 2r+1, in which case callers should
+// fall back to NewSequentialSchedule.
+func NewCellSchedule(net *Network) (*CellSchedule, error) {
+	s := 2*net.Radius() + 1
+	t := net.Torus()
+	if t.W%s != 0 || t.H%s != 0 {
+		return nil, fmt.Errorf("topology: torus %dx%d not divisible by cell size %d", t.W, t.H, s)
+	}
+	return &CellSchedule{net: net, s: s}, nil
+}
+
+// SlotOf implements Schedule.
+func (cs *CellSchedule) SlotOf(id NodeID) int {
+	c := cs.net.CoordOf(id)
+	return (c.Y%cs.s)*cs.s + (c.X % cs.s)
+}
+
+// NumSlots implements Schedule.
+func (cs *CellSchedule) NumSlots() int { return cs.s * cs.s }
+
+// SequentialSchedule gives every node its own slot (period = network size).
+// Trivially collision-free on any torus; used when the cell schedule does
+// not divide the torus.
+type SequentialSchedule struct {
+	size int
+}
+
+// NewSequentialSchedule builds the one-node-per-slot schedule.
+func NewSequentialSchedule(net *Network) *SequentialSchedule {
+	return &SequentialSchedule{size: net.Size()}
+}
+
+// SlotOf implements Schedule.
+func (ss *SequentialSchedule) SlotOf(id NodeID) int { return int(id) }
+
+// NumSlots implements Schedule.
+func (ss *SequentialSchedule) NumSlots() int { return ss.size }
+
+// BestSchedule returns the cell schedule when the torus admits it and the
+// sequential schedule otherwise.
+func BestSchedule(net *Network) Schedule {
+	if cs, err := NewCellSchedule(net); err == nil {
+		return cs
+	}
+	return NewSequentialSchedule(net)
+}
+
+// CollisionFree verifies that no two distinct nodes sharing a slot have a
+// common listener (a node within radius of both). It is O(n²·deg) and
+// intended for tests and validation tooling, not hot paths.
+func CollisionFree(net *Network, sched Schedule) bool {
+	// Group nodes by slot.
+	groups := make(map[int][]NodeID)
+	net.ForEach(func(id NodeID) {
+		slot := sched.SlotOf(id)
+		groups[slot] = append(groups[slot], id)
+	})
+	for _, nodes := range groups {
+		for i := 0; i < len(nodes); i++ {
+			listeners := make(map[NodeID]struct{}, net.Degree())
+			for _, l := range net.Neighbors(nodes[i]) {
+				listeners[l] = struct{}{}
+			}
+			for j := i + 1; j < len(nodes); j++ {
+				for _, l := range net.Neighbors(nodes[j]) {
+					if _, ok := listeners[l]; ok {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+var (
+	_ Schedule = (*CellSchedule)(nil)
+	_ Schedule = (*SequentialSchedule)(nil)
+)

@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestCellScheduleDivisibility(t *testing.T) {
+	net := mustNet(t, 10, 10, grid.Linf, 2) // 2r+1 = 5 divides 10
+	cs, err := NewCellSchedule(net)
+	if err != nil {
+		t.Fatalf("NewCellSchedule: %v", err)
+	}
+	if cs.NumSlots() != 25 {
+		t.Errorf("NumSlots = %d, want 25", cs.NumSlots())
+	}
+	if _, err := NewCellSchedule(mustNet(t, 12, 10, grid.Linf, 2)); err == nil {
+		t.Error("12 is not divisible by 5; cell schedule must fail")
+	}
+}
+
+func TestCellScheduleCollisionFree(t *testing.T) {
+	for _, m := range []grid.Metric{grid.Linf, grid.L2} {
+		net := mustNet(t, 15, 15, m, 2)
+		cs, err := NewCellSchedule(net)
+		if err != nil {
+			t.Fatalf("NewCellSchedule: %v", err)
+		}
+		if !CollisionFree(net, cs) {
+			t.Errorf("%v: cell schedule must be collision-free", m)
+		}
+	}
+}
+
+func TestSequentialScheduleCollisionFree(t *testing.T) {
+	net := mustNet(t, 9, 7, grid.Linf, 2)
+	ss := NewSequentialSchedule(net)
+	if ss.NumSlots() != net.Size() {
+		t.Errorf("NumSlots = %d, want %d", ss.NumSlots(), net.Size())
+	}
+	if !CollisionFree(net, ss) {
+		t.Error("sequential schedule must be collision-free")
+	}
+}
+
+func TestScheduleSlotsInRange(t *testing.T) {
+	net := mustNet(t, 10, 10, grid.Linf, 2)
+	for _, sched := range []Schedule{BestSchedule(net), NewSequentialSchedule(net)} {
+		net.ForEach(func(id NodeID) {
+			s := sched.SlotOf(id)
+			if s < 0 || s >= sched.NumSlots() {
+				t.Fatalf("slot %d out of range [0,%d)", s, sched.NumSlots())
+			}
+		})
+	}
+}
+
+func TestBestScheduleSelection(t *testing.T) {
+	divisible := mustNet(t, 10, 10, grid.Linf, 2)
+	if _, ok := BestSchedule(divisible).(*CellSchedule); !ok {
+		t.Error("divisible torus must get the cell schedule")
+	}
+	odd := mustNet(t, 11, 11, grid.Linf, 2)
+	if _, ok := BestSchedule(odd).(*SequentialSchedule); !ok {
+		t.Error("non-divisible torus must fall back to sequential")
+	}
+}
+
+func TestCollisionFreeDetectsBadSchedule(t *testing.T) {
+	net := mustNet(t, 10, 10, grid.Linf, 2)
+	// All nodes in one slot: certainly colliding.
+	bad := constSchedule{}
+	if CollisionFree(net, bad) {
+		t.Error("single-slot schedule must collide")
+	}
+}
+
+type constSchedule struct{}
+
+func (constSchedule) SlotOf(NodeID) int { return 0 }
+func (constSchedule) NumSlots() int     { return 1 }

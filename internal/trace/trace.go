@@ -1,0 +1,135 @@
+// Package trace renders executions as round-by-round ASCII frames: the
+// commit wavefront of Figs 9-10 and 14-19 made visible. Frames are derived
+// from an engine Result (which records each node's commit round), so tracing
+// costs nothing during the run itself.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Cell states in a rendered frame.
+const (
+	// CellUndecided marks a node that has not committed yet.
+	CellUndecided = '.'
+	// CellCorrect marks a node committed to the expected value.
+	CellCorrect = '#'
+	// CellWrong marks a node committed to a different value.
+	CellWrong = 'X'
+	// CellFaulty marks an adversarial or crashed node.
+	CellFaulty = 'F'
+	// CellSource marks the designated source.
+	CellSource = 'S'
+)
+
+// Frame is the network state at the end of one round.
+type Frame struct {
+	// Round is the engine round the frame depicts (0 = after Init).
+	Round int
+	// NewCommits is the number of first-time commits in this round.
+	NewCommits int
+	// Cells is the row-major cell matrix.
+	Cells [][]byte
+}
+
+// Render draws the frame with a border and caption.
+func (f Frame) Render() string {
+	var b strings.Builder
+	w := 0
+	if len(f.Cells) > 0 {
+		w = len(f.Cells[0])
+	}
+	fmt.Fprintf(&b, "round %d (+%d commits)\n", f.Round, f.NewCommits)
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range f.Cells {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	return b.String()
+}
+
+// Config describes how to interpret a result.
+type Config struct {
+	// Net is the network the result came from (required).
+	Net *topology.Network
+	// Result is the engine outcome (required).
+	Result sim.Result
+	// Source is the designated source node.
+	Source topology.NodeID
+	// Value is the expected (source) value.
+	Value byte
+	// Faulty lists adversarial/crashed nodes.
+	Faulty []topology.NodeID
+}
+
+// Frames reconstructs the per-round state sequence from a result: frame k
+// shows every commit that happened in rounds ≤ k. The sequence covers round
+// 0 through the last commit round.
+func Frames(cfg Config) ([]Frame, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("trace: Config.Net is required")
+	}
+	t := cfg.Net.Torus()
+	isF := make(map[topology.NodeID]bool, len(cfg.Faulty))
+	for _, id := range cfg.Faulty {
+		isF[id] = true
+	}
+	last := 0
+	for _, rd := range cfg.Result.DecidedRound {
+		if rd > last {
+			last = rd
+		}
+	}
+	frames := make([]Frame, 0, last+1)
+	for round := 0; round <= last; round++ {
+		fr := Frame{Round: round, Cells: make([][]byte, t.H)}
+		for y := 0; y < t.H; y++ {
+			fr.Cells[y] = make([]byte, t.W)
+			for x := 0; x < t.W; x++ {
+				id := cfg.Net.IDOf(grid.C(x, y))
+				fr.Cells[y][x] = cellFor(cfg, isF, id, round)
+			}
+		}
+		for id, rd := range cfg.Result.DecidedRound {
+			if rd == round && !isF[id] {
+				fr.NewCommits++
+			}
+		}
+		frames = append(frames, fr)
+	}
+	return frames, nil
+}
+
+// cellFor classifies one node at one round.
+func cellFor(cfg Config, isF map[topology.NodeID]bool, id topology.NodeID, round int) byte {
+	switch {
+	case isF[id]:
+		return CellFaulty
+	case id == cfg.Source:
+		return CellSource
+	}
+	v, decided := cfg.Result.Decided[id]
+	if !decided || cfg.Result.DecidedRound[id] > round {
+		return CellUndecided
+	}
+	if v == cfg.Value {
+		return CellCorrect
+	}
+	return CellWrong
+}
+
+// RenderAll renders every frame separated by blank lines.
+func RenderAll(frames []Frame) string {
+	parts := make([]string, len(frames))
+	for i, f := range frames {
+		parts[i] = f.Render()
+	}
+	return strings.Join(parts, "\n")
+}

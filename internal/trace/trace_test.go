@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func runFlood(t *testing.T) (*topology.Network, topology.NodeID, sim.Result) {
+	t.Helper()
+	net, err := topology.New(grid.Torus{W: 10, H: 8}, grid.Linf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := net.IDOf(grid.C(0, 0))
+	out, err := protocol.Run(protocol.RunConfig{
+		Kind:   protocol.Flood,
+		Params: protocol.Params{Net: net, Source: src, Value: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, src, out.Result
+}
+
+func TestFramesValidation(t *testing.T) {
+	if _, err := Frames(Config{}); err == nil {
+		t.Error("nil network must be rejected")
+	}
+}
+
+func TestFramesReconstructWavefront(t *testing.T) {
+	net, src, res := runFlood(t)
+	frames, err := Frames(Config{Net: net, Result: res, Source: src, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames")
+	}
+	// Frame dimensions match the torus.
+	for _, f := range frames {
+		if len(f.Cells) != 8 || len(f.Cells[0]) != 10 {
+			t.Fatalf("frame %d has wrong dimensions", f.Round)
+		}
+	}
+	// The committed region grows monotonically and ends complete.
+	prev := -1
+	for _, f := range frames {
+		count := 0
+		for _, row := range f.Cells {
+			for _, c := range row {
+				if c == CellCorrect || c == CellSource {
+					count++
+				}
+			}
+		}
+		if count < prev {
+			t.Fatalf("frame %d: committed region shrank (%d < %d)", f.Round, count, prev)
+		}
+		prev = count
+	}
+	if prev != net.Size() {
+		t.Errorf("final frame has %d committed cells, want %d", prev, net.Size())
+	}
+	// New-commit counts sum to the node count (source commits at round 0).
+	total := 0
+	for _, f := range frames {
+		total += f.NewCommits
+	}
+	if total != net.Size() {
+		t.Errorf("new commits sum to %d, want %d", total, net.Size())
+	}
+}
+
+func TestFramesMarkFaultyAndWrong(t *testing.T) {
+	net, src, res := runFlood(t)
+	faulty := []topology.NodeID{net.IDOf(grid.C(5, 5))}
+	// Fabricate a wrong decision for rendering purposes.
+	wrongID := net.IDOf(grid.C(3, 3))
+	res.Decided[wrongID] = 0
+	frames, err := Frames(Config{Net: net, Result: res, Source: src, Value: 1, Faulty: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := frames[len(frames)-1]
+	if last.Cells[5][5] != CellFaulty {
+		t.Error("faulty node not marked")
+	}
+	if last.Cells[3][3] != CellWrong {
+		t.Error("wrong commit not marked")
+	}
+	if last.Cells[0][0] != CellSource {
+		t.Error("source not marked")
+	}
+}
+
+func TestRender(t *testing.T) {
+	net, src, res := runFlood(t)
+	frames, err := Frames(Config{Net: net, Result: res, Source: src, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := frames[0].Render()
+	if !strings.Contains(s, "round 0") || !strings.Contains(s, "S") {
+		t.Errorf("render missing caption or source:\n%s", s)
+	}
+	all := RenderAll(frames)
+	if strings.Count(all, "round ") != len(frames) {
+		t.Error("RenderAll must include every frame")
+	}
+}

@@ -1,0 +1,287 @@
+package rbcast
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/grid"
+	"repro/internal/protocol"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Metric selects the distance metric defining radio neighborhoods.
+type Metric int
+
+const (
+	// MetricLinf is the L∞ (Chebyshev) metric — the paper's exact-threshold
+	// setting. This is the default.
+	MetricLinf Metric = iota + 1
+	// MetricL2 is the Euclidean metric of §VIII.
+	MetricL2
+)
+
+// Protocol selects a broadcast protocol.
+type Protocol int
+
+const (
+	// ProtocolFlood is crash-stop flooding (§VII).
+	ProtocolFlood Protocol = iota + 1
+	// ProtocolCPA is the simple protocol (§IX): commit on t+1 matching
+	// neighbor announcements.
+	ProtocolCPA
+	// ProtocolBV4 is the paper's 4-hop indirect-report protocol (§VI),
+	// exact-threshold optimal in L∞.
+	ProtocolBV4
+	// ProtocolBV2 is the simplified 2-hop protocol (§VI-B).
+	ProtocolBV2
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolFlood:
+		return "flood"
+	case ProtocolCPA:
+		return "cpa"
+	case ProtocolBV4:
+		return "bv4"
+	case ProtocolBV2:
+		return "bv2"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config describes a broadcast scenario.
+type Config struct {
+	// Width and Height are the torus dimensions (≥ 2·Radius+1 each).
+	Width, Height int
+	// Radius is the transmission radius r (≥ 1).
+	Radius int
+	// Metric defaults to MetricLinf.
+	Metric Metric
+	// Protocol selects the broadcast protocol (required).
+	Protocol Protocol
+	// T is the assumed per-neighborhood fault bound (ignored by flooding).
+	T int
+	// Value is the source's binary input (0 or 1).
+	Value byte
+	// SourceX, SourceY locate the source (default: the origin).
+	SourceX, SourceY int
+	// MaxRounds bounds the execution (0 = a large default).
+	MaxRounds int
+	// Concurrent runs the goroutine-per-node engine instead of the
+	// deterministic sequential one. Results are identical; the concurrent
+	// engine exercises real parallelism.
+	Concurrent bool
+	// ExactEvidence switches ProtocolBV4 to exhaustive evidence
+	// evaluation (expensive; for validation at small radii). The default
+	// is the designated-family ("earmarked") mode from the constructive
+	// proof.
+	ExactEvidence bool
+	// LossRate enables the unreliable-channel extension (§II/§X): each
+	// transmission is lost at each receiver independently with this
+	// probability. Zero is the paper's ideal medium.
+	LossRate float64
+	// Retransmit is the blind retransmission count of the probabilistic
+	// local-broadcast primitive (< 1 means 1).
+	Retransmit int
+	// MediumSeed drives the loss process deterministically.
+	MediumSeed int64
+	// SpoofingPossible drops the no-address-spoofing assumption (§X
+	// what-if): receivers attribute messages to the claimed sender.
+	// Combine with StrategySpoofer to reproduce the safety collapse the
+	// paper warns about.
+	SpoofingPossible bool
+	// LockStep defers every broadcast to the next round (one hop per
+	// round) instead of the default TDMA-frame semantics where later
+	// slots react within the same frame. Decisions are identical; round
+	// numbers become hop counts, which makes wavefront traces readable.
+	LockStep bool
+}
+
+// network builds the topology for the config.
+func (c Config) network() (*topology.Network, error) {
+	m := grid.Linf
+	switch c.Metric {
+	case 0, MetricLinf:
+	case MetricL2:
+		m = grid.L2
+	default:
+		return nil, fmt.Errorf("rbcast: invalid metric %d", int(c.Metric))
+	}
+	return topology.New(grid.Torus{W: c.Width, H: c.Height}, m, c.Radius)
+}
+
+// kind maps the public protocol enum to the internal one.
+func (c Config) kind() (protocol.Kind, error) {
+	switch c.Protocol {
+	case ProtocolFlood:
+		return protocol.Flood, nil
+	case ProtocolCPA:
+		return protocol.CPA, nil
+	case ProtocolBV4:
+		return protocol.BV4, nil
+	case ProtocolBV2:
+		return protocol.BV2, nil
+	default:
+		return 0, fmt.Errorf("rbcast: invalid protocol %d", int(c.Protocol))
+	}
+}
+
+// Run executes the scenario against the fault plan and reports the outcome.
+func Run(cfg Config, plan FaultPlan) (Result, error) {
+	net, err := cfg.network()
+	if err != nil {
+		return Result{}, err
+	}
+	kind, err := cfg.kind()
+	if err != nil {
+		return Result{}, err
+	}
+	source := net.IDOf(grid.C(cfg.SourceX, cfg.SourceY))
+	plan.budgetForPlan = cfg.T
+	faulty, err := plan.materialize(net, source)
+	if err != nil {
+		return Result{}, err
+	}
+	mode := protocol.Designated
+	if cfg.ExactEvidence {
+		mode = protocol.Exact
+	}
+	params := protocol.Params{
+		Net:              net,
+		Source:           source,
+		Value:            cfg.Value,
+		T:                cfg.T,
+		Mode:             mode,
+		SpoofingPossible: cfg.SpoofingPossible,
+	}
+	medium := sim.Medium{LossRate: cfg.LossRate, Retransmit: cfg.Retransmit, Seed: cfg.MediumSeed}
+
+	var out protocol.Outcome
+	if cfg.Concurrent {
+		if medium.LossRate > 0 {
+			return Result{}, fmt.Errorf("rbcast: the lossy-medium extension requires the sequential engine")
+		}
+		out, err = runConcurrent(kind, params, faulty, cfg.MaxRounds)
+	} else {
+		mode := sim.ModeFrame
+		if cfg.LockStep {
+			mode = sim.ModeNextRound
+		}
+		out, err = protocol.Run(protocol.RunConfig{
+			Kind:      kind,
+			Params:    params,
+			Byzantine: faulty.byzantine,
+			Crash:     faulty.crash,
+			MaxRounds: cfg.MaxRounds,
+			Medium:    medium,
+			Mode:      mode,
+		})
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(net, out, faulty), nil
+}
+
+// runConcurrent executes on the goroutine-per-node engine.
+func runConcurrent(kind protocol.Kind, params protocol.Params, faulty materialized, maxRounds int) (protocol.Outcome, error) {
+	honest, err := protocol.NewFactory(kind, params)
+	if err != nil {
+		return protocol.Outcome{}, err
+	}
+	factory := func(id topology.NodeID) sim.Process {
+		if strat, ok := faulty.byzantine[id]; ok {
+			return strat.NewProcess(id)
+		}
+		return honest(id)
+	}
+	res, err := runtime.Run(runtime.Config{
+		Net:       params.Net,
+		Factory:   factory,
+		CrashAt:   faulty.crash,
+		MaxRounds: maxRounds,
+	})
+	if err != nil {
+		return protocol.Outcome{}, err
+	}
+	out := protocol.Outcome{Result: res}
+	params.Net.ForEach(func(id topology.NodeID) {
+		if _, byz := faulty.byzantine[id]; byz {
+			return
+		}
+		if _, crashed := faulty.crash[id]; crashed {
+			return
+		}
+		out.Honest++
+		v, ok := res.Decided[id]
+		switch {
+		case !ok:
+			out.Undecided++
+		case v == params.Value:
+			out.Correct++
+		default:
+			out.Wrong++
+		}
+	})
+	return out, nil
+}
+
+// Threshold re-exports: the closed-form fault-tolerance bounds of the paper
+// as functions of the transmission radius r.
+
+// MaxByzantineLinf is the largest t tolerated by ProtocolBV4/ProtocolBV2 in
+// L∞ (Theorem 1): the largest integer below r(2r+1)/2.
+func MaxByzantineLinf(r int) int { return bounds.MaxByzantineLinf(r) }
+
+// MinImpossibleByzantineLinf is ⌈r(2r+1)/2⌉, the smallest Byzantine t at
+// which reliable broadcast is impossible in L∞ (Koo 2004).
+func MinImpossibleByzantineLinf(r int) int { return bounds.MinImpossibleByzantineLinf(r) }
+
+// MaxCrashLinf is r(2r+1)−1, the largest crash-stop t tolerable in L∞
+// (Theorem 5).
+func MaxCrashLinf(r int) int { return bounds.MaxCrashLinf(r) }
+
+// MinImpossibleCrashLinf is r(2r+1), the crash-stop impossibility bound
+// (Theorem 4).
+func MinImpossibleCrashLinf(r int) int { return bounds.MinImpossibleCrashLinf(r) }
+
+// MaxCPALinf is ⌊2r²/3⌋, the simple protocol's bound (Theorem 6).
+func MaxCPALinf(r int) int { return bounds.MaxCPALinf(r) }
+
+// KooCPALinf is Koo's earlier bound for the simple protocol in L∞, which
+// Theorem 6 dominates asymptotically.
+func KooCPALinf(r int) int { return bounds.KooCPALinf(r) }
+
+// ApproxByzantineL2 is the paper's informal L2 achievability value
+// ⌊0.23πr²⌋ (§VIII).
+func ApproxByzantineL2(r int) int { return bounds.ApproxByzantineL2(r) }
+
+// ApproxImpossibleByzantineL2 is the informal L2 impossibility value
+// ⌈0.3πr²⌉ (§VIII).
+func ApproxImpossibleByzantineL2(r int) int { return bounds.ApproxImpossibleByzantineL2(r) }
+
+// ApproxCrashL2 is the informal L2 crash-stop achievability value ⌊0.46πr²⌋.
+func ApproxCrashL2(r int) int { return bounds.ApproxCrashL2(r) }
+
+// ApproxImpossibleCrashL2 is the informal L2 crash-stop impossibility value
+// ⌈0.6πr²⌉.
+func ApproxImpossibleCrashL2(r int) int { return bounds.ApproxImpossibleCrashL2(r) }
+
+// NeighborhoodSize returns the closed-neighborhood population for the metric
+// and radius — the denominator of the paper's "fraction of a neighborhood"
+// statements.
+func NeighborhoodSize(m Metric, r int) (int, error) {
+	switch m {
+	case MetricLinf:
+		return grid.Linf.ClosedBallSize(r), nil
+	case MetricL2:
+		return grid.L2.ClosedBallSize(r), nil
+	default:
+		return 0, fmt.Errorf("rbcast: invalid metric %d", int(m))
+	}
+}

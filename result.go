@@ -1,0 +1,98 @@
+package rbcast
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/protocol"
+	"repro/internal/topology"
+)
+
+// Node is a grid location on the torus.
+type Node struct {
+	X, Y int
+}
+
+// String renders the node as "(x,y)".
+func (n Node) String() string { return fmt.Sprintf("(%d,%d)", n.X, n.Y) }
+
+// gridCoord converts public coordinates to the internal type.
+func gridCoord(x, y int) grid.Coord { return grid.C(x, y) }
+
+// Decision is one node's outcome.
+type Decision struct {
+	// Value is the committed value (meaningful when Decided).
+	Value byte
+	// Decided reports whether the node committed at all.
+	Decided bool
+	// Round is the engine round of the commitment.
+	Round int
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Honest is the number of non-faulty nodes (including the source).
+	Honest int
+	// Correct, Wrong, Undecided partition the honest nodes by outcome.
+	Correct, Wrong, Undecided int
+	// Faults is the number of faulty nodes the plan placed.
+	Faults int
+	// MaxFaultsPerNbd is the worst closed-neighborhood fault count of the
+	// placement (the locally bounded adversary's "t" actually used).
+	MaxFaultsPerNbd int
+	// Rounds, Broadcasts, Deliveries are engine traffic statistics.
+	Rounds, Broadcasts, Deliveries int
+	// Quiesced reports whether the run ended with no traffic left.
+	Quiesced bool
+	// Decisions maps every node to its outcome (faulty nodes included;
+	// adversarial processes never decide).
+	Decisions map[Node]Decision
+	// Faulty lists the corrupted nodes in id order.
+	Faulty []Node
+}
+
+// AllCorrect reports whether every honest node committed the source value —
+// the success criterion of reliable broadcast.
+func (r Result) AllCorrect() bool { return r.Wrong == 0 && r.Undecided == 0 }
+
+// Safe reports whether no honest node committed a wrong value (Theorem 2's
+// guarantee, which holds even when liveness fails).
+func (r Result) Safe() bool { return r.Wrong == 0 }
+
+// newResult converts an internal outcome.
+func newResult(net *topology.Network, out protocol.Outcome, m materialized) Result {
+	res := Result{
+		Honest:     out.Honest,
+		Correct:    out.Correct,
+		Wrong:      out.Wrong,
+		Undecided:  out.Undecided,
+		Faults:     len(m.faulty),
+		Rounds:     out.Result.Stats.Rounds,
+		Broadcasts: out.Result.Stats.Broadcasts,
+		Deliveries: out.Result.Stats.Deliveries,
+		Quiesced:   out.Result.Stats.Quiesced,
+		Decisions:  make(map[Node]Decision, net.Size()),
+	}
+	if len(m.faulty) > 0 {
+		res.MaxFaultsPerNbd = maxPerNbd(net, m.faulty)
+		res.Faulty = make([]Node, len(m.faulty))
+		for i, id := range m.faulty {
+			c := net.CoordOf(id)
+			res.Faulty[i] = Node{X: c.X, Y: c.Y}
+		}
+	}
+	net.ForEach(func(id topology.NodeID) {
+		c := net.CoordOf(id)
+		d := Decision{}
+		if v, ok := out.Result.Decided[id]; ok {
+			d = Decision{Value: v, Decided: true, Round: out.Result.DecidedRound[id]}
+		}
+		res.Decisions[Node{X: c.X, Y: c.Y}] = d
+	})
+	return res
+}
+
+// maxPerNbd delegates to the fault package's exhaustive validator.
+func maxPerNbd(net *topology.Network, faulty []topology.NodeID) int {
+	return faultMaxPerNeighborhood(net, faulty)
+}
