@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: verify build vet test race experiments
+
+# verify is the full pre-merge gate: tier-1 (build + test) plus vet and the
+# race detector across every package.
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+experiments:
+	$(GO) run ./cmd/experiments

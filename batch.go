@@ -1,0 +1,60 @@
+package rbcast
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+// Job pairs one scenario with its adversary for batch execution.
+type Job struct {
+	Config Config
+	Plan   FaultPlan
+}
+
+// BatchResult is the outcome of one batch job.
+type BatchResult struct {
+	// Result is the job's outcome; valid only when Err is nil.
+	Result Result
+	// Err captures the job's own failure (invalid config, cancelled
+	// context, panic). One failing job never affects the others.
+	Err error
+}
+
+// BatchOptions configures RunBatch. The zero value runs with GOMAXPROCS
+// workers and no cancellation.
+type BatchOptions struct {
+	// Workers caps the worker pool; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Context optionally cancels the batch: jobs not yet started when it
+	// is done complete immediately with Err = Context.Err(). Jobs already
+	// in flight run to completion — individual runs are not preemptible.
+	Context context.Context
+}
+
+// RunBatch executes the jobs across a bounded worker pool and returns one
+// result per job, in job order — the output is identical to calling Run in
+// a loop, independent of worker count and scheduling. Scenario runs are
+// pure CPU work on disjoint state, so throughput scales with cores; this is
+// the substrate the threshold sweeps and experiment drivers fan out on.
+func RunBatch(jobs []Job, opts BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	ctx := opts.Context
+	pool.Run(opts.Workers, len(jobs), func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = BatchResult{Err: fmt.Errorf("rbcast: job %d panicked: %v", i, r)}
+			}
+		}()
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				results[i].Err = err
+				return
+			}
+		}
+		res, err := Run(jobs[i].Config, jobs[i].Plan)
+		results[i] = BatchResult{Result: res, Err: err}
+	})
+	return results
+}

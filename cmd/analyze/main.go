@@ -3,6 +3,11 @@
 // cross-checks the prediction against the simulator. Useful for screening
 // adversarial placements quickly: the closures run in milliseconds where a
 // full protocol simulation may take seconds.
+//
+// With -sweep it switches to dynamic mode: every fault bound t from 0 up to
+// the crash impossibility point is simulated through rbcast.RunBatch across
+// a worker pool, printing one row per t with the outcome and the measured
+// traffic from the metrics layer.
 package main
 
 import (
@@ -10,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	rbcast "repro"
 	"repro/internal/analysis"
 	"repro/internal/bounds"
 	"repro/internal/evidence"
@@ -21,16 +27,23 @@ import (
 
 func main() {
 	var (
-		width  = flag.Int("width", 16, "torus width")
-		height = flag.Int("height", 10, "torus height")
-		radius = flag.Int("radius", 1, "transmission radius r")
-		proto  = flag.String("protocol", "bv4", "protocol: flood, cpa, bv4")
-		tBound = flag.Int("t", -1, "fault bound (default: protocol's max for r)")
-		place  = flag.String("faults", "greedy", "placement: none, band, checkerboard, greedy, random")
-		seed   = flag.Int64("seed", 1, "seed for random placement")
-		verify = flag.Bool("verify", false, "also run the simulator and compare")
+		width   = flag.Int("width", 16, "torus width")
+		height  = flag.Int("height", 10, "torus height")
+		radius  = flag.Int("radius", 1, "transmission radius r")
+		proto   = flag.String("protocol", "bv4", "protocol: flood, cpa, bv2, bv4 (bv2 only with -sweep)")
+		tBound  = flag.Int("t", -1, "fault bound (default: protocol's max for r)")
+		place   = flag.String("faults", "greedy", "placement: none, band, checkerboard, greedy, random")
+		seed    = flag.Int64("seed", 1, "seed for random placement")
+		verify  = flag.Bool("verify", false, "also run the simulator and compare")
+		sweep   = flag.Bool("sweep", false, "simulate every t from 0 to the crash impossibility point via the batch runner")
+		workers = flag.Int("workers", 0, "worker pool size for -sweep (<=0 means GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *sweep {
+		runSweep(*width, *height, *radius, *proto, *place, *seed, *workers)
+		return
+	}
 
 	net, err := topology.New(grid.Torus{W: *width, H: *height}, grid.Linf, *radius)
 	if err != nil {
@@ -151,6 +164,68 @@ func main() {
 		if !agree {
 			os.Exit(1)
 		}
+	}
+}
+
+// runSweep simulates the protocol at every fault bound t from 0 to the
+// crash impossibility point, dispatching all cells as one rbcast.RunBatch
+// call. Rows print in t order regardless of worker count.
+func runSweep(width, height, radius int, proto, place string, seed int64, workers int) {
+	protoKind, ok := map[string]rbcast.Protocol{
+		"flood": rbcast.ProtocolFlood,
+		"cpa":   rbcast.ProtocolCPA,
+		"bv2":   rbcast.ProtocolBV2,
+		"bv4":   rbcast.ProtocolBV4,
+	}[proto]
+	if !ok {
+		fatal("unknown protocol %q (sweep supports flood, cpa, bv2, bv4)", proto)
+	}
+	placement, ok := map[string]rbcast.Placement{
+		"band":         rbcast.PlaceBand,
+		"checkerboard": rbcast.PlaceCheckerboardBand,
+		"greedy":       rbcast.PlaceGreedyBand,
+		"random":       rbcast.PlaceRandomBounded,
+	}[place]
+	if !ok && place != "none" {
+		fatal("unknown placement %q", place)
+	}
+	strategy := rbcast.StrategySilent
+	if protoKind == rbcast.ProtocolFlood {
+		strategy = rbcast.StrategyCrash
+	}
+
+	tMax := rbcast.MinImpossibleCrashLinf(radius)
+	jobs := make([]rbcast.Job, 0, tMax+1)
+	for t := 0; t <= tMax; t++ {
+		cfg := rbcast.Config{
+			Width: width, Height: height, Radius: radius,
+			Protocol: protoKind, T: t, Value: 1,
+		}
+		plan := rbcast.FaultPlan{Placement: placement, Strategy: strategy, Budget: t, Seed: seed}
+		if t == 0 || place == "none" {
+			plan = rbcast.FaultPlan{}
+		}
+		jobs = append(jobs, rbcast.Job{Config: cfg, Plan: plan})
+	}
+	results := rbcast.RunBatch(jobs, rbcast.BatchOptions{Workers: workers})
+
+	fmt.Printf("sweep: %s on %dx%d torus, r=%d, %s faults (silent adversary unless flood)\n",
+		proto, width, height, radius, place)
+	fmt.Println("t    outcome  faults  broadcasts  rounds")
+	for t, br := range results {
+		if br.Err != nil {
+			fatal("t=%d: %v", t, br.Err)
+		}
+		res := br.Result
+		outcome := "stall"
+		switch {
+		case !res.Safe():
+			outcome = "UNSAFE"
+		case res.AllCorrect():
+			outcome = "ok"
+		}
+		fmt.Printf("%-4d %-8s %-7d %-11d %d\n",
+			t, outcome, res.Faults, res.Broadcasts, res.Rounds)
 	}
 }
 

@@ -1,13 +1,16 @@
 // Command experiments regenerates every reproduced paper artifact (Table I,
 // Figs 1-19 and all theorem thresholds) and prints the paper-vs-measured
-// reports indexed in DESIGN.md. Use -run to select a subset and -list to
-// enumerate the available experiment ids.
+// reports indexed in DESIGN.md. Use -run to select a subset, -list to
+// enumerate the available experiment ids, and -workers to fan independent
+// experiments across a worker pool (the report order stays deterministic
+// regardless of worker count).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -15,8 +18,9 @@ import (
 
 func main() {
 	var (
-		run  = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments run concurrently (<=0 means GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -32,17 +36,17 @@ func main() {
 		ids = strings.Split(*run, ",")
 	}
 
+	reports, err := experiments.RunMany(ids, *workers)
 	failures := 0
-	for _, id := range ids {
-		rep, err := experiments.Run(strings.TrimSpace(id))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
-		}
+	for _, rep := range reports {
 		fmt.Println(rep.Format())
 		if !rep.Pass {
 			failures++
 		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) did not match the paper's claims\n", failures)

@@ -5,6 +5,11 @@
 // Byzantine protocols face the strongest legal band adversary at each t
 // (greedy checkerboard-first packing) plus the exact Fig 13 construction at
 // the impossibility point; the crash column uses the Fig 8 band.
+//
+// The whole sweep is dispatched as one rbcast.RunBatch call: every (t,
+// protocol) cell is an independent job, executed across GOMAXPROCS workers,
+// with results returned in job order so the printed table is identical to a
+// sequential loop.
 package main
 
 import (
@@ -14,6 +19,8 @@ import (
 	"repro"
 )
 
+const columns = 4 // bv4, bv2, cpa, flood
+
 func main() {
 	const r = 1
 	fmt.Printf("r = %d: Byzantine threshold t < %.1f (max %d), crash threshold t < %d\n\n",
@@ -21,12 +28,25 @@ func main() {
 
 	fmt.Println("t   bv4(band)  bv2(band)  cpa(band)  flood(crash band)")
 	tMax := rbcast.MinImpossibleCrashLinf(r)
+
+	var jobs []rbcast.Job
+	for t := 0; t <= tMax; t++ {
+		for _, proto := range []rbcast.Protocol{rbcast.ProtocolBV4, rbcast.ProtocolBV2, rbcast.ProtocolCPA} {
+			jobs = append(jobs, byzJob(proto, r, t))
+		}
+		jobs = append(jobs, crashJob(r, t))
+	}
+	results := rbcast.RunBatch(jobs, rbcast.BatchOptions{})
+
 	for t := 0; t <= tMax; t++ {
 		row := fmt.Sprintf("%-3d", t)
-		for _, proto := range []rbcast.Protocol{rbcast.ProtocolBV4, rbcast.ProtocolBV2, rbcast.ProtocolCPA} {
-			row += fmt.Sprintf(" %-10s", cell(byzCell(proto, r, t)))
+		for i := 0; i < columns; i++ {
+			br := results[t*columns+i]
+			if br.Err != nil {
+				log.Fatalf("threshold-sweep: %v", br.Err)
+			}
+			row += fmt.Sprintf(" %-10s", cell(br.Result))
 		}
-		row += fmt.Sprintf(" %-10s", cell(crashCell(r, t)))
 		fmt.Println(row)
 	}
 	fmt.Println("\n'ok' = every honest node committed correctly; 'stall' = some never decided.")
@@ -34,10 +54,10 @@ func main() {
 		"and the crash column at t =", rbcast.MinImpossibleCrashLinf(r), "— the paper's exact thresholds.")
 }
 
-// byzCell runs one Byzantine scenario: the strongest band placement the
+// byzJob builds one Byzantine scenario: the strongest band placement the
 // budget t admits (at the impossibility point this is the full Fig 13
 // checkerboard).
-func byzCell(proto rbcast.Protocol, r, t int) rbcast.Result {
+func byzJob(proto rbcast.Protocol, r, t int) rbcast.Job {
 	cfg := rbcast.Config{
 		Width: 16, Height: 10, Radius: r,
 		Protocol: proto, T: t, Value: 1,
@@ -53,15 +73,11 @@ func byzCell(proto rbcast.Protocol, r, t int) rbcast.Result {
 	if t == 0 {
 		plan = rbcast.FaultPlan{}
 	}
-	res, err := rbcast.Run(cfg, plan)
-	if err != nil {
-		log.Fatalf("threshold-sweep: %v", err)
-	}
-	return res
+	return rbcast.Job{Config: cfg, Plan: plan}
 }
 
-// crashCell runs flooding against the densest band the crash budget admits.
-func crashCell(r, t int) rbcast.Result {
+// crashJob builds flooding against the densest band the crash budget admits.
+func crashJob(r, t int) rbcast.Job {
 	cfg := rbcast.Config{
 		Width: 16, Height: 10, Radius: r,
 		Protocol: rbcast.ProtocolFlood, T: t, Value: 1,
@@ -77,11 +93,7 @@ func crashCell(r, t int) rbcast.Result {
 	if t == 0 {
 		plan = rbcast.FaultPlan{}
 	}
-	res, err := rbcast.Run(cfg, plan)
-	if err != nil {
-		log.Fatalf("threshold-sweep: %v", err)
-	}
-	return res
+	return rbcast.Job{Config: cfg, Plan: plan}
 }
 
 // cell renders a result as ok/stall/UNSAFE.

@@ -135,14 +135,7 @@ func (p FaultPlan) materialize(net *topology.Network, source topology.NodeID) (m
 		return materialized{}, err
 	}
 
-	// The designated source stays honest.
-	kept := ids[:0]
-	for _, id := range ids {
-		if id != source {
-			kept = append(kept, id)
-		}
-	}
-	ids = kept
+	ids = filterFaulty(ids, source)
 
 	out := materialized{faulty: ids}
 	strategy := p.Strategy
@@ -175,6 +168,27 @@ func (p FaultPlan) materialize(net *topology.Network, source topology.NodeID) (m
 		return materialized{}, fmt.Errorf("rbcast: invalid strategy %d", int(strategy))
 	}
 	return out, nil
+}
+
+// filterFaulty canonicalizes a raw placement: the designated source stays
+// honest, and a node placed twice (the two antipodal band constructions are
+// appended independently and may meet on a narrow torus) counts once —
+// otherwise Result.Faults and MaxFaultsPerNeighborhood would double-count
+// it. First occurrence wins, preserving placement order.
+func filterFaulty(ids []topology.NodeID, source topology.NodeID) []topology.NodeID {
+	seen := make(map[topology.NodeID]struct{}, len(ids))
+	kept := ids[:0]
+	for _, id := range ids {
+		if id == source {
+			continue
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		kept = append(kept, id)
+	}
+	return kept
 }
 
 // MaxFaultsPerNeighborhood exhaustively measures the worst closed

@@ -1,0 +1,145 @@
+package rbcast
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestFilterFaultyDedupesAndExcludesSource(t *testing.T) {
+	ids := []topology.NodeID{4, 7, 4, 2, 7, 9, 2}
+	got := filterFaulty(ids, 9)
+	want := []topology.NodeID{4, 7, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("filterFaulty = %v, want %v", got, want)
+	}
+	if got := filterFaulty(nil, 0); len(got) != 0 {
+		t.Errorf("empty input produced %v", got)
+	}
+}
+
+// TestBandPlacementsNoDuplicatesOnMinimalTorus is the regression test for
+// the band double-count: the two antipodal bands are materialized
+// independently, and on the narrowest legal torus they abut — every fault
+// must still appear exactly once in Result.Faulty.
+func TestBandPlacementsNoDuplicatesOnMinimalTorus(t *testing.T) {
+	for _, tc := range []struct{ r, w, h int }{{1, 3, 4}, {2, 5, 6}, {3, 7, 8}} {
+		for _, placement := range []Placement{PlaceBand, PlaceCheckerboardBand, PlaceGreedyBand} {
+			cfg := Config{
+				Width: tc.w, Height: tc.h, Radius: tc.r,
+				Protocol: ProtocolFlood, T: 1, Value: 1,
+			}
+			res, err := Run(cfg, FaultPlan{Placement: placement, Strategy: StrategyCrash, Budget: 1})
+			if err != nil {
+				t.Fatalf("r=%d placement=%d: %v", tc.r, placement, err)
+			}
+			seen := make(map[Node]int)
+			for _, n := range res.Faulty {
+				seen[n]++
+				if seen[n] > 1 {
+					t.Errorf("r=%d placement=%d: node %v listed %d times", tc.r, placement, n, seen[n])
+				}
+			}
+			if res.Faults != len(res.Faulty) {
+				t.Errorf("r=%d placement=%d: Faults=%d but %d listed", tc.r, placement, res.Faults, len(res.Faulty))
+			}
+		}
+	}
+}
+
+func TestBudgetZeroMeansConfigT(t *testing.T) {
+	cfg := Config{Width: 16, Height: 16, Radius: 1, Protocol: ProtocolFlood, T: 2, Value: 1}
+	defaulted, err := Run(cfg, FaultPlan{Placement: PlaceRandomBounded, Strategy: StrategyCrash, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Run(cfg, FaultPlan{Placement: PlaceRandomBounded, Strategy: StrategyCrash, Seed: 5, Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(defaulted.Faulty, explicit.Faulty) {
+		t.Errorf("Budget=0 placement differs from explicit Budget=Config.T placement")
+	}
+	// An explicit different budget must override Config.T.
+	tighter, err := Run(cfg, FaultPlan{Placement: PlaceRandomBounded, Strategy: StrategyCrash, Seed: 5, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tighter.MaxFaultsPerNbd > 1 {
+		t.Errorf("Budget=1 placement has density %d", tighter.MaxFaultsPerNbd)
+	}
+	if reflect.DeepEqual(tighter.Faulty, defaulted.Faulty) {
+		t.Error("Budget=1 placement identical to Budget=2 placement")
+	}
+}
+
+func TestCountExceedingTorusSizeSaturates(t *testing.T) {
+	cfg := Config{Width: 16, Height: 16, Radius: 1, Protocol: ProtocolFlood, T: 1, Value: 1}
+	huge, err := Run(cfg, FaultPlan{Placement: PlaceRandomBounded, Strategy: StrategyCrash, Seed: 3, Count: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal, err := Run(cfg, FaultPlan{Placement: PlaceRandomBounded, Strategy: StrategyCrash, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge.Faults == 0 || huge.Faults >= 16*16 {
+		t.Errorf("saturated placement has %d faults", huge.Faults)
+	}
+	if !reflect.DeepEqual(huge.Faulty, maximal.Faulty) {
+		t.Error("Count beyond torus size must match the maximal placement")
+	}
+}
+
+func TestPercolationProbabilityExtremes(t *testing.T) {
+	cfg := Config{Width: 12, Height: 12, Radius: 1, Protocol: ProtocolFlood, Value: 1}
+	none, err := Run(cfg, FaultPlan{Placement: PlacePercolation, Probability: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Faults != 0 || !none.AllCorrect() {
+		t.Errorf("p=0: faults=%d allCorrect=%v", none.Faults, none.AllCorrect())
+	}
+	all, err := Run(cfg, FaultPlan{Placement: PlacePercolation, Probability: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 12*12 - 1; all.Faults != want {
+		t.Errorf("p=1: faults=%d, want %d (everyone but the source)", all.Faults, want)
+	}
+	if all.Honest != 1 || all.Correct != 1 {
+		t.Errorf("p=1: honest=%d correct=%d, want the lone source", all.Honest, all.Correct)
+	}
+	if _, err := Run(cfg, FaultPlan{Placement: PlacePercolation, Probability: 1.5}); err == nil {
+		t.Error("probability > 1 must be rejected")
+	}
+	if _, err := Run(cfg, FaultPlan{Placement: PlacePercolation, Probability: -0.1}); err == nil {
+		t.Error("negative probability must be rejected")
+	}
+}
+
+func TestSourceInsideBandStaysHonest(t *testing.T) {
+	cfg := Config{
+		Width: 16, Height: 10, Radius: 1,
+		Protocol: ProtocolFlood, Value: 1,
+		SourceX: 16 / 4, SourceY: 3, // inside the first band column
+	}
+	res, err := Run(cfg, FaultPlan{Placement: PlaceBand, Strategy: StrategyCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Node{X: 16 / 4, Y: 3}
+	for _, n := range res.Faulty {
+		if n == src {
+			t.Fatal("the designated source was corrupted")
+		}
+	}
+	// One band node (the source) is exempted: 2 bands × height − 1.
+	if want := 2*10 - 1; res.Faults != want {
+		t.Errorf("faults = %d, want %d", res.Faults, want)
+	}
+	if d := res.Decisions[src]; !d.Decided || d.Value != 1 {
+		t.Errorf("source decision = %+v", d)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/pool"
 )
 
 // Report is the outcome of one experiment.
@@ -109,16 +111,27 @@ func Run(id string) (Report, error) {
 // returns an error only for infrastructure failures; claim mismatches are
 // reported via Report.Pass.
 func RunAll() ([]Report, error) {
-	ids := IDs()
-	out := make([]Report, 0, len(ids))
-	for _, id := range ids {
-		rep, err := Run(id)
+	return RunMany(IDs(), 1)
+}
+
+// RunMany executes the given experiments across a bounded worker pool
+// (workers ≤ 0 means GOMAXPROCS) and returns their reports in input order —
+// identical to running them sequentially, since every runner is
+// deterministic and self-contained. On failure the reported error is the
+// first failing experiment in input order, regardless of which finished
+// first.
+func RunMany(ids []string, workers int) ([]Report, error) {
+	reports := make([]Report, len(ids))
+	errs := make([]error, len(ids))
+	pool.Run(workers, len(ids), func(i int) {
+		reports[i], errs[i] = Run(strings.TrimSpace(ids[i]))
+	})
+	for i, err := range errs {
 		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", id, err)
+			return reports[:i], fmt.Errorf("experiments: %s: %w", strings.TrimSpace(ids[i]), err)
 		}
-		out = append(out, rep)
 	}
-	return out, nil
+	return reports, nil
 }
 
 // itoa is shorthand for formatting ints in rows.

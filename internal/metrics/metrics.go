@@ -1,0 +1,144 @@
+// Package metrics provides cheap, concurrency-safe execution counters for
+// the simulation engines: running totals and per-round histograms of
+// broadcasts, deliveries, evidence evaluations and commits, plus the run's
+// wall-clock time. A nil *Collector is a valid no-op sink, so the engines
+// tap unconditionally and pay nothing when no one is collecting.
+//
+// Totals are atomics; the per-round histogram is guarded by a mutex because
+// the concurrent runtime records commits and evidence evaluations from many
+// node goroutines at once. Both engines drive the same taps, which is what
+// makes the counters differentially testable across them.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RoundCounters is one engine round's event counts. Round 0 is process
+// initialization (the source's first broadcast is queued there but
+// transmitted in round 1).
+type RoundCounters struct {
+	// Broadcasts counts local broadcasts transmitted in the round
+	// (including blind retransmissions on a lossy medium).
+	Broadcasts int64
+	// Deliveries counts per-receiver message deliveries in the round.
+	Deliveries int64
+	// EvidenceEvals counts commit-rule evidence evaluations performed by
+	// honest processes in the round (BV4/BV2 disjoint-path checks).
+	EvidenceEvals int64
+	// Commits counts first-time decisions observed in the round.
+	Commits int64
+}
+
+// Snapshot is a consistent copy of a collector's state.
+type Snapshot struct {
+	// Broadcasts, Deliveries, EvidenceEvals, Commits are run totals; each
+	// equals the column sum over PerRound.
+	Broadcasts, Deliveries, EvidenceEvals, Commits int64
+	// PerRound indexes counters by engine round, starting at round 0.
+	PerRound []RoundCounters
+	// Wall is the run's wall-clock duration (set via ObserveWall).
+	Wall time.Duration
+}
+
+// Collector accumulates engine counters. The zero value is ready to use; a
+// nil *Collector discards everything.
+type Collector struct {
+	broadcasts atomic.Int64
+	deliveries atomic.Int64
+	evidence   atomic.Int64
+	commits    atomic.Int64
+	wall       atomic.Int64 // nanoseconds
+
+	mu     sync.Mutex
+	rounds []RoundCounters
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// round returns the per-round bucket, growing the histogram as needed.
+// Callers must hold c.mu.
+func (c *Collector) round(r int) *RoundCounters {
+	if r < 0 {
+		r = 0
+	}
+	for len(c.rounds) <= r {
+		c.rounds = append(c.rounds, RoundCounters{})
+	}
+	return &c.rounds[r]
+}
+
+// AddBroadcasts records n local broadcasts in the given round.
+func (c *Collector) AddBroadcasts(round int, n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.broadcasts.Add(n)
+	c.mu.Lock()
+	c.round(round).Broadcasts += n
+	c.mu.Unlock()
+}
+
+// AddDeliveries records n per-receiver deliveries in the given round.
+func (c *Collector) AddDeliveries(round int, n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.deliveries.Add(n)
+	c.mu.Lock()
+	c.round(round).Deliveries += n
+	c.mu.Unlock()
+}
+
+// AddEvidenceEvals records n commit-rule evidence evaluations in the round.
+func (c *Collector) AddEvidenceEvals(round int, n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.evidence.Add(n)
+	c.mu.Lock()
+	c.round(round).EvidenceEvals += n
+	c.mu.Unlock()
+}
+
+// AddCommit records one first-time decision in the given round.
+func (c *Collector) AddCommit(round int) {
+	if c == nil {
+		return
+	}
+	c.commits.Add(1)
+	c.mu.Lock()
+	c.round(round).Commits++
+	c.mu.Unlock()
+}
+
+// ObserveWall records the run's wall-clock duration.
+func (c *Collector) ObserveWall(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.wall.Store(int64(d))
+}
+
+// Snapshot copies the collector's state. It is safe to call while taps are
+// still firing; the copy is internally consistent per counter.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	perRound := make([]RoundCounters, len(c.rounds))
+	copy(perRound, c.rounds)
+	c.mu.Unlock()
+	return Snapshot{
+		Broadcasts:    c.broadcasts.Load(),
+		Deliveries:    c.deliveries.Load(),
+		EvidenceEvals: c.evidence.Load(),
+		Commits:       c.commits.Load(),
+		PerRound:      perRound,
+		Wall:          time.Duration(c.wall.Load()),
+	}
+}

@@ -1,0 +1,54 @@
+// Package pool provides the bounded worker pool shared by the public batch
+// runner (rbcast.RunBatch) and the experiment driver. Work items are plain
+// indices: the caller pre-allocates a results slice and fn(i) writes element
+// i, which keeps result ordering deterministic regardless of scheduling and
+// needs no synchronization beyond the pool's own join.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes fn(i) exactly once for every i in [0, n), across at most
+// `workers` goroutines (≤ 0 means runtime.GOMAXPROCS(0)). It returns after
+// all invocations complete. fn must confine its writes to per-index state;
+// distinct elements of a pre-allocated slice are safe without locking.
+//
+// Cancellation is cooperative: the pool always dispatches every index, so a
+// caller that wants to stop early makes fn check its context and return
+// immediately. That way skipped items still get a deterministic result slot.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

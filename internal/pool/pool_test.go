@@ -1,0 +1,49 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestEveryIndexRunsExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		counts := make([]atomic.Int32, n)
+		Run(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestEmptyAndNegativeN(t *testing.T) {
+	ran := false
+	Run(4, 0, func(int) { ran = true })
+	Run(4, -3, func(int) { ran = true })
+	if ran {
+		t.Error("fn invoked for empty input")
+	}
+}
+
+func TestSingleWorkerPreservesOrder(t *testing.T) {
+	var order []int
+	Run(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("single-worker order broken: %v", order)
+		}
+	}
+}
+
+func TestResultsSliceWritesAreSafe(t *testing.T) {
+	const n = 200
+	results := make([]int, n)
+	Run(8, n, func(i int) { results[i] = i * i })
+	for i, v := range results {
+		if v != i*i {
+			t.Errorf("results[%d] = %d", i, v)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"repro/internal/evidence"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -18,7 +19,8 @@ type bv2Proc struct {
 	source topology.NodeID
 	t      int
 	net    *topology.Network
-	spoof  bool // §X study: medium does not authenticate senders
+	spoof  bool               // §X study: medium does not authenticate senders
+	mc     *metrics.Collector // evidence-evaluation tap (nil = off)
 
 	value     byte
 	decided   bool
@@ -43,6 +45,7 @@ func newBV2Factory(p Params) sim.ProcessFactory {
 			t:           p.T,
 			net:         p.Net,
 			spoof:       p.SpoofingPossible,
+			mc:          p.Metrics,
 			value:       p.Value,
 			store:       evidence.NewStore(),
 			firstCommit: make(map[topology.NodeID]struct{}),
@@ -128,6 +131,7 @@ func (b *bv2Proc) tryCommit(ctx sim.Context, chain evidence.Chain) {
 	if b.decided {
 		return
 	}
+	b.mc.AddEvidenceEvals(ctx.Round(), 1)
 	if evidence.CommitSingleLevelFocused(b.net, b.store, b.self, chain.Value, b.t+1, chain) {
 		b.commit(ctx, chain.Value)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/evidence"
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -42,6 +43,7 @@ type bv4Proc struct {
 	mode   EvidenceMode
 	ft     *evidence.FamilyTable // nil in Exact mode
 	spoof  bool                  // §X study: medium does not authenticate senders
+	mc     *metrics.Collector    // evidence-evaluation tap (nil = off)
 
 	value     byte
 	decided   bool
@@ -95,6 +97,7 @@ func newBV4Factory(p Params) (sim.ProcessFactory, error) {
 			mode:        mode,
 			ft:          ft,
 			spoof:       p.SpoofingPossible,
+			mc:          p.Metrics,
 			value:       p.Value,
 			store:       evidence.NewStore(),
 			firstCommit: make(map[topology.NodeID]struct{}),
@@ -197,7 +200,7 @@ func (b *bv4Proc) acceptHeard(ctx sim.Context, from topology.NodeID, m sim.Messa
 	b.store.Add(evidence.Chain{Origin: m.Origin, Value: m.Value, Relays: relays})
 
 	// Evaluate reliable determination for this (origin, value).
-	if b.isDetermined(m.Origin, m.Value) {
+	if b.isDetermined(ctx.Round(), m.Origin, m.Value) {
 		b.onDetermined(ctx, m.Origin, m.Value)
 	}
 
@@ -213,10 +216,11 @@ func (b *bv4Proc) acceptHeard(ctx sim.Context, from topology.NodeID, m sim.Messa
 }
 
 // isDetermined applies the mode's reliable-determination rule.
-func (b *bv4Proc) isDetermined(origin topology.NodeID, v byte) bool {
+func (b *bv4Proc) isDetermined(round int, origin topology.NodeID, v byte) bool {
 	if _, done := b.determined[detKey{origin: origin, value: v}]; done {
 		return false // already counted; avoid re-evaluation
 	}
+	b.mc.AddEvidenceEvals(round, 1)
 	need := b.t + 1
 	if b.mode == Designated {
 		return evidence.DeterminedDesignated(b.net, b.ft, b.store, b.self, origin, v, need)

@@ -21,6 +21,7 @@ package protocol
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -102,6 +103,12 @@ type Params struct {
 	// broadcast becomes "extremely difficult to achieve"; experiment E22
 	// demonstrates the resulting safety collapse.
 	SpoofingPossible bool
+	// Metrics optionally counts commit-rule evidence evaluations (the
+	// disjoint-path checks of BV4/BV2 — the protocols' computational hot
+	// spot). Nil disables the tap. The collector must be safe for
+	// concurrent use; processes tap it from the concurrent runtime's node
+	// goroutines.
+	Metrics *metrics.Collector
 }
 
 // attributedSender resolves the identity a receiver ascribes a message to:

@@ -84,6 +84,7 @@ func Run(cfg RunConfig) (Outcome, error) {
 		MaxRounds: cfg.MaxRounds,
 		Observer:  cfg.Observer,
 		Medium:    cfg.Medium,
+		Metrics:   cfg.Params.Metrics,
 	})
 	if err != nil {
 		return Outcome{}, err

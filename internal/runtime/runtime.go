@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -37,6 +38,10 @@ type Config struct {
 	// Workers caps the number of concurrently processing node goroutines;
 	// 0 means one goroutine per node (fully concurrent).
 	Workers int
+	// Metrics optionally collects totals and per-round histograms of
+	// broadcasts, deliveries and commits, mirroring the sequential
+	// engine's taps. Nil disables collection.
+	Metrics *metrics.Collector
 }
 
 // transmission is a message sent by a node in some round.
@@ -113,7 +118,7 @@ func Run(cfg Config) (sim.Result, error) {
 			continue
 		}
 		st.proc.Init(&nodeCtx{st: st, round: 0})
-		st.noteDecision(0)
+		st.noteDecision(0, cfg.Metrics)
 		pending = append(pending, st.drain(1, crashed)...) // transmits in round 1
 	}
 	sortTransmissions(pending, slotOf)
@@ -131,20 +136,24 @@ func Run(cfg Config) (sim.Result, error) {
 		}
 		stats.Rounds = round
 		stats.Broadcasts += len(pending)
+		cfg.Metrics.AddBroadcasts(round, int64(len(pending)))
 
 		// Fan deliveries out to receiver inboxes. pending is already in
 		// slot order, so each inbox is deterministically ordered.
 		active := make(map[topology.NodeID]struct{})
+		roundDeliveries := int64(0)
 		for _, tx := range pending {
 			for _, nb := range net.Neighbors(tx.from) {
 				if crashed(nb, round) {
 					continue
 				}
 				stats.Deliveries++
+				roundDeliveries++
 				states[nb].inbox = append(states[nb].inbox, tx)
 				active[nb] = struct{}{}
 			}
 		}
+		cfg.Metrics.AddDeliveries(round, roundDeliveries)
 
 		// Process all inboxes concurrently.
 		ids := make([]topology.NodeID, 0, len(active))
@@ -167,7 +176,7 @@ func Run(cfg Config) (sim.Result, error) {
 					st.proc.Deliver(ctx, tx.from, tx.msg)
 				}
 				st.inbox = st.inbox[:0]
-				st.noteDecision(round)
+				st.noteDecision(round, cfg.Metrics)
 			}()
 		}
 		wg.Wait()
@@ -213,7 +222,7 @@ func (st *nodeState) drain(txRound int, crashed func(topology.NodeID, int) bool)
 }
 
 // noteDecision records the first decision.
-func (st *nodeState) noteDecision(round int) {
+func (st *nodeState) noteDecision(round int, mc *metrics.Collector) {
 	if st.decided {
 		return
 	}
@@ -221,6 +230,7 @@ func (st *nodeState) noteDecision(round int) {
 		st.decided = true
 		st.value = v
 		st.decRnd = round
+		mc.AddCommit(round)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -58,6 +59,10 @@ type Config struct {
 	// zero value is the paper's ideal medium (no loss, one transmission
 	// per message).
 	Medium Medium
+	// Metrics optionally collects totals and per-round histograms of
+	// broadcasts, deliveries and commits. Nil disables collection at zero
+	// cost; the counters mirror Stats exactly.
+	Metrics *metrics.Collector
 }
 
 // Medium models the channel-quality extension of §II/§X: the paper's ideal
@@ -121,6 +126,7 @@ type Engine struct {
 	maxR     int
 	obs      Observer
 	medium   Medium
+	metrics  *metrics.Collector
 	rng      *rand.Rand // non-nil only for a lossy medium
 	decided  map[topology.NodeID]byte
 	decRound map[topology.NodeID]int
@@ -166,6 +172,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		maxR:     maxR,
 		obs:      cfg.Observer,
 		medium:   cfg.Medium,
+		metrics:  cfg.Metrics,
 		decided:  make(map[topology.NodeID]byte),
 		decRound: make(map[topology.NodeID]int),
 	}
@@ -231,6 +238,7 @@ func (e *Engine) noteDecision(round int, id topology.NodeID) {
 	if v, ok := e.procs[id].Decided(); ok {
 		e.decided[id] = v
 		e.decRound[id] = round
+		e.metrics.AddCommit(round)
 		if e.obs.OnDecide != nil {
 			e.obs.OnDecide(round, id, v)
 		}
@@ -242,6 +250,7 @@ func (e *Engine) Step() bool {
 	e.stats.Rounds++
 	round := e.stats.Rounds
 	progress := false
+	var roundBroadcasts, roundDeliveries int64
 	var snapshot [][]Message
 	if e.mode == ModeNextRound {
 		// Lock-step: freeze all outboxes before any delivery so broadcasts
@@ -269,6 +278,7 @@ func (e *Engine) Step() bool {
 		for _, m := range out {
 			progress = true
 			e.stats.Broadcasts += e.medium.Retransmit
+			roundBroadcasts += int64(e.medium.Retransmit)
 			if e.obs.OnBroadcast != nil {
 				e.obs.OnBroadcast(round, from, m)
 			}
@@ -280,11 +290,14 @@ func (e *Engine) Step() bool {
 					continue // lost to an accidental collision / channel error
 				}
 				e.stats.Deliveries++
+				roundDeliveries++
 				e.procs[nb].Deliver(&nodeCtx{engine: e, id: nb, round: round}, from, m)
 				e.noteDecision(round, nb)
 			}
 		}
 	}
+	e.metrics.AddBroadcasts(round, roundBroadcasts)
+	e.metrics.AddDeliveries(round, roundDeliveries)
 	return progress
 }
 

@@ -2,9 +2,11 @@ package rbcast
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/runtime"
 	"repro/internal/sim"
@@ -102,6 +104,40 @@ type Config struct {
 	LockStep bool
 }
 
+// validate rejects invalid public options up front, so every
+// misconfiguration surfaces as an rbcast error instead of one from an
+// internal layer — or, worse, silently skewed results.
+func (c Config) validate() error {
+	if c.Value > 1 {
+		return fmt.Errorf("rbcast: value must be 0 or 1, got %d", c.Value)
+	}
+	if c.T < 0 {
+		return fmt.Errorf("rbcast: negative fault bound T = %d", c.T)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		if c.LossRate != 0 {
+			return fmt.Errorf("rbcast: loss rate %v outside [0,1)", c.LossRate)
+		}
+	}
+	if c.Concurrent {
+		// The goroutine-per-node engine supports only the paper's ideal
+		// medium and is inherently lock-step; reject every
+		// sequential-engine-only option explicitly rather than silently
+		// dropping it.
+		switch {
+		case c.LossRate > 0:
+			return fmt.Errorf("rbcast: the lossy-medium extension requires the sequential engine")
+		case c.Retransmit > 1:
+			return fmt.Errorf("rbcast: Retransmit requires the sequential engine (the concurrent engine models the ideal medium)")
+		case c.MediumSeed != 0:
+			return fmt.Errorf("rbcast: MediumSeed requires the sequential engine (the concurrent engine models the ideal medium)")
+		case c.LockStep:
+			return fmt.Errorf("rbcast: LockStep only configures the sequential engine (the concurrent engine is always lock-step)")
+		}
+	}
+	return nil
+}
+
 // network builds the topology for the config.
 func (c Config) network() (*topology.Network, error) {
 	m := grid.Linf
@@ -133,6 +169,9 @@ func (c Config) kind() (protocol.Kind, error) {
 
 // Run executes the scenario against the fault plan and reports the outcome.
 func Run(cfg Config, plan FaultPlan) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
 	net, err := cfg.network()
 	if err != nil {
 		return Result{}, err
@@ -151,6 +190,7 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 	if cfg.ExactEvidence {
 		mode = protocol.Exact
 	}
+	collector := metrics.New()
 	params := protocol.Params{
 		Net:              net,
 		Source:           source,
@@ -158,14 +198,13 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 		T:                cfg.T,
 		Mode:             mode,
 		SpoofingPossible: cfg.SpoofingPossible,
+		Metrics:          collector,
 	}
 	medium := sim.Medium{LossRate: cfg.LossRate, Retransmit: cfg.Retransmit, Seed: cfg.MediumSeed}
 
+	start := time.Now()
 	var out protocol.Outcome
 	if cfg.Concurrent {
-		if medium.LossRate > 0 {
-			return Result{}, fmt.Errorf("rbcast: the lossy-medium extension requires the sequential engine")
-		}
 		out, err = runConcurrent(kind, params, faulty, cfg.MaxRounds)
 	} else {
 		mode := sim.ModeFrame
@@ -185,7 +224,10 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return newResult(net, out, faulty), nil
+	collector.ObserveWall(time.Since(start))
+	res := newResult(net, out, faulty)
+	res.Metrics = newMetrics(collector.Snapshot())
+	return res, nil
 }
 
 // runConcurrent executes on the goroutine-per-node engine.
@@ -205,6 +247,7 @@ func runConcurrent(kind protocol.Kind, params protocol.Params, faulty materializ
 		Factory:   factory,
 		CrashAt:   faulty.crash,
 		MaxRounds: maxRounds,
+		Metrics:   params.Metrics,
 	})
 	if err != nil {
 		return protocol.Outcome{}, err

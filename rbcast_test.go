@@ -1,6 +1,9 @@
 package rbcast
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestProtocolString(t *testing.T) {
 	tests := []struct {
@@ -38,6 +41,134 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(base, FaultPlan{Placement: PlaceBand, Strategy: Strategy(99)}); err == nil {
 		t.Error("invalid strategy must be rejected")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{Width: 12, Height: 12, Radius: 1, Protocol: ProtocolFlood, Value: 1}
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // empty: must succeed
+	}{
+		{"value 2", func(c *Config) { c.Value = 2 }, "value must be 0 or 1"},
+		{"value 255", func(c *Config) { c.Value = 255 }, "value must be 0 or 1"},
+		{"negative T", func(c *Config) { c.T = -1 }, "negative fault bound"},
+		{"negative loss rate", func(c *Config) { c.LossRate = -0.1 }, "loss rate"},
+		{"loss rate 1", func(c *Config) { c.LossRate = 1 }, "loss rate"},
+		{"loss rate 1.5", func(c *Config) { c.LossRate = 1.5 }, "loss rate"},
+		{"concurrent + lossy", func(c *Config) { c.Concurrent = true; c.LossRate = 0.2 }, "sequential engine"},
+		{"concurrent + retransmit", func(c *Config) { c.Concurrent = true; c.Retransmit = 2 }, "Retransmit"},
+		{"concurrent + medium seed", func(c *Config) { c.Concurrent = true; c.MediumSeed = 7 }, "MediumSeed"},
+		{"concurrent + lock step", func(c *Config) { c.Concurrent = true; c.LockStep = true }, "LockStep"},
+		{"sequential retransmit ok", func(c *Config) { c.Retransmit = 3; c.LossRate = 0.1 }, ""},
+		{"concurrent retransmit 1 ok", func(c *Config) { c.Concurrent = true; c.Retransmit = 1 }, ""},
+		{"value 0 ok", func(c *Config) { c.Value = 0 }, ""},
+	}
+	for _, tt := range tests {
+		cfg := base
+		tt.mutate(&cfg)
+		_, err := Run(cfg, FaultPlan{})
+		if tt.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tt.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", tt.name, tt.wantErr)
+		} else if !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tt.name, err, tt.wantErr)
+		}
+	}
+}
+
+func TestMetricsReconcileWithTrafficStats(t *testing.T) {
+	// The E25 message-complexity scenario: bv4 (earmarked) at r=1 against
+	// the strongest greedy band. The metrics layer must agree with the
+	// engine's headline counters exactly.
+	cfg := Config{
+		Width: 16, Height: 10, Radius: 1,
+		Protocol: ProtocolBV4, T: MaxByzantineLinf(1), Value: 1,
+	}
+	res, err := Run(cfg, FaultPlan{Placement: PlaceGreedyBand, Strategy: StrategySilent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b, d, commits int
+	for _, rc := range res.Metrics.PerRound {
+		b += rc.Broadcasts
+		d += rc.Deliveries
+		commits += rc.Commits
+	}
+	if b != res.Broadcasts {
+		t.Errorf("per-round broadcasts sum %d != Broadcasts %d", b, res.Broadcasts)
+	}
+	if d != res.Deliveries {
+		t.Errorf("per-round deliveries sum %d != Deliveries %d", d, res.Deliveries)
+	}
+	decided := 0
+	commitRounds := make(map[int]int)
+	for _, dec := range res.Decisions {
+		if dec.Decided {
+			decided++
+			commitRounds[dec.Round]++
+		}
+	}
+	if commits != decided || res.Metrics.Commits != decided {
+		t.Errorf("commit counters %d/%d != decided nodes %d", commits, res.Metrics.Commits, decided)
+	}
+	got := res.Metrics.CommitRounds()
+	for round, n := range commitRounds {
+		if got[round] != n {
+			t.Errorf("round %d: commit histogram %d, want %d", round, got[round], n)
+		}
+	}
+	if res.Metrics.EvidenceEvals == 0 {
+		t.Error("bv4 run recorded no evidence evaluations")
+	}
+	if res.Metrics.Wall <= 0 {
+		t.Errorf("wall time %v not positive", res.Metrics.Wall)
+	}
+	if len(res.Metrics.PerRound) > res.Rounds+1 {
+		t.Errorf("%d per-round buckets for %d rounds", len(res.Metrics.PerRound), res.Rounds)
+	}
+}
+
+func TestMetricsAgreeAcrossEngines(t *testing.T) {
+	// The concurrent runtime matches sim.ModeNextRound exactly, so every
+	// counter except wall time must be identical.
+	seq := Config{Width: 12, Height: 12, Radius: 1, Protocol: ProtocolBV2, T: 1, Value: 1, LockStep: true}
+	plan := FaultPlan{Placement: PlaceRandomBounded, Strategy: StrategySilent, Seed: 3}
+	sres, err := Run(seq, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc := seq
+	conc.LockStep = false
+	conc.Concurrent = true
+	cres, err := Run(conc, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Broadcasts != cres.Broadcasts || sres.Deliveries != cres.Deliveries {
+		t.Errorf("traffic totals diverge: seq %d/%d conc %d/%d",
+			sres.Broadcasts, sres.Deliveries, cres.Broadcasts, cres.Deliveries)
+	}
+	if sres.Metrics.Commits != cres.Metrics.Commits {
+		t.Errorf("commit totals diverge: %d vs %d", sres.Metrics.Commits, cres.Metrics.Commits)
+	}
+	if sres.Metrics.EvidenceEvals != cres.Metrics.EvidenceEvals {
+		t.Errorf("evidence evals diverge: %d vs %d", sres.Metrics.EvidenceEvals, cres.Metrics.EvidenceEvals)
+	}
+	if len(sres.Metrics.PerRound) != len(cres.Metrics.PerRound) {
+		t.Fatalf("round histograms differ in length: %d vs %d",
+			len(sres.Metrics.PerRound), len(cres.Metrics.PerRound))
+	}
+	for i := range sres.Metrics.PerRound {
+		if sres.Metrics.PerRound[i] != cres.Metrics.PerRound[i] {
+			t.Errorf("round %d: %+v vs %+v", i, sres.Metrics.PerRound[i], cres.Metrics.PerRound[i])
+		}
 	}
 }
 

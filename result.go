@@ -2,8 +2,10 @@ package rbcast
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/topology"
 )
@@ -49,6 +51,73 @@ type Result struct {
 	Decisions map[Node]Decision
 	// Faulty lists the corrupted nodes in id order.
 	Faulty []Node
+	// Metrics carries the engine's detailed counters: per-round traffic
+	// histograms, evidence-evaluation counts and wall-clock time. The
+	// per-round broadcast/delivery columns sum to Broadcasts/Deliveries.
+	Metrics Metrics
+}
+
+// RoundMetrics is one engine round's event counts. Round 0 is process
+// initialization; transmissions start in round 1.
+type RoundMetrics struct {
+	// Broadcasts counts local broadcasts transmitted in the round
+	// (including blind retransmissions on a lossy medium).
+	Broadcasts int
+	// Deliveries counts per-receiver message deliveries in the round.
+	Deliveries int
+	// EvidenceEvals counts commit-rule evidence evaluations by honest
+	// BV4/BV2 processes in the round.
+	EvidenceEvals int
+	// Commits counts first-time decisions observed in the round.
+	Commits int
+}
+
+// Metrics carries a run's detailed counters beyond the headline totals.
+type Metrics struct {
+	// EvidenceEvals totals the commit-rule evidence evaluations performed
+	// by honest processes — the computational hot spot of the
+	// indirect-report protocols. Zero for Flood and CPA.
+	EvidenceEvals int
+	// Commits totals first-time decisions (equals the number of decided
+	// nodes in Decisions).
+	Commits int
+	// PerRound indexes counters by engine round, starting at round 0.
+	PerRound []RoundMetrics
+	// Wall is the run's wall-clock duration.
+	Wall time.Duration
+}
+
+// CommitRounds returns the histogram of first-commit rounds as a map from
+// round to the number of nodes that first decided in it.
+func (m Metrics) CommitRounds() map[int]int {
+	out := make(map[int]int)
+	for round, rc := range m.PerRound {
+		if rc.Commits > 0 {
+			out[round] = rc.Commits
+		}
+	}
+	return out
+}
+
+// newMetrics converts an internal collector snapshot.
+func newMetrics(s metrics.Snapshot) Metrics {
+	m := Metrics{
+		EvidenceEvals: int(s.EvidenceEvals),
+		Commits:       int(s.Commits),
+		Wall:          s.Wall,
+	}
+	if len(s.PerRound) > 0 {
+		m.PerRound = make([]RoundMetrics, len(s.PerRound))
+		for i, rc := range s.PerRound {
+			m.PerRound[i] = RoundMetrics{
+				Broadcasts:    int(rc.Broadcasts),
+				Deliveries:    int(rc.Deliveries),
+				EvidenceEvals: int(rc.EvidenceEvals),
+				Commits:       int(rc.Commits),
+			}
+		}
+	}
+	return m
 }
 
 // AllCorrect reports whether every honest node committed the source value —
