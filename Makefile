@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: verify build vet test race experiments
+.PHONY: verify build vet test race experiments serve-smoke
 
-# verify is the full pre-merge gate: tier-1 (build + test) plus vet and the
-# race detector across every package.
-verify: build vet test race
+# verify is the full pre-merge gate: tier-1 (build + test) plus vet, the
+# race detector across every package, and the rbcastd serving smoke test.
+verify: build vet test race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,9 @@ race:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# serve-smoke boots rbcastd on an ephemeral port and exercises the serving
+# contract end to end: healthz, an uncached and a cached run (byte-identical
+# bodies), a batch round trip, metrics consistency, graceful shutdown.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh

@@ -7,10 +7,12 @@ import (
 	"repro/internal/pool"
 )
 
-// Job pairs one scenario with its adversary for batch execution.
+// Job pairs one scenario with its adversary for batch execution. Its
+// canonical identity is Fingerprint (encode.go), which keys the rbcastd
+// result cache.
 type Job struct {
-	Config Config
-	Plan   FaultPlan
+	Config Config    `json:"config"`
+	Plan   FaultPlan `json:"plan"`
 }
 
 // BatchResult is the outcome of one batch job.
@@ -33,11 +35,20 @@ type BatchOptions struct {
 	Context context.Context
 }
 
+// batchJobDispatched, when non-nil, runs with each job's index after the
+// pool hands the job to a worker and before the job's cancellation check.
+// It is a test seam: cancelling the batch context inside it models
+// cancellation arriving in the dispatch-to-start window and makes the
+// resulting split — finished jobs keep results, later jobs are marked
+// cancelled — deterministic under Workers=1.
+var batchJobDispatched func(i int)
+
 // RunBatch executes the jobs across a bounded worker pool and returns one
 // result per job, in job order — the output is identical to calling Run in
 // a loop, independent of worker count and scheduling. Scenario runs are
 // pure CPU work on disjoint state, so throughput scales with cores; this is
-// the substrate the threshold sweeps and experiment drivers fan out on.
+// the substrate the threshold sweeps, experiment drivers and the rbcastd
+// batch endpoint fan out on.
 func RunBatch(jobs []Job, opts BatchOptions) []BatchResult {
 	results := make([]BatchResult, len(jobs))
 	ctx := opts.Context
@@ -47,10 +58,18 @@ func RunBatch(jobs []Job, opts BatchOptions) []BatchResult {
 				results[i] = BatchResult{Err: fmt.Errorf("rbcast: job %d panicked: %v", i, r)}
 			}
 		}()
+		if hook := batchJobDispatched; hook != nil {
+			hook(i)
+		}
+		// The check sits immediately before the run so cancellation
+		// arriving any time up to job start is observed; once Run begins
+		// the job is committed (runs are not preemptible).
 		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				results[i].Err = err
+			select {
+			case <-ctx.Done():
+				results[i].Err = ctx.Err()
 				return
+			default:
 			}
 		}
 		res, err := Run(jobs[i].Config, jobs[i].Plan)

@@ -1,0 +1,79 @@
+// Command rbcastd is the long-running scenario-serving daemon: an
+// HTTP/JSON front-end over the rbcast library with a fingerprint-keyed
+// result cache, single-flight deduplication of identical scenarios,
+// asynchronous batch jobs on the RunBatch worker pool, and Prometheus
+// observability.
+//
+//	rbcastd -addr :8080 -cache 1024 -workers 0
+//
+// Endpoints: POST /v1/run, POST /v1/batch, GET /v1/jobs/{id},
+// GET /healthz, GET /metrics. Pass -addr host:0 to bind an ephemeral port;
+// the actual address is logged on startup ("rbcastd listening on ..."),
+// which is what scripts/serve_smoke.sh parses. On SIGINT/SIGTERM the
+// daemon stops accepting work, drains in-flight requests and queued batch
+// jobs, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (host:0 binds an ephemeral port)")
+		cacheSize = flag.Int("cache", 1024, "result-cache capacity in entries")
+		workers   = flag.Int("workers", 0, "worker pool size per batch job (<=0 means GOMAXPROCS)")
+		maxJobs   = flag.Int("max-jobs", 4096, "retained batch jobs before the oldest finished are dropped")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight work")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("rbcastd: %v", err)
+	}
+	srv := server.New(server.Options{
+		CacheSize: *cacheSize,
+		Workers:   *workers,
+		MaxJobs:   *maxJobs,
+	})
+	hs := &http.Server{Handler: srv}
+
+	log.Printf("rbcastd listening on %s", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("rbcastd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("rbcastd: shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("rbcastd: http shutdown: %v", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		log.Fatalf("rbcastd: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("rbcastd: serve: %v", err)
+	}
+	log.Print("rbcastd: drained, bye")
+}

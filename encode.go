@@ -1,0 +1,225 @@
+package rbcast
+
+// JSON/text encodings for the public scenario types, and the canonical
+// scenario fingerprint that identifies a (Config, FaultPlan) pair across
+// processes.
+//
+// Two deliberately different contracts live here:
+//
+//   - The JSON encoding is *lossless*: every enum marshals to its stable
+//     text name ("bv4", "linf", "greedy-band", …), the zero value marshals
+//     to the empty string, and decoding restores exactly the value that was
+//     encoded — defaults stay implicit, as in Go code.
+//
+//   - The fingerprint is *canonical*: documented zero-value aliases
+//     (Metric 0 ≡ MetricLinf, Placement 0 ≡ PlaceNone, Strategy 0 ≡
+//     StrategyCrash, Retransmit < 1 ≡ 1) are normalized before hashing, so
+//     two spellings of the same scenario share one cache entry.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MarshalText encodes the protocol name ("flood", "cpa", "bv4", "bv2").
+// The zero value encodes as "".
+func (p Protocol) MarshalText() ([]byte, error) {
+	return enumText("protocol", int(p), p.String())
+}
+
+// UnmarshalText decodes a protocol name; "" restores the zero value.
+func (p *Protocol) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*p = 0
+	case "flood":
+		*p = ProtocolFlood
+	case "cpa":
+		*p = ProtocolCPA
+	case "bv4":
+		*p = ProtocolBV4
+	case "bv2":
+		*p = ProtocolBV2
+	default:
+		return fmt.Errorf("rbcast: unknown protocol %q", text)
+	}
+	return nil
+}
+
+// MarshalText encodes the metric name ("linf", "l2"). The zero value
+// encodes as "".
+func (m Metric) MarshalText() ([]byte, error) {
+	return enumText("metric", int(m), m.String())
+}
+
+// UnmarshalText decodes a metric name; "" restores the zero value.
+func (m *Metric) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*m = 0
+	case "linf":
+		*m = MetricLinf
+	case "l2":
+		*m = MetricL2
+	default:
+		return fmt.Errorf("rbcast: unknown metric %q", text)
+	}
+	return nil
+}
+
+// MarshalText encodes the placement name ("none", "band",
+// "checkerboard-band", "greedy-band", "random-bounded", "percolation").
+// The zero value encodes as "".
+func (p Placement) MarshalText() ([]byte, error) {
+	return enumText("placement", int(p), p.String())
+}
+
+// UnmarshalText decodes a placement name; "" restores the zero value.
+func (p *Placement) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*p = 0
+	case "none":
+		*p = PlaceNone
+	case "band":
+		*p = PlaceBand
+	case "checkerboard-band":
+		*p = PlaceCheckerboardBand
+	case "greedy-band":
+		*p = PlaceGreedyBand
+	case "random-bounded":
+		*p = PlaceRandomBounded
+	case "percolation":
+		*p = PlacePercolation
+	default:
+		return fmt.Errorf("rbcast: unknown placement %q", text)
+	}
+	return nil
+}
+
+// MarshalText encodes the strategy name ("crash", "silent", "liar",
+// "forger", "spoofer"). The zero value encodes as "".
+func (s Strategy) MarshalText() ([]byte, error) {
+	return enumText("strategy", int(s), s.String())
+}
+
+// UnmarshalText decodes a strategy name; "" restores the zero value.
+func (s *Strategy) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*s = 0
+	case "crash":
+		*s = StrategyCrash
+	case "silent":
+		*s = StrategySilent
+	case "liar":
+		*s = StrategyLiar
+	case "forger":
+		*s = StrategyForger
+	case "spoofer":
+		*s = StrategySpoofer
+	default:
+		return fmt.Errorf("rbcast: unknown strategy %q", text)
+	}
+	return nil
+}
+
+// enumText is the shared MarshalText body: zero encodes as "", names pass
+// through, and the String() fallback spelling for out-of-range values
+// (which always contains a parenthesis) is an encoding error rather than a
+// payload that could never decode.
+func enumText(kind string, raw int, name string) ([]byte, error) {
+	if raw == 0 {
+		return nil, nil
+	}
+	if strings.ContainsRune(name, '(') {
+		return nil, fmt.Errorf("rbcast: cannot encode invalid %s %d", kind, raw)
+	}
+	return []byte(name), nil
+}
+
+// MarshalText encodes the node as "x,y", which also makes Node usable as a
+// JSON map key (Result.Decisions).
+func (n Node) MarshalText() ([]byte, error) {
+	return []byte(strconv.Itoa(n.X) + "," + strconv.Itoa(n.Y)), nil
+}
+
+// UnmarshalText decodes the "x,y" form.
+func (n *Node) UnmarshalText(text []byte) error {
+	s := string(text)
+	comma := strings.IndexByte(s, ',')
+	if comma < 0 {
+		return fmt.Errorf("rbcast: node %q is not of the form \"x,y\"", s)
+	}
+	x, errX := strconv.Atoi(s[:comma])
+	y, errY := strconv.Atoi(s[comma+1:])
+	if errX != nil || errY != nil {
+		return fmt.Errorf("rbcast: node %q is not of the form \"x,y\"", s)
+	}
+	n.X, n.Y = x, y
+	return nil
+}
+
+// fingerprintVersion prefixes every canonical serialization; bump it
+// whenever the encoding below changes shape, so stale caches miss instead
+// of serving results computed under different semantics.
+const fingerprintVersion = "rbcast/fp/v1"
+
+// Fingerprint returns the canonical scenario fingerprint: the hex SHA-256
+// of a versioned, field-ordered serialization of (Config, Plan). It is
+// deterministic across processes, releases and hosts, so it can key
+// persistent result caches; rbcastd uses it for its LRU cache and
+// single-flight deduplication.
+//
+// Scenarios that differ only in a documented zero-value alias (Metric 0 vs
+// MetricLinf, Placement 0 vs PlaceNone, Strategy 0 vs StrategyCrash,
+// Retransmit 0 vs 1) fingerprint identically; any semantic field change
+// yields a different fingerprint. Invalid enum values still fingerprint
+// (via their numeric fallback spelling) — validation is Run's job, not the
+// hash's.
+func (j Job) Fingerprint() string {
+	sum := sha256.Sum256(j.canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// canonical renders the versioned serialization Fingerprint hashes. Fields
+// appear in fixed order under fixed names; floats use the exact hex form so
+// no two distinct values collide and no formatting mode drifts.
+func (j Job) canonical() []byte {
+	c, p := j.Config, j.Plan
+	if c.Metric == 0 {
+		c.Metric = MetricLinf
+	}
+	if c.Retransmit < 1 {
+		c.Retransmit = 1
+	}
+	if p.Placement == 0 {
+		p.Placement = PlaceNone
+	}
+	if p.Strategy == 0 {
+		p.Strategy = StrategyCrash
+	}
+	var b strings.Builder
+	b.WriteString(fingerprintVersion)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b,
+		"config:width=%d;height=%d;radius=%d;metric=%s;protocol=%s;t=%d;value=%d;source_x=%d;source_y=%d;max_rounds=%d;concurrent=%t;exact_evidence=%t;loss_rate=%s;retransmit=%d;medium_seed=%d;spoofing_possible=%t;lock_step=%t\n",
+		c.Width, c.Height, c.Radius, c.Metric, c.Protocol, c.T, c.Value,
+		c.SourceX, c.SourceY, c.MaxRounds, c.Concurrent, c.ExactEvidence,
+		canonicalFloat(c.LossRate), c.Retransmit, c.MediumSeed,
+		c.SpoofingPossible, c.LockStep)
+	fmt.Fprintf(&b,
+		"plan:placement=%s;strategy=%s;budget=%d;count=%d;probability=%s;crash_round=%d;seed=%d\n",
+		p.Placement, p.Strategy, p.Budget, p.Count,
+		canonicalFloat(p.Probability), p.CrashRound, p.Seed)
+	return []byte(b.String())
+}
+
+// canonicalFloat renders a float exactly (hexadecimal mantissa/exponent),
+// immune to decimal rounding differences.
+func canonicalFloat(f float64) string {
+	return strconv.FormatFloat(f, 'x', -1, 64)
+}

@@ -1,0 +1,327 @@
+package rbcast
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestEnumTextRoundTrip(t *testing.T) {
+	protocols := []Protocol{0, ProtocolFlood, ProtocolCPA, ProtocolBV4, ProtocolBV2}
+	for _, v := range protocols {
+		text, err := v.MarshalText()
+		if err != nil {
+			t.Fatalf("Protocol(%d).MarshalText: %v", v, err)
+		}
+		var back Protocol
+		if err := back.UnmarshalText(text); err != nil || back != v {
+			t.Errorf("Protocol %d round-trips to %d (err %v)", v, back, err)
+		}
+	}
+	metrics := []Metric{0, MetricLinf, MetricL2}
+	for _, v := range metrics {
+		text, err := v.MarshalText()
+		if err != nil {
+			t.Fatalf("Metric(%d).MarshalText: %v", v, err)
+		}
+		var back Metric
+		if err := back.UnmarshalText(text); err != nil || back != v {
+			t.Errorf("Metric %d round-trips to %d (err %v)", v, back, err)
+		}
+	}
+	placements := []Placement{0, PlaceNone, PlaceBand, PlaceCheckerboardBand, PlaceGreedyBand, PlaceRandomBounded, PlacePercolation}
+	for _, v := range placements {
+		text, err := v.MarshalText()
+		if err != nil {
+			t.Fatalf("Placement(%d).MarshalText: %v", v, err)
+		}
+		var back Placement
+		if err := back.UnmarshalText(text); err != nil || back != v {
+			t.Errorf("Placement %d round-trips to %d (err %v)", v, back, err)
+		}
+	}
+	strategies := []Strategy{0, StrategyCrash, StrategySilent, StrategyLiar, StrategyForger, StrategySpoofer}
+	for _, v := range strategies {
+		text, err := v.MarshalText()
+		if err != nil {
+			t.Fatalf("Strategy(%d).MarshalText: %v", v, err)
+		}
+		var back Strategy
+		if err := back.UnmarshalText(text); err != nil || back != v {
+			t.Errorf("Strategy %d round-trips to %d (err %v)", v, back, err)
+		}
+	}
+}
+
+func TestEnumTextRejectsInvalid(t *testing.T) {
+	if _, err := Protocol(99).MarshalText(); err == nil {
+		t.Error("invalid protocol must not marshal")
+	}
+	if _, err := Metric(99).MarshalText(); err == nil {
+		t.Error("invalid metric must not marshal")
+	}
+	var p Protocol
+	if err := p.UnmarshalText([]byte("carrier-pigeon")); err == nil {
+		t.Error("unknown protocol name must not unmarshal")
+	}
+	var m Metric
+	if err := m.UnmarshalText([]byte("l3")); err == nil {
+		t.Error("unknown metric name must not unmarshal")
+	}
+	var pl Placement
+	if err := pl.UnmarshalText([]byte("everywhere")); err == nil {
+		t.Error("unknown placement name must not unmarshal")
+	}
+	var s Strategy
+	if err := s.UnmarshalText([]byte("helpful")); err == nil {
+		t.Error("unknown strategy name must not unmarshal")
+	}
+}
+
+func TestNodeTextRoundTrip(t *testing.T) {
+	for _, n := range []Node{{0, 0}, {3, 4}, {-2, 17}} {
+		text, err := n.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Node
+		if err := back.UnmarshalText(text); err != nil || back != n {
+			t.Errorf("node %v round-trips to %v via %q (err %v)", n, back, text, err)
+		}
+	}
+	var n Node
+	for _, bad := range []string{"", "3", "3,", ",4", "a,b", "3;4"} {
+		if err := n.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("node text %q must not parse", bad)
+		}
+	}
+}
+
+// fullConfig sets every Config field to a non-zero value, so round-trip
+// and sensitivity tests cover the whole struct.
+func fullConfig() Config {
+	return Config{
+		Width: 20, Height: 14, Radius: 2,
+		Metric: MetricL2, Protocol: ProtocolBV4,
+		T: 3, Value: 1, SourceX: 5, SourceY: 6, MaxRounds: 99,
+		Concurrent: false, ExactEvidence: true,
+		LossRate: 0.25, Retransmit: 3, MediumSeed: 42,
+		SpoofingPossible: true, LockStep: true,
+	}
+}
+
+// fullPlan sets every FaultPlan field to a non-zero value.
+func fullPlan() FaultPlan {
+	return FaultPlan{
+		Placement: PlaceRandomBounded, Strategy: StrategyForger,
+		Budget: 2, Count: 5, Probability: 0.125, CrashRound: 3, Seed: 7,
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{{}, fullConfig(), {Width: 16, Height: 10, Radius: 1, Protocol: ProtocolFlood}} {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", cfg, err)
+		}
+		var back Config
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != cfg {
+			t.Errorf("config round-trip drifted:\n  in  %+v\n  out %+v\n  via %s", cfg, back, data)
+		}
+	}
+	if data, _ := json.Marshal(Config{}); string(data) != "{}" {
+		t.Errorf("zero config marshals to %s, want {}", data)
+	}
+}
+
+func TestFaultPlanJSONRoundTrip(t *testing.T) {
+	for _, plan := range []FaultPlan{{}, fullPlan(), {Placement: PlaceGreedyBand, Strategy: StrategySilent, Budget: 2}} {
+		data, err := json.Marshal(plan)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", plan, err)
+		}
+		var back FaultPlan
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != plan {
+			t.Errorf("plan round-trip drifted:\n  in  %+v\n  out %+v\n  via %s", plan, back, data)
+		}
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := Config{Width: 16, Height: 10, Radius: 1, Protocol: ProtocolBV4, T: MaxByzantineLinf(1), Value: 1}
+	plan := FaultPlan{Placement: PlaceGreedyBand, Strategy: StrategyForger}
+	res, err := Run(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Error("result does not survive a JSON round trip")
+	}
+	// The encoding must be deterministic — the serving layer relies on
+	// byte-identical bodies for identical results.
+	again, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("result JSON is not byte-deterministic")
+	}
+}
+
+func TestFingerprintFieldOrderIndependence(t *testing.T) {
+	// The same scenario spelled with different JSON key orderings must
+	// decode to the same fingerprint.
+	a := `{"width":16,"height":10,"radius":1,"protocol":"bv4","t":2,"value":1}`
+	b := `{"value":1,"t":2,"protocol":"bv4","radius":1,"height":10,"width":16}`
+	var ca, cb Config
+	if err := json.Unmarshal([]byte(a), &ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b), &cb); err != nil {
+		t.Fatal(err)
+	}
+	fa := Job{Config: ca}.Fingerprint()
+	fb := Job{Config: cb}.Fingerprint()
+	if fa != fb {
+		t.Errorf("field ordering changed the fingerprint: %s vs %s", fa, fb)
+	}
+}
+
+func TestFingerprintZeroValueAliases(t *testing.T) {
+	base := Config{Width: 16, Height: 10, Radius: 1, Protocol: ProtocolFlood, Value: 1}
+	aliases := []struct {
+		name string
+		a, b Job
+	}{
+		{"metric 0 ≡ linf",
+			Job{Config: base},
+			Job{Config: func() Config { c := base; c.Metric = MetricLinf; return c }()}},
+		{"retransmit 0 ≡ 1",
+			Job{Config: base},
+			Job{Config: func() Config { c := base; c.Retransmit = 1; return c }()}},
+		{"placement 0 ≡ none",
+			Job{Config: base},
+			Job{Config: base, Plan: FaultPlan{Placement: PlaceNone}}},
+		{"strategy 0 ≡ crash",
+			Job{Config: base, Plan: FaultPlan{Placement: PlaceBand}},
+			Job{Config: base, Plan: FaultPlan{Placement: PlaceBand, Strategy: StrategyCrash}}},
+	}
+	for _, tt := range aliases {
+		if fa, fb := tt.a.Fingerprint(), tt.b.Fingerprint(); fa != fb {
+			t.Errorf("%s: fingerprints differ (%s vs %s)", tt.name, fa, fb)
+		}
+	}
+}
+
+func TestFingerprintSingleFieldSensitivity(t *testing.T) {
+	base := Job{Config: fullConfig(), Plan: fullPlan()}
+	mutations := []struct {
+		name   string
+		mutate func(*Job)
+	}{
+		{"width", func(j *Job) { j.Config.Width++ }},
+		{"height", func(j *Job) { j.Config.Height++ }},
+		{"radius", func(j *Job) { j.Config.Radius++ }},
+		{"metric", func(j *Job) { j.Config.Metric = MetricLinf }},
+		{"protocol", func(j *Job) { j.Config.Protocol = ProtocolBV2 }},
+		{"t", func(j *Job) { j.Config.T++ }},
+		{"value", func(j *Job) { j.Config.Value = 0 }},
+		{"source_x", func(j *Job) { j.Config.SourceX++ }},
+		{"source_y", func(j *Job) { j.Config.SourceY++ }},
+		{"max_rounds", func(j *Job) { j.Config.MaxRounds++ }},
+		{"concurrent", func(j *Job) { j.Config.Concurrent = true }},
+		{"exact_evidence", func(j *Job) { j.Config.ExactEvidence = false }},
+		{"loss_rate", func(j *Job) { j.Config.LossRate += 0.1 }},
+		{"retransmit", func(j *Job) { j.Config.Retransmit++ }},
+		{"medium_seed", func(j *Job) { j.Config.MediumSeed++ }},
+		{"spoofing_possible", func(j *Job) { j.Config.SpoofingPossible = false }},
+		{"lock_step", func(j *Job) { j.Config.LockStep = false }},
+		{"placement", func(j *Job) { j.Plan.Placement = PlacePercolation }},
+		{"strategy", func(j *Job) { j.Plan.Strategy = StrategyLiar }},
+		{"budget", func(j *Job) { j.Plan.Budget++ }},
+		{"count", func(j *Job) { j.Plan.Count++ }},
+		{"probability", func(j *Job) { j.Plan.Probability += 0.1 }},
+		{"crash_round", func(j *Job) { j.Plan.CrashRound++ }},
+		{"seed", func(j *Job) { j.Plan.Seed++ }},
+	}
+	want := base.Fingerprint()
+	seen := map[string]string{want: "base"}
+	for _, tt := range mutations {
+		j := base
+		tt.mutate(&j)
+		got := j.Fingerprint()
+		if got == want {
+			t.Errorf("changing %s did not change the fingerprint", tt.name)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("mutations %s and %s collide", tt.name, prev)
+		}
+		seen[got] = tt.name
+	}
+}
+
+// TestFingerprintGolden pins fingerprints across process restarts and
+// releases: a hash drift here means every persistent cache keyed on
+// Fingerprint silently invalidates, so it must be a deliberate,
+// version-bumped decision (fingerprintVersion), not an accident.
+func TestFingerprintGolden(t *testing.T) {
+	jobs := []struct {
+		name string
+		job  Job
+	}{
+		{"zero", Job{}},
+		{"flood-fault-free", Job{Config: Config{Width: 16, Height: 10, Radius: 1, Protocol: ProtocolFlood, Value: 1}}},
+		{"bv4-greedy-band", Job{
+			Config: Config{Width: 16, Height: 10, Radius: 1, Protocol: ProtocolBV4, T: 2, Value: 1},
+			Plan:   FaultPlan{Placement: PlaceGreedyBand, Strategy: StrategySilent},
+		}},
+		{"everything-set", Job{Config: fullConfig(), Plan: fullPlan()}},
+		{"lossy-percolation", Job{
+			Config: Config{Width: 24, Height: 24, Radius: 2, Protocol: ProtocolCPA, T: 1, Value: 1, LossRate: 0.5, Retransmit: 4, MediumSeed: 9},
+			Plan:   FaultPlan{Placement: PlacePercolation, Probability: 0.01, Seed: 3},
+		}},
+	}
+	var b strings.Builder
+	for _, tt := range jobs {
+		fmt.Fprintf(&b, "%s %s\n", tt.job.Fingerprint(), tt.name)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "fingerprints.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -run TestFingerprintGolden -update ./` to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fingerprints drifted from %s:\n got:\n%s want:\n%s", golden, got, want)
+	}
+}

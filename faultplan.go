@@ -34,6 +34,27 @@ const (
 	PlacePercolation
 )
 
+// String names the placement ("none", "band", "checkerboard-band",
+// "greedy-band", "random-bounded", "percolation").
+func (p Placement) String() string {
+	switch p {
+	case PlaceNone:
+		return "none"
+	case PlaceBand:
+		return "band"
+	case PlaceCheckerboardBand:
+		return "checkerboard-band"
+	case PlaceGreedyBand:
+		return "greedy-band"
+	case PlaceRandomBounded:
+		return "random-bounded"
+	case PlacePercolation:
+		return "percolation"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
 // Strategy selects Byzantine behaviour for the corrupted nodes. For
 // crash-stop experiments use StrategyCrash.
 type Strategy int
@@ -54,24 +75,45 @@ const (
 	StrategySpoofer
 )
 
-// FaultPlan describes the adversary for one run.
+// String names the strategy ("crash", "silent", "liar", "forger",
+// "spoofer").
+func (s Strategy) String() string {
+	switch s {
+	case StrategyCrash:
+		return "crash"
+	case StrategySilent:
+		return "silent"
+	case StrategyLiar:
+		return "liar"
+	case StrategyForger:
+		return "forger"
+	case StrategySpoofer:
+		return "spoofer"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// FaultPlan describes the adversary for one run. The JSON encoding (see
+// encode.go) uses snake_case keys and stable enum names, omits zero-valued
+// fields, and round-trips losslessly.
 type FaultPlan struct {
 	// Placement positions the faults; defaults to PlaceNone.
-	Placement Placement
+	Placement Placement `json:"placement,omitempty"`
 	// Strategy selects behaviour; defaults to StrategyCrash.
-	Strategy Strategy
+	Strategy Strategy `json:"strategy,omitempty"`
 	// Budget is the locally bounded budget for PlaceGreedyBand and
 	// PlaceRandomBounded; 0 means "use Config.T".
-	Budget int
+	Budget int `json:"budget,omitempty"`
 	// Count caps PlaceRandomBounded placements (≤ 0: maximal).
-	Count int
+	Count int `json:"count,omitempty"`
 	// Probability is the PlacePercolation failure probability.
-	Probability float64
+	Probability float64 `json:"probability,omitempty"`
 	// CrashRound is the round from which StrategyCrash nodes go silent
 	// (0 = crashed from the start).
-	CrashRound int
+	CrashRound int `json:"crash_round,omitempty"`
 	// Seed drives the randomized placements.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// budgetForPlan is resolved by Run (Config.T when Budget is 0).
 	budgetForPlan int
 }

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	rbcast "repro"
+)
+
+// BatchRequest is the /v1/batch payload.
+type BatchRequest struct {
+	Jobs []RunRequest `json:"jobs"`
+	// Workers optionally caps this job's worker pool below the server
+	// default (≤ 0: server default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResponse acknowledges an accepted batch job.
+type BatchResponse struct {
+	ID        string `json:"id"`
+	Jobs      int    `json:"jobs"`
+	StatusURL string `json:"status_url"`
+}
+
+// JobStatus is the /v1/jobs/{id} response body.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "running" or "done"
+	Jobs  int    `json:"jobs"`
+	// Results is populated once State is "done", in job order.
+	Results []JobResult `json:"results,omitempty"`
+}
+
+// JobResult is one batch element's outcome.
+type JobResult struct {
+	Fingerprint string         `json:"fingerprint"`
+	Result      *rbcast.Result `json:"result,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	// Cached reports the result came from the result cache (or from a
+	// duplicate fingerprint earlier in the same batch) rather than a
+	// fresh execution.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// batchJob is one asynchronous batch execution.
+type batchJob struct {
+	id      string
+	n       int
+	created time.Time
+
+	mu      sync.Mutex
+	done    bool
+	results []JobResult
+}
+
+// handleBatch accepts a job list and executes it asynchronously on the
+// RunBatch worker substrate, deduplicating against the result cache and
+// within the batch itself. The response carries the id to poll.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch must contain at least one job"))
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	s.nextID++
+	job := &batchJob{id: fmt.Sprintf("job-%d", s.nextID), n: len(req.Jobs), created: time.Now()}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.evictJobsLocked()
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.queueDepth.Add(1)
+	workers := s.opts.Workers
+	if req.Workers > 0 && (workers <= 0 || req.Workers < workers) {
+		workers = req.Workers
+	}
+	go func() {
+		defer s.wg.Done()
+		defer s.queueDepth.Add(-1)
+		results := s.runBatch(req.Jobs, workers)
+		job.mu.Lock()
+		job.results = results
+		job.done = true
+		job.mu.Unlock()
+	}()
+
+	writeJSON(w, http.StatusAccepted, BatchResponse{
+		ID:        job.id,
+		Jobs:      job.n,
+		StatusURL: "/v1/jobs/" + job.id,
+	})
+}
+
+// runBatch resolves a job list against the cache, executes the distinct
+// misses via the batch runner (the rbcast.RunBatch pool substrate), stores
+// fresh results, and stitches everything back in job order.
+func (s *Server) runBatch(reqs []RunRequest, workers int) []JobResult {
+	results := make([]JobResult, len(reqs))
+	firstIndex := make(map[string]int) // fingerprint → first miss index
+	var missJobs []rbcast.Job
+	var missIndex []int
+	for i, rr := range reqs {
+		job := rbcast.Job{Config: rr.Config, Plan: rr.Plan}
+		fp := job.Fingerprint()
+		results[i].Fingerprint = fp
+		if res, ok := s.cache.Get(fp); ok {
+			res := res
+			results[i].Result = &res
+			results[i].Cached = true
+			continue
+		}
+		if _, dup := firstIndex[fp]; dup {
+			results[i].Cached = true // resolved from the first occurrence below
+			continue
+		}
+		firstIndex[fp] = i
+		missJobs = append(missJobs, job)
+		missIndex = append(missIndex, i)
+	}
+
+	if len(missJobs) > 0 {
+		s.inflightRuns.Add(int64(len(missJobs)))
+		batch := s.opts.BatchRunner(missJobs, rbcast.BatchOptions{Workers: workers})
+		s.inflightRuns.Add(-int64(len(missJobs)))
+		for k, br := range batch {
+			i := missIndex[k]
+			if br.Err != nil {
+				results[i].Error = br.Err.Error()
+				continue
+			}
+			res := br.Result
+			results[i].Result = &res
+			s.cache.Put(results[i].Fingerprint, res)
+			s.observe(res)
+		}
+	}
+
+	// Resolve within-batch duplicates from their first occurrence.
+	for i := range results {
+		if results[i].Result != nil || results[i].Error != "" {
+			continue
+		}
+		first := results[firstIndex[results[i].Fingerprint]]
+		results[i].Result = first.Result
+		results[i].Error = first.Error
+	}
+	return results
+}
+
+// handleJob reports a batch job's state and, once done, its results.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	status := JobStatus{ID: job.id, Jobs: job.n, State: "running"}
+	job.mu.Lock()
+	if job.done {
+		status.State = "done"
+		status.Results = job.results
+	}
+	job.mu.Unlock()
+	writeJSON(w, http.StatusOK, status)
+}
+
+// evictJobsLocked drops the oldest *finished* jobs beyond MaxJobs so a
+// long-running daemon's job table stays bounded. Running jobs are always
+// retained. Callers hold s.mu.
+func (s *Server) evictJobsLocked() {
+	for len(s.jobs) > s.opts.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			job := s.jobs[id]
+			if job == nil {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			job.mu.Lock()
+			done := job.done
+			job.mu.Unlock()
+			if done {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still running
+		}
+	}
+}

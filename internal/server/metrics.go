@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics renders the Prometheus text exposition format (v0.0.4):
+// server counters (requests, cache, jobs) plus the aggregated
+// internal/metrics simulation totals across every executed run.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	writeHeader(&b, "rbcastd_requests_total", "counter", "HTTP requests served, by route.")
+	paths := make([]string, 0, len(s.requestsByPath))
+	for p := range s.requestsByPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(&b, "rbcastd_requests_total{path=%q} %d\n", p, s.requestsByPath[p].Load())
+	}
+
+	cs := s.cache.Stats()
+	writeGauge(&b, "rbcastd_cache_hits_total", "counter",
+		"Result-cache hits, including single-flight coalesced waiters.", float64(cs.Hits))
+	writeGauge(&b, "rbcastd_cache_misses_total", "counter",
+		"Result-cache misses that triggered a simulation execution.", float64(cs.Misses))
+	writeGauge(&b, "rbcastd_cache_evictions_total", "counter",
+		"Result-cache LRU evictions.", float64(cs.Evictions))
+	writeGauge(&b, "rbcastd_cache_entries", "gauge",
+		"Resident result-cache entries.", float64(cs.Entries))
+
+	writeGauge(&b, "rbcastd_inflight_runs", "gauge",
+		"Scenario executions currently running (sync and batch).", float64(s.inflightRuns.Load()))
+	writeGauge(&b, "rbcastd_jobs_queue_depth", "gauge",
+		"Batch jobs accepted but not yet finished.", float64(s.queueDepth.Load()))
+
+	writeGauge(&b, "rbcastd_sim_runs_total", "counter",
+		"Scenario executions completed successfully.", float64(s.simRuns.Load()))
+	writeGauge(&b, "rbcastd_sim_broadcasts_total", "counter",
+		"Local broadcasts transmitted across all executed runs.", float64(s.simBroadcasts.Load()))
+	writeGauge(&b, "rbcastd_sim_deliveries_total", "counter",
+		"Per-receiver deliveries across all executed runs.", float64(s.simDeliveries.Load()))
+	writeGauge(&b, "rbcastd_sim_evidence_evals_total", "counter",
+		"Commit-rule evidence evaluations across all executed runs.", float64(s.simEvidence.Load()))
+	writeGauge(&b, "rbcastd_sim_commits_total", "counter",
+		"First-time decisions across all executed runs.", float64(s.simCommits.Load()))
+
+	writeGauge(&b, "rbcastd_uptime_seconds", "gauge",
+		"Seconds since the server started.", time.Since(s.start).Seconds())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+}
+
+// writeHeader emits the HELP/TYPE preamble for a metric family.
+func writeHeader(b *strings.Builder, name, kind, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// writeGauge emits a single-sample family with its preamble. %g keeps
+// integers integral and floats compact, matching Prometheus conventions.
+func writeGauge(b *strings.Builder, name, kind, help string, v float64) {
+	writeHeader(b, name, kind, help)
+	fmt.Fprintf(b, "%s %g\n", name, v)
+}

@@ -1,0 +1,249 @@
+// Package server implements rbcastd's HTTP/JSON serving layer: scenario
+// execution behind a fingerprint-keyed LRU result cache with single-flight
+// deduplication, asynchronous batch jobs on the rbcast.RunBatch worker
+// substrate, and Prometheus-text observability.
+//
+// Endpoints:
+//
+//	POST /v1/run       execute one scenario synchronously (cached)
+//	POST /v1/batch     submit a job list; returns a job id immediately
+//	GET  /v1/jobs/{id} poll a batch job's status and results
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text-format counters and gauges
+//
+// Identical scenarios — same canonical fingerprint, see
+// rbcast.Job.Fingerprint — are executed once and served from the cache
+// thereafter; concurrent identical /v1/run requests coalesce onto a single
+// execution and receive byte-identical bodies.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rbcast "repro"
+	"repro/internal/scache"
+)
+
+// Options configure a Server; the zero value serves with defaults.
+type Options struct {
+	// CacheSize bounds the result cache entry count (≤ 0: 1024).
+	CacheSize int
+	// Workers caps each batch job's worker pool (≤ 0: GOMAXPROCS).
+	Workers int
+	// MaxJobs bounds retained async batch jobs (≤ 0: 4096). When the
+	// bound is hit, the oldest finished job is dropped; running jobs are
+	// never dropped.
+	MaxJobs int
+	// Runner executes one scenario for /v1/run (nil: rbcast.Run). Tests
+	// inject counting or blocking runners.
+	Runner func(rbcast.Config, rbcast.FaultPlan) (rbcast.Result, error)
+	// BatchRunner executes a batch job's cache misses (nil:
+	// rbcast.RunBatch).
+	BatchRunner func([]rbcast.Job, rbcast.BatchOptions) []rbcast.BatchResult
+}
+
+// Server is the rbcastd HTTP handler plus its execution state. Construct
+// with New; it is safe for concurrent use.
+type Server struct {
+	opts  Options
+	cache *scache.Cache[rbcast.Result]
+	mux   *http.ServeMux
+	start time.Time
+
+	// requestsByPath maps each registered route to its request counter.
+	requestsByPath map[string]*atomic.Uint64
+
+	// inflightRuns counts scenario executions currently on a CPU
+	// (sync runs and batch pool occupancy alike).
+	inflightRuns atomic.Int64
+	// queueDepth counts batch jobs accepted but not yet finished.
+	queueDepth atomic.Int64
+
+	// Aggregated simulation totals across every executed (non-cached)
+	// run — the internal/metrics counters surfaced fleet-wide.
+	simRuns, simBroadcasts, simDeliveries, simEvidence, simCommits atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+	nextID   uint64
+	jobs     map[string]*batchJob
+	order    []string // job ids in creation order, oldest first
+	wg       sync.WaitGroup
+}
+
+// New constructs a Server and registers its routes.
+func New(opts Options) *Server {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 1024
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 4096
+	}
+	if opts.Runner == nil {
+		opts.Runner = rbcast.Run
+	}
+	if opts.BatchRunner == nil {
+		opts.BatchRunner = rbcast.RunBatch
+	}
+	s := &Server{
+		opts:           opts,
+		cache:          scache.New[rbcast.Result](opts.CacheSize),
+		mux:            http.NewServeMux(),
+		start:          time.Now(),
+		requestsByPath: make(map[string]*atomic.Uint64),
+		jobs:           make(map[string]*batchJob),
+	}
+	routes := []struct {
+		pattern string
+		path    string
+		handler http.HandlerFunc
+	}{
+		{"POST /v1/run", "/v1/run", s.handleRun},
+		{"POST /v1/batch", "/v1/batch", s.handleBatch},
+		{"GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob},
+		{"GET /healthz", "/healthz", s.handleHealthz},
+		{"GET /metrics", "/metrics", s.handleMetrics},
+	}
+	for _, r := range routes {
+		counter := &atomic.Uint64{}
+		s.requestsByPath[r.path] = counter
+		handler := r.handler
+		s.mux.HandleFunc(r.pattern, func(w http.ResponseWriter, req *http.Request) {
+			counter.Add(1)
+			handler(w, req)
+		})
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the registered routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// RunRequest is the /v1/run payload and the element type of /v1/batch.
+type RunRequest struct {
+	Config rbcast.Config    `json:"config"`
+	Plan   rbcast.FaultPlan `json:"plan"`
+}
+
+// RunResponse is the /v1/run response body.
+type RunResponse struct {
+	Fingerprint string        `json:"fingerprint"`
+	Result      rbcast.Result `json:"result"`
+}
+
+// errorResponse is every error body: {"error": "..."}.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// handleRun executes one scenario synchronously through the cache.
+// Concurrent identical requests single-flight onto one execution; the
+// X-Rbcast-Cache header reports hit (served without executing) or miss.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := rbcast.Job{Config: req.Config, Plan: req.Plan}
+	fp := job.Fingerprint()
+	res, err, cached := s.cache.Do(fp, func() (rbcast.Result, error) {
+		return s.executeOne(req.Config, req.Plan)
+	})
+	if err != nil {
+		// Every rbcast error here is a scenario rejection (invalid
+		// config/plan), not a server fault.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Rbcast-Cache", "hit")
+	} else {
+		w.Header().Set("X-Rbcast-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Fingerprint: fp, Result: res})
+}
+
+// executeOne runs a single scenario, tracking in-flight occupancy and
+// aggregating its engine metrics.
+func (s *Server) executeOne(cfg rbcast.Config, plan rbcast.FaultPlan) (rbcast.Result, error) {
+	s.inflightRuns.Add(1)
+	defer s.inflightRuns.Add(-1)
+	res, err := s.opts.Runner(cfg, plan)
+	if err == nil {
+		s.observe(res)
+	}
+	return res, err
+}
+
+// observe folds one run's engine counters into the server-wide totals.
+func (s *Server) observe(res rbcast.Result) {
+	s.simRuns.Add(1)
+	s.simBroadcasts.Add(int64(res.Broadcasts))
+	s.simDeliveries.Add(int64(res.Deliveries))
+	s.simEvidence.Add(int64(res.Metrics.EvidenceEvals))
+	s.simCommits.Add(int64(res.Metrics.Commits))
+}
+
+// Drain stops accepting new batch jobs and waits for the queued ones to
+// finish, or for ctx to expire. Call it after http.Server.Shutdown has
+// drained the in-flight handlers; together they implement rbcastd's
+// graceful shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain aborted with %d batch jobs still queued: %w",
+			s.queueDepth.Load(), ctx.Err())
+	}
+}
+
+// decodeJSON strictly decodes a request body: unknown fields and trailing
+// garbage are errors, so client typos surface as 400s instead of silently
+// running a default scenario.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("invalid request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// writeJSON writes a JSON response body with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

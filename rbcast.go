@@ -24,6 +24,19 @@ const (
 	MetricL2
 )
 
+// String names the metric ("linf", "l2") for logs, cache keys and metric
+// labels.
+func (m Metric) String() string {
+	switch m {
+	case MetricLinf:
+		return "linf"
+	case MetricL2:
+		return "l2"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
 // Protocol selects a broadcast protocol.
 type Protocol int
 
@@ -56,52 +69,56 @@ func (p Protocol) String() string {
 	}
 }
 
-// Config describes a broadcast scenario.
+// Config describes a broadcast scenario. The JSON encoding (see encode.go)
+// uses snake_case keys and stable enum names, omits zero-valued fields, and
+// round-trips losslessly.
 type Config struct {
 	// Width and Height are the torus dimensions (≥ 2·Radius+1 each).
-	Width, Height int
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
 	// Radius is the transmission radius r (≥ 1).
-	Radius int
+	Radius int `json:"radius,omitempty"`
 	// Metric defaults to MetricLinf.
-	Metric Metric
+	Metric Metric `json:"metric,omitempty"`
 	// Protocol selects the broadcast protocol (required).
-	Protocol Protocol
+	Protocol Protocol `json:"protocol,omitempty"`
 	// T is the assumed per-neighborhood fault bound (ignored by flooding).
-	T int
+	T int `json:"t,omitempty"`
 	// Value is the source's binary input (0 or 1).
-	Value byte
+	Value byte `json:"value,omitempty"`
 	// SourceX, SourceY locate the source (default: the origin).
-	SourceX, SourceY int
+	SourceX int `json:"source_x,omitempty"`
+	SourceY int `json:"source_y,omitempty"`
 	// MaxRounds bounds the execution (0 = a large default).
-	MaxRounds int
+	MaxRounds int `json:"max_rounds,omitempty"`
 	// Concurrent runs the goroutine-per-node engine instead of the
 	// deterministic sequential one. Results are identical; the concurrent
 	// engine exercises real parallelism.
-	Concurrent bool
+	Concurrent bool `json:"concurrent,omitempty"`
 	// ExactEvidence switches ProtocolBV4 to exhaustive evidence
 	// evaluation (expensive; for validation at small radii). The default
 	// is the designated-family ("earmarked") mode from the constructive
 	// proof.
-	ExactEvidence bool
+	ExactEvidence bool `json:"exact_evidence,omitempty"`
 	// LossRate enables the unreliable-channel extension (§II/§X): each
 	// transmission is lost at each receiver independently with this
 	// probability. Zero is the paper's ideal medium.
-	LossRate float64
+	LossRate float64 `json:"loss_rate,omitempty"`
 	// Retransmit is the blind retransmission count of the probabilistic
 	// local-broadcast primitive (< 1 means 1).
-	Retransmit int
+	Retransmit int `json:"retransmit,omitempty"`
 	// MediumSeed drives the loss process deterministically.
-	MediumSeed int64
+	MediumSeed int64 `json:"medium_seed,omitempty"`
 	// SpoofingPossible drops the no-address-spoofing assumption (§X
 	// what-if): receivers attribute messages to the claimed sender.
 	// Combine with StrategySpoofer to reproduce the safety collapse the
 	// paper warns about.
-	SpoofingPossible bool
+	SpoofingPossible bool `json:"spoofing_possible,omitempty"`
 	// LockStep defers every broadcast to the next round (one hop per
 	// round) instead of the default TDMA-frame semantics where later
 	// slots react within the same frame. Decisions are identical; round
 	// numbers become hop counts, which makes wavefront traces readable.
-	LockStep bool
+	LockStep bool `json:"lock_step,omitempty"`
 }
 
 // validate rejects invalid public options up front, so every
@@ -115,9 +132,13 @@ func (c Config) validate() error {
 		return fmt.Errorf("rbcast: negative fault bound T = %d", c.T)
 	}
 	if c.LossRate < 0 || c.LossRate >= 1 {
-		if c.LossRate != 0 {
-			return fmt.Errorf("rbcast: loss rate %v outside [0,1)", c.LossRate)
-		}
+		return fmt.Errorf("rbcast: loss rate %v outside [0,1)", c.LossRate)
+	}
+	if c.Retransmit < 0 {
+		return fmt.Errorf("rbcast: negative retransmission count Retransmit = %d", c.Retransmit)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("rbcast: negative round bound MaxRounds = %d", c.MaxRounds)
 	}
 	if c.Concurrent {
 		// The goroutine-per-node engine supports only the paper's ideal

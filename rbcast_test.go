@@ -23,6 +23,23 @@ func TestProtocolString(t *testing.T) {
 	}
 }
 
+func TestMetricString(t *testing.T) {
+	tests := []struct {
+		m    Metric
+		want string
+	}{
+		{MetricLinf, "linf"},
+		{MetricL2, "l2"},
+		{Metric(0), "Metric(0)"},
+		{Metric(9), "Metric(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	base := Config{Width: 12, Height: 12, Radius: 1, Protocol: ProtocolFlood, Value: 1}
 	cases := []Config{
@@ -57,6 +74,10 @@ func TestConfigValidation(t *testing.T) {
 		{"negative loss rate", func(c *Config) { c.LossRate = -0.1 }, "loss rate"},
 		{"loss rate 1", func(c *Config) { c.LossRate = 1 }, "loss rate"},
 		{"loss rate 1.5", func(c *Config) { c.LossRate = 1.5 }, "loss rate"},
+		{"negative retransmit", func(c *Config) { c.Retransmit = -1 }, "Retransmit"},
+		{"negative max rounds", func(c *Config) { c.MaxRounds = -5 }, "MaxRounds"},
+		{"max rounds 0 ok", func(c *Config) { c.MaxRounds = 0 }, ""},
+		{"retransmit 0 ok", func(c *Config) { c.Retransmit = 0 }, ""},
 		{"concurrent + lossy", func(c *Config) { c.Concurrent = true; c.LossRate = 0.2 }, "sequential engine"},
 		{"concurrent + retransmit", func(c *Config) { c.Concurrent = true; c.Retransmit = 2 }, "Retransmit"},
 		{"concurrent + medium seed", func(c *Config) { c.Concurrent = true; c.MediumSeed = 7 }, "MediumSeed"},

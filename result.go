@@ -24,37 +24,43 @@ func gridCoord(x, y int) grid.Coord { return grid.C(x, y) }
 // Decision is one node's outcome.
 type Decision struct {
 	// Value is the committed value (meaningful when Decided).
-	Value byte
+	Value byte `json:"value,omitempty"`
 	// Decided reports whether the node committed at all.
-	Decided bool
+	Decided bool `json:"decided,omitempty"`
 	// Round is the engine round of the commitment.
-	Round int
+	Round int `json:"round,omitempty"`
 }
 
-// Result summarizes one run.
+// Result summarizes one run. The JSON encoding (see encode.go) uses
+// snake_case keys, renders Decisions keys as "x,y" strings, and round-trips
+// losslessly.
 type Result struct {
 	// Honest is the number of non-faulty nodes (including the source).
-	Honest int
+	Honest int `json:"honest,omitempty"`
 	// Correct, Wrong, Undecided partition the honest nodes by outcome.
-	Correct, Wrong, Undecided int
+	Correct   int `json:"correct,omitempty"`
+	Wrong     int `json:"wrong,omitempty"`
+	Undecided int `json:"undecided,omitempty"`
 	// Faults is the number of faulty nodes the plan placed.
-	Faults int
+	Faults int `json:"faults,omitempty"`
 	// MaxFaultsPerNbd is the worst closed-neighborhood fault count of the
 	// placement (the locally bounded adversary's "t" actually used).
-	MaxFaultsPerNbd int
+	MaxFaultsPerNbd int `json:"max_faults_per_nbd,omitempty"`
 	// Rounds, Broadcasts, Deliveries are engine traffic statistics.
-	Rounds, Broadcasts, Deliveries int
+	Rounds     int `json:"rounds,omitempty"`
+	Broadcasts int `json:"broadcasts,omitempty"`
+	Deliveries int `json:"deliveries,omitempty"`
 	// Quiesced reports whether the run ended with no traffic left.
-	Quiesced bool
+	Quiesced bool `json:"quiesced,omitempty"`
 	// Decisions maps every node to its outcome (faulty nodes included;
 	// adversarial processes never decide).
-	Decisions map[Node]Decision
+	Decisions map[Node]Decision `json:"decisions,omitempty"`
 	// Faulty lists the corrupted nodes in id order.
-	Faulty []Node
+	Faulty []Node `json:"faulty,omitempty"`
 	// Metrics carries the engine's detailed counters: per-round traffic
 	// histograms, evidence-evaluation counts and wall-clock time. The
 	// per-round broadcast/delivery columns sum to Broadcasts/Deliveries.
-	Metrics Metrics
+	Metrics Metrics `json:"metrics,omitempty"`
 }
 
 // RoundMetrics is one engine round's event counts. Round 0 is process
@@ -62,14 +68,14 @@ type Result struct {
 type RoundMetrics struct {
 	// Broadcasts counts local broadcasts transmitted in the round
 	// (including blind retransmissions on a lossy medium).
-	Broadcasts int
+	Broadcasts int `json:"broadcasts,omitempty"`
 	// Deliveries counts per-receiver message deliveries in the round.
-	Deliveries int
+	Deliveries int `json:"deliveries,omitempty"`
 	// EvidenceEvals counts commit-rule evidence evaluations by honest
 	// BV4/BV2 processes in the round.
-	EvidenceEvals int
+	EvidenceEvals int `json:"evidence_evals,omitempty"`
 	// Commits counts first-time decisions observed in the round.
-	Commits int
+	Commits int `json:"commits,omitempty"`
 }
 
 // Metrics carries a run's detailed counters beyond the headline totals.
@@ -77,14 +83,14 @@ type Metrics struct {
 	// EvidenceEvals totals the commit-rule evidence evaluations performed
 	// by honest processes — the computational hot spot of the
 	// indirect-report protocols. Zero for Flood and CPA.
-	EvidenceEvals int
+	EvidenceEvals int `json:"evidence_evals,omitempty"`
 	// Commits totals first-time decisions (equals the number of decided
 	// nodes in Decisions).
-	Commits int
+	Commits int `json:"commits,omitempty"`
 	// PerRound indexes counters by engine round, starting at round 0.
-	PerRound []RoundMetrics
-	// Wall is the run's wall-clock duration.
-	Wall time.Duration
+	PerRound []RoundMetrics `json:"per_round,omitempty"`
+	// Wall is the run's wall-clock duration in nanoseconds.
+	Wall time.Duration `json:"wall_ns,omitempty"`
 }
 
 // CommitRounds returns the histogram of first-commit rounds as a map from

@@ -1,0 +1,109 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test for rbcastd (`make serve-smoke`).
+#
+# Builds the daemon, starts it on an ephemeral port, and exercises the
+# serving contract: /healthz, an uncached /v1/run (cache miss), the same
+# request again (cache hit, byte-identical body), a /v1/batch round trip,
+# and /metrics counters consistent with all of the above. Exits nonzero on
+# any mismatch. Requires curl; uses jq when available for nicer batch
+# polling but does not depend on it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- rbcastd log ---" >&2
+    cat "$TMP/log" >&2 || true
+    exit 1
+}
+
+"${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
+
+"$TMP/rbcastd" -addr 127.0.0.1:0 >"$TMP/log" 2>&1 &
+PID=$!
+
+# The daemon logs "rbcastd listening on 127.0.0.1:PORT" once bound.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/.*rbcastd listening on \(.*\)/\1/p' "$TMP/log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || fail "daemon never reported its address"
+BASE="http://$ADDR"
+
+# Liveness.
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || fail "/healthz not ok"
+
+SCENARIO='{"config":{"width":16,"height":10,"radius":1,"protocol":"bv4","t":2,"value":1},"plan":{"placement":"greedy-band","strategy":"silent"}}'
+
+# First run: a cache miss that executes the simulation.
+curl -fsS -D "$TMP/h1" -H 'Content-Type: application/json' \
+    -d "$SCENARIO" "$BASE/v1/run" >"$TMP/r1" || fail "first /v1/run failed"
+grep -qi '^X-Rbcast-Cache: miss' "$TMP/h1" || fail "first run was not a cache miss"
+grep -q '"fingerprint"' "$TMP/r1" || fail "run response carries no fingerprint"
+
+# Second identical run: a cache hit with a byte-identical body.
+curl -fsS -D "$TMP/h2" -H 'Content-Type: application/json' \
+    -d "$SCENARIO" "$BASE/v1/run" >"$TMP/r2" || fail "second /v1/run failed"
+grep -qi '^X-Rbcast-Cache: hit' "$TMP/h2" || fail "second run was not a cache hit"
+cmp -s "$TMP/r1" "$TMP/r2" || fail "cached body differs from the original"
+
+# Batch round trip: submit, poll to completion, check the results.
+BATCH="{\"jobs\":[$SCENARIO,{\"config\":{\"width\":16,\"height\":10,\"radius\":1,\"protocol\":\"flood\",\"value\":1},\"plan\":{}}]}"
+curl -fsS -H 'Content-Type: application/json' -d "$BATCH" "$BASE/v1/batch" >"$TMP/ack" \
+    || fail "/v1/batch submission failed"
+if command -v jq >/dev/null 2>&1; then
+    JOB_URL=$(jq -r .status_url "$TMP/ack")
+else
+    JOB_URL=$(sed -n 's/.*"status_url":"\([^"]*\)".*/\1/p' "$TMP/ack")
+fi
+[ -n "$JOB_URL" ] || fail "batch ack carries no status_url"
+i=0
+while [ $i -lt 100 ]; do
+    curl -fsS "$BASE$JOB_URL" >"$TMP/job"
+    grep -q '"state":"done"' "$TMP/job" && break
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q '"state":"done"' "$TMP/job" || fail "batch job never finished"
+grep -q '"cached":true' "$TMP/job" || fail "batch did not reuse the cached scenario"
+grep -q '"error"' "$TMP/job" && fail "batch job reported an error"
+
+# Metrics must reflect what just happened: ≥1 hit (the second run plus the
+# batch's cached element), ≥1 miss, and the flood run executed.
+curl -fsS "$BASE/metrics" >"$TMP/metrics" || fail "/metrics failed"
+HITS=$(awk '$1 == "rbcastd_cache_hits_total" {print $2}' "$TMP/metrics")
+MISSES=$(awk '$1 == "rbcastd_cache_misses_total" {print $2}' "$TMP/metrics")
+RUNS=$(awk '$1 == "rbcastd_sim_runs_total" {print $2}' "$TMP/metrics")
+[ "${HITS:-0}" -ge 1 ] 2>/dev/null || fail "cache_hits_total = ${HITS:-unset}, want >= 1"
+[ "${MISSES:-0}" -ge 1 ] 2>/dev/null || fail "cache_misses_total = ${MISSES:-unset}, want >= 1"
+[ "${RUNS:-0}" -ge 2 ] 2>/dev/null || fail "sim_runs_total = ${RUNS:-unset}, want >= 2"
+grep -q 'rbcastd_requests_total{path="/v1/run"} 2' "$TMP/metrics" \
+    || fail "request counter for /v1/run is not 2"
+
+# Graceful shutdown: SIGTERM must drain and exit cleanly.
+kill "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    [ $i -ge 100 ] && fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+    i=$((i + 1))
+done
+wait "$PID" 2>/dev/null || fail "daemon exited nonzero on SIGTERM"
+PID=""
+grep -q 'drained, bye' "$TMP/log" || fail "daemon did not report a clean drain"
+
+echo "serve-smoke: ok ($BASE)"
