@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: verify build vet test race experiments serve-smoke
+.PHONY: verify build vet test race experiments serve-smoke bench bench-smoke bench-diff
 
 # verify is the full pre-merge gate: tier-1 (build + test) plus vet, the
-# race detector across every package, and the rbcastd serving smoke test.
-verify: build vet test race serve-smoke
+# race detector across every package, the rbcastd serving smoke test, and
+# the benchmark-scenario golden-hash smoke.
+verify: build vet test race serve-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,3 +27,18 @@ experiments:
 # bodies), a batch round trip, metrics consistency, graceful shutdown.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# bench runs the full canonical scenario matrix and writes BENCH_3.json
+# (see PERFORMANCE.md for the methodology and field meanings).
+bench:
+	$(GO) run ./cmd/bench -out BENCH_3.json
+
+# bench-smoke runs every scenario once and checks its result fingerprint
+# against testdata/results.golden — the fast correctness gate in `verify`.
+bench-smoke:
+	$(GO) run ./cmd/bench -smoke
+
+# bench-diff runs the full suite and fails on a >10% allocation regression
+# against the committed baseline (testdata/bench_baseline.json).
+bench-diff:
+	GO="$(GO)" sh scripts/benchdiff.sh

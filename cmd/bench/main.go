@@ -1,0 +1,266 @@
+// Command bench runs the canonical scenario matrix (internal/scenarios)
+// as Go benchmarks and emits a machine-readable report. It is the
+// reproducible performance baseline for the engine hot paths: scenarios
+// cover every protocol at, below and above its fault threshold, both
+// engines, and the lossy medium.
+//
+// Modes:
+//
+//	bench                       # full run → BENCH_3.json
+//	bench -smoke                # one run per scenario, golden-hash check only
+//	bench -against FILE         # full run, fail on >threshold% alloc regression
+//
+// The -smoke mode is wired into `make verify`; scripts/benchdiff.sh wraps
+// -against with the committed baseline. Timing (ns_op) is machine-dependent
+// and reported for information; the regression gate compares allocs_op,
+// which is deterministic for a fixed scenario matrix.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	rbcast "repro"
+	"repro/internal/scenarios"
+)
+
+// report is the BENCH_*.json schema.
+type report struct {
+	// Schema identifies the report format.
+	Schema string `json:"schema"`
+	// Go is the toolchain that produced the numbers.
+	Go string `json:"go"`
+	// Scenarios holds one entry per canonical scenario, in matrix order.
+	Scenarios []scenarioReport `json:"scenarios"`
+}
+
+// scenarioReport is one scenario's measured numbers.
+type scenarioReport struct {
+	// Name is the canonical scenario name (protocol/variant/geometry).
+	Name string `json:"name"`
+	// NsOp is wall time per full run (machine-dependent).
+	NsOp int64 `json:"ns_op"`
+	// AllocsOp is heap allocations per full run.
+	AllocsOp int64 `json:"allocs_op"`
+	// BytesOp is heap bytes per full run.
+	BytesOp int64 `json:"bytes_op"`
+	// Rounds is the number of engine rounds the scenario executes.
+	Rounds int `json:"rounds"`
+	// AllocsPerRound is AllocsOp / max(Rounds, 1).
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	// AllCorrect reports whether every honest node committed the source
+	// value (expected false for above-threshold scenarios).
+	AllCorrect bool `json:"all_correct"`
+	// Hash is the scenario's result fingerprint (see internal/scenarios).
+	Hash string `json:"hash"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_3.json", "output path for the JSON report (\"-\" = stdout)")
+	smoke := flag.Bool("smoke", false, "run each scenario once and only verify golden hashes")
+	golden := flag.String("golden", "testdata/results.golden", "golden hash file for -smoke")
+	against := flag.String("against", "", "baseline JSON report to compare allocations against")
+	threshold := flag.Float64("threshold", 10, "allowed allocs_op regression vs -against, in percent")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*golden); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	rep, err := runFull()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeReport(rep, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *against != "" {
+		if err := compare(rep, *against, *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runSmoke executes every scenario once and checks its result fingerprint
+// against the committed golden file — a fast correctness gate for `make
+// verify` that exercises the exact code paths the full benchmark times.
+func runSmoke(goldenPath string) error {
+	want, err := loadGolden(goldenPath)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, sc := range scenarios.Matrix() {
+		res, err := rbcast.Run(sc.Config, sc.Plan)
+		if err != nil {
+			return fmt.Errorf("%s: %v", sc.Name, err)
+		}
+		hash, err := scenarios.ResultHash(res)
+		if err != nil {
+			return fmt.Errorf("%s: %v", sc.Name, err)
+		}
+		w, ok := want[sc.Name]
+		switch {
+		case !ok:
+			fmt.Printf("?? %s (not in golden file)\n", sc.Name)
+			bad++
+		case w != hash:
+			fmt.Printf("FAIL %s: hash %s, golden %s\n", sc.Name, hash[:12], w[:12])
+			bad++
+		default:
+			fmt.Printf("ok   %s\n", sc.Name)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d scenario(s) diverge from testdata/results.golden", bad)
+	}
+	return nil
+}
+
+// runFull benchmarks every scenario and assembles the report.
+func runFull() (report, error) {
+	rep := report{Schema: "rbcast-bench/1", Go: runtime.Version()}
+	for _, sc := range scenarios.Matrix() {
+		sc := sc
+		// One untimed run for the scenario's semantic columns.
+		res, err := rbcast.Run(sc.Config, sc.Plan)
+		if err != nil {
+			return rep, fmt.Errorf("%s: %v", sc.Name, err)
+		}
+		hash, err := scenarios.ResultHash(res)
+		if err != nil {
+			return rep, fmt.Errorf("%s: %v", sc.Name, err)
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rbcast.Run(sc.Config, sc.Plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rounds := res.Rounds
+		if rounds < 1 {
+			rounds = 1
+		}
+		sr := scenarioReport{
+			Name:           sc.Name,
+			NsOp:           br.NsPerOp(),
+			AllocsOp:       br.AllocsPerOp(),
+			BytesOp:        br.AllocedBytesPerOp(),
+			Rounds:         res.Rounds,
+			AllocsPerRound: float64(br.AllocsPerOp()) / float64(rounds),
+			AllCorrect:     res.AllCorrect(),
+			Hash:           hash,
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+		fmt.Fprintf(os.Stderr, "%-24s %10d ns/op %8d allocs/op %10d B/op\n",
+			sc.Name, sr.NsOp, sr.AllocsOp, sr.BytesOp)
+	}
+	return rep, nil
+}
+
+// writeReport marshals the report to the output path.
+func writeReport(rep report, out string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// compare fails when any scenario's allocations regress beyond the
+// threshold relative to the baseline report. Scenarios added since the
+// baseline are skipped (with a note); removed ones fail, since silently
+// dropping coverage would hide regressions.
+func compare(rep report, baselinePath string, threshold float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %v", baselinePath, err)
+	}
+	current := make(map[string]scenarioReport, len(rep.Scenarios))
+	for _, sr := range rep.Scenarios {
+		current[sr.Name] = sr
+	}
+	regressed := 0
+	for _, b := range base.Scenarios {
+		sr, ok := current[b.Name]
+		if !ok {
+			fmt.Printf("MISSING %s: in baseline but not in this run\n", b.Name)
+			regressed++
+			continue
+		}
+		if b.AllocsOp <= 0 {
+			continue
+		}
+		pct := 100 * float64(sr.AllocsOp-b.AllocsOp) / float64(b.AllocsOp)
+		if pct > threshold {
+			fmt.Printf("REGRESS %s: %d → %d allocs/op (%+.1f%% > %.0f%%)\n",
+				b.Name, b.AllocsOp, sr.AllocsOp, pct, threshold)
+			regressed++
+		} else {
+			fmt.Printf("ok      %-24s %d → %d allocs/op (%+.1f%%)\n",
+				b.Name, b.AllocsOp, sr.AllocsOp, pct)
+		}
+	}
+	for _, sr := range rep.Scenarios {
+		found := false
+		for _, b := range base.Scenarios {
+			if b.Name == sr.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("new     %s (not in baseline, not gated)\n", sr.Name)
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d scenario(s) regressed beyond %.0f%% vs %s", regressed, threshold, baselinePath)
+	}
+	return nil
+}
+
+// loadGolden parses a "name<TAB>hash" golden file.
+func loadGolden(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		name, hash, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed line %q", path, line)
+		}
+		out[name] = hash
+	}
+	return out, sc.Err()
+}

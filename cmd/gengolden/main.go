@@ -1,0 +1,35 @@
+// Command gengolden regenerates testdata/results.golden: one line per
+// canonical scenario (internal/scenarios), "name<TAB>sha256-of-result".
+//
+// The committed file was generated from the pre-optimization seed engines
+// (PR 3), so the root-package equivalence test proves the optimized hot
+// paths still produce byte-identical Results. Regenerate ONLY when a
+// deliberate semantic change to the engines or protocols is intended, and
+// say so in the commit message:
+//
+//	go run ./cmd/gengolden > testdata/results.golden
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	rbcast "repro"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	log.SetFlags(0)
+	for _, sc := range scenarios.Matrix() {
+		res, err := rbcast.Run(sc.Config, sc.Plan)
+		if err != nil {
+			log.Fatalf("gengolden: %s: %v", sc.Name, err)
+		}
+		hash, err := scenarios.ResultHash(res)
+		if err != nil {
+			log.Fatalf("gengolden: %s: %v", sc.Name, err)
+		}
+		fmt.Fprintf(os.Stdout, "%s\t%s\n", sc.Name, hash)
+	}
+}

@@ -1,0 +1,18 @@
+// Package agreement builds Byzantine agreement (interactive consistency) on
+// top of the paper's reliable-broadcast primitive. The paper notes that its
+// Theorem 1 "establishes an exact threshold for Byzantine agreement under
+// this model" (§VI): once reliable broadcast is available, agreement follows
+// by the classical reduction — every committee member broadcasts its input
+// in its own instance, and everyone decides a deterministic function
+// (majority) of the commonly-received vector.
+//
+// The radio medium makes the reduction particularly clean: a Byzantine
+// committee member cannot equivocate (its local broadcast reaches all
+// neighbors identically and only the first version counts, §V), so even
+// faulty sources yield a consistent per-instance outcome — either every
+// honest node commits the same value, or none commits.
+//
+// Instances are multiplexed over one engine run via the Message.Instance
+// tag: each node runs one protocol state machine per instance, and a mux
+// process routes deliveries and stamps transmissions.
+package agreement

@@ -1,7 +1,3 @@
-// Package bounds collects the closed-form fault-tolerance thresholds proved
-// or cited in Bhandari & Vaidya (PODC 2005), as pure functions of the
-// transmission radius r. All thresholds are stated as the maximum number of
-// faults t per closed neighborhood.
 package bounds
 
 import (

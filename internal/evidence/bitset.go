@@ -1,0 +1,186 @@
+package evidence
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// This file implements the word-packed set machinery behind the commit
+// rules. The disjoint-path packing of §VI/§VI-B is an exact set packing
+// over chains' node sets; representing each set as a bitmask over a
+// compact, per-call index of the nodes that actually occur turns the inner
+// loops of the branch-and-bound (conflict tests, domination pruning,
+// take/untake) into a handful of word operations and removes the
+// map-allocation churn the seed implementation paid per chain.
+
+// maskSet is a collection of fixed-width bitmasks sharing one backing
+// array: mask i occupies words [i*words, (i+1)*words).
+type maskSet struct {
+	words   int
+	backing []uint64
+}
+
+// newMaskSet allocates n all-zero masks of the given word width.
+func newMaskSet(n, words int) maskSet {
+	return maskSet{words: words, backing: make([]uint64, n*words)}
+}
+
+// mask returns the i-th mask.
+func (ms maskSet) mask(i int) []uint64 {
+	return ms.backing[i*ms.words : (i+1)*ms.words]
+}
+
+// set sets bit b of mask i.
+func (ms maskSet) set(i, b int) {
+	ms.backing[i*ms.words+b>>6] |= 1 << (uint(b) & 63)
+}
+
+// popcount returns the number of set bits in m.
+func popcount(m []uint64) int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// intersects reports whether a and b share a bit.
+func intersects(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maskSubsetOf reports a ⊆ b.
+func maskSubsetOf(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// orInto ors src into dst.
+func orInto(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+// andNotInto clears src's bits in dst.
+func andNotInto(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &^= src[i]
+	}
+}
+
+// chainMasks packs the chains' node sets into bitmasks over a compact
+// index of the nodes that occur. withOrigin selects whether a chain's
+// origin participates in its set (the §VI-B whole-chain rule) or only its
+// relays (the §VI internal-disjointness rule).
+func chainMasks(chains []Chain, withOrigin bool) ([][]uint64, int) {
+	index := make(map[topology.NodeID]int, 4*len(chains))
+	idxOf := func(id topology.NodeID) int {
+		if i, ok := index[id]; ok {
+			return i
+		}
+		i := len(index)
+		index[id] = i
+		return i
+	}
+	// First pass: build the compact index so the word width is known.
+	for _, c := range chains {
+		if withOrigin {
+			idxOf(c.Origin)
+		}
+		for _, rel := range c.Relays {
+			idxOf(rel)
+		}
+	}
+	words := (len(index) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	ms := newMaskSet(len(chains), words)
+	masks := make([][]uint64, len(chains))
+	for i, c := range chains {
+		if withOrigin {
+			ms.set(i, index[c.Origin])
+		}
+		for _, rel := range c.Relays {
+			ms.set(i, index[rel])
+		}
+		masks[i] = ms.mask(i)
+	}
+	return masks, words
+}
+
+// maxDisjointMasks computes the exact maximum pairwise-disjoint subfamily
+// of the given bitmasks, stopping early once `target` is reached. Masks
+// that are strict supersets of another mask are pruned first (domination),
+// then a branch-and-bound search runs on the survivors. Each mask is an
+// atomic evidence unit — recombining nodes across masks would be unsound,
+// which is why this is a set packing rather than a flow problem.
+func maxDisjointMasks(masks [][]uint64, words, target int) int {
+	keep := make([]bool, len(masks))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range masks {
+		if !keep[i] {
+			continue
+		}
+		for j := range masks {
+			if i == j || !keep[i] || !keep[j] {
+				continue
+			}
+			if maskSubsetOf(masks[j], masks[i]) && popcount(masks[j]) < popcount(masks[i]) {
+				keep[i] = false // i strictly dominated by j
+			} else if maskSubsetOf(masks[i], masks[j]) && i < j && popcount(masks[i]) == popcount(masks[j]) {
+				keep[j] = false // exact duplicate; keep the first
+			}
+		}
+	}
+	pruned := masks[:0]
+	for i, k := range keep {
+		if k {
+			pruned = append(pruned, masks[i])
+		}
+	}
+	// Smaller node sets first: they conflict less.
+	sort.SliceStable(pruned, func(i, j int) bool { return popcount(pruned[i]) < popcount(pruned[j]) })
+
+	best := 0
+	used := make([]uint64, words)
+	var dfs func(idx, chosen int)
+	dfs = func(idx, chosen int) {
+		if chosen > best {
+			best = chosen
+		}
+		if best >= target || idx >= len(pruned) {
+			return
+		}
+		if chosen+len(pruned)-idx <= best {
+			return // cannot beat the incumbent
+		}
+		// Branch 1: take pruned[idx] if compatible.
+		if !intersects(pruned[idx], used) {
+			orInto(used, pruned[idx])
+			dfs(idx+1, chosen+1)
+			andNotInto(used, pruned[idx])
+			if best >= target {
+				return
+			}
+		}
+		// Branch 2: skip it.
+		dfs(idx+1, chosen)
+	}
+	dfs(0, 0)
+	return best
+}

@@ -2,7 +2,6 @@ package evidence
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/grid"
 	"repro/internal/paths"
@@ -20,13 +19,42 @@ import (
 // (FamilyU/S1/S2), under all eight grid symmetries (the induction sweeps in
 // all four directions). Receivers count confirmed designated paths; relayers
 // forward only chains that are prefixes of some designated path.
+//
+// Relay sequences are matched via packed uint64 keys: each relay offset is a
+// pair of int8s packed into 16 bits, up to paths.MaxIntermediates (3) relays
+// per key, with the sequence length in the top word — so both the relayer's
+// prefix probe and the receiver's confirmation count are allocation-free.
 type FamilyTable struct {
 	r int
-	// fams maps the origin offset (relative to the receiver) to relay
-	// paths; each path is a list of relay offsets relative to the receiver.
-	fams map[grid.Coord][][]grid.Coord
-	// prefixes holds relay-sequence prefixes in origin-relative offsets.
-	prefixes map[string]struct{}
+	// fams maps the origin offset (relative to the receiver) to the family:
+	// each path is a list of relay offsets relative to the receiver, stored
+	// both explicitly and as a packed key for confirmation matching.
+	fams map[grid.Coord]famEntry
+	// prefixes holds packed relay-sequence prefixes in origin-relative
+	// offsets.
+	prefixes map[uint64]struct{}
+}
+
+// famEntry is one origin offset's designated family.
+type famEntry struct {
+	paths [][]grid.Coord // relay offsets relative to the receiver
+	keys  []uint64       // packOffsets of each path, same order
+}
+
+// packOffsets encodes a relay-offset sequence (≤ paths.MaxIntermediates
+// entries, each component within int8 range — true for any practical radius)
+// as a single comparable word. Sequences longer than the inline capacity get
+// a length-only key; they can never equal a designated-path key, whose
+// length is always ≤ paths.MaxIntermediates.
+func packOffsets(offs []grid.Coord) uint64 {
+	key := uint64(len(offs)) << 48
+	if len(offs) > paths.MaxIntermediates {
+		return key
+	}
+	for i, d := range offs {
+		key |= (uint64(uint8(int8(d.X))) | uint64(uint8(int8(d.Y)))<<8) << (16 * uint(i))
+	}
+	return key
 }
 
 // symmetries are the eight isometries of the integer grid fixing the origin.
@@ -48,8 +76,8 @@ func NewFamilyTable(r int) (*FamilyTable, error) {
 	}
 	ft := &FamilyTable{
 		r:        r,
-		fams:     make(map[grid.Coord][][]grid.Coord),
-		prefixes: make(map[string]struct{}),
+		fams:     make(map[grid.Coord]famEntry),
+		prefixes: make(map[uint64]struct{}),
 	}
 	center := grid.C(0, 0)
 	p0 := paths.CornerP(center, r)
@@ -78,14 +106,16 @@ func NewFamilyTable(r int) (*FamilyTable, error) {
 				continue
 			}
 			sPaths := make([][]grid.Coord, len(relPaths))
+			sKeys := make([]uint64, len(relPaths))
 			for i, rels := range relPaths {
 				srels := make([]grid.Coord, len(rels))
 				for j, x := range rels {
 					srels[j] = sym(x)
 				}
 				sPaths[i] = srels
+				sKeys[i] = packOffsets(srels)
 			}
-			ft.fams[sd] = sPaths
+			ft.fams[sd] = famEntry{paths: sPaths, keys: sKeys}
 			ft.addPrefixes(sd, sPaths)
 		}
 	}
@@ -96,24 +126,17 @@ func NewFamilyTable(r int) (*FamilyTable, error) {
 // origin-relative coordinates (relay − origin), so relayers can check
 // membership without knowing the receiver.
 func (ft *FamilyTable) addPrefixes(originOff grid.Coord, relPaths [][]grid.Coord) {
+	var buf [paths.MaxIntermediates]grid.Coord
 	for _, rels := range relPaths {
 		for k := 1; k <= len(rels); k++ {
-			key := prefixKey(originOff, rels[:k])
-			ft.prefixes[key] = struct{}{}
+			// Re-base the prefix to origin-relative offsets.
+			pre := buf[:k]
+			for i, rel := range rels[:k] {
+				pre[i] = rel.Sub(originOff)
+			}
+			ft.prefixes[packOffsets(pre)] = struct{}{}
 		}
 	}
-}
-
-// prefixKey encodes a relay prefix relative to the origin.
-func prefixKey(originOff grid.Coord, rels []grid.Coord) string {
-	var b strings.Builder
-	b.Grow(4 * len(rels))
-	for _, rel := range rels {
-		d := rel.Sub(originOff) // relay offset relative to the origin
-		b.WriteByte(byte(int8(d.X)))
-		b.WriteByte(byte(int8(d.Y)))
-	}
-	return b.String()
 }
 
 // Radius returns the table's transmission radius.
@@ -125,7 +148,7 @@ func (ft *FamilyTable) Offsets() int { return len(ft.fams) }
 // FamilySize returns the number of designated paths for an origin offset,
 // or zero when the offset is not covered.
 func (ft *FamilyTable) FamilySize(originOff grid.Coord) int {
-	return len(ft.fams[originOff])
+	return len(ft.fams[originOff].paths)
 }
 
 // ShouldRelay reports whether an honest node at relay-offset chain
@@ -136,13 +159,7 @@ func (ft *FamilyTable) ShouldRelay(relOffsets []grid.Coord) bool {
 	if len(relOffsets) == 0 || len(relOffsets) > paths.MaxIntermediates {
 		return false
 	}
-	var b strings.Builder
-	b.Grow(2 * len(relOffsets))
-	for _, d := range relOffsets {
-		b.WriteByte(byte(int8(d.X)))
-		b.WriteByte(byte(int8(d.Y)))
-	}
-	_, ok := ft.prefixes[b.String()]
+	_, ok := ft.prefixes[packOffsets(relOffsets)]
 	return ok
 }
 
@@ -151,7 +168,7 @@ func (ft *FamilyTable) ShouldRelay(relOffsets []grid.Coord) bool {
 // same value, exact relay sequence).
 func (ft *FamilyTable) ConfirmedPaths(net *topology.Network, s *Store, receiver, origin topology.NodeID, value byte) int {
 	d := net.Delta(receiver, origin)
-	relPaths, ok := ft.fams[d]
+	fam, ok := ft.fams[d]
 	if !ok {
 		return 0
 	}
@@ -159,20 +176,21 @@ func (ft *FamilyTable) ConfirmedPaths(net *topology.Network, s *Store, receiver,
 	if len(chains) == 0 {
 		return 0
 	}
-	recorded := make(map[string]struct{}, len(chains))
+	// Pack each recorded chain's relay sequence once (receiver-relative),
+	// then match designated-path keys by linear scan: both lists are small
+	// (a family has r(2r+1) paths) and nothing escapes to the heap.
+	var buf [32]uint64
+	recorded := buf[:0]
 	for _, c := range chains {
-		recorded[relayKey(net, receiver, c.Relays)] = struct{}{}
+		recorded = append(recorded, relayKey(net, receiver, c.Relays))
 	}
 	confirmed := 0
-	for _, rels := range relPaths {
-		var b strings.Builder
-		b.Grow(2 * len(rels))
-		for _, rel := range rels {
-			b.WriteByte(byte(int8(rel.X)))
-			b.WriteByte(byte(int8(rel.Y)))
-		}
-		if _, ok := recorded[b.String()]; ok {
-			confirmed++
+	for _, pk := range fam.keys {
+		for _, rk := range recorded {
+			if rk == pk {
+				confirmed++
+				break
+			}
 		}
 	}
 	return confirmed
@@ -185,13 +203,13 @@ func (ft *FamilyTable) ConfirmedPaths(net *topology.Network, s *Store, receiver,
 // counterpart of ConfirmedPaths, used by the outcome analyzer.
 func (ft *FamilyTable) HonestPathCount(net *topology.Network, receiver, origin topology.NodeID, honest func(topology.NodeID) bool) int {
 	d := net.Delta(receiver, origin)
-	relPaths, ok := ft.fams[d]
+	fam, ok := ft.fams[d]
 	if !ok {
 		return 0
 	}
 	recvC := net.CoordOf(receiver)
 	count := 0
-	for _, rels := range relPaths {
+	for _, rels := range fam.paths {
 		allHonest := true
 		for _, off := range rels {
 			if !honest(net.IDOf(recvC.Add(off))) {
@@ -206,16 +224,17 @@ func (ft *FamilyTable) HonestPathCount(net *topology.Network, receiver, origin t
 	return count
 }
 
-// relayKey encodes a chain's relay ids as receiver-relative offsets.
-func relayKey(net *topology.Network, receiver topology.NodeID, relays []topology.NodeID) string {
-	var b strings.Builder
-	b.Grow(2 * len(relays))
-	for _, rel := range relays {
-		d := net.Delta(receiver, rel)
-		b.WriteByte(byte(int8(d.X)))
-		b.WriteByte(byte(int8(d.Y)))
+// relayKey packs a chain's relay ids as receiver-relative offsets.
+func relayKey(net *topology.Network, receiver topology.NodeID, relays []topology.NodeID) uint64 {
+	key := uint64(len(relays)) << 48
+	if len(relays) > paths.MaxIntermediates {
+		return key
 	}
-	return b.String()
+	for i, rel := range relays {
+		d := net.Delta(receiver, rel)
+		key |= (uint64(uint8(int8(d.X))) | uint64(uint8(int8(d.Y)))<<8) << (16 * uint(i))
+	}
+	return key
 }
 
 // DeterminedDesignated is the designated-mode counterpart of

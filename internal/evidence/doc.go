@@ -1,0 +1,7 @@
+// Package evidence implements the commit rules of the paper's Byzantine
+// broadcast protocols (§VI, §VI-B): recorded-report storage, the exact
+// "t+1 internally node-disjoint recorded paths inside one single
+// neighborhood" test, and the topology-aware designated-family mode — the
+// paper's "earmarking exact messages that a node should lookout for"
+// optimization, built from the constructive proof's explicit path families.
+package evidence

@@ -235,8 +235,11 @@ func TestFamilyTableCoverage(t *testing.T) {
 		// Every covered offset has the full family of r(2r+1) paths.
 		want := r * (2*r + 1)
 		for off, fam := range ft.fams {
-			if len(fam) != want {
-				t.Errorf("r=%d offset %v: %d paths, want %d", r, off, len(fam), want)
+			if len(fam.paths) != want {
+				t.Errorf("r=%d offset %v: %d paths, want %d", r, off, len(fam.paths), want)
+			}
+			if len(fam.keys) != len(fam.paths) {
+				t.Errorf("r=%d offset %v: %d packed keys for %d paths", r, off, len(fam.keys), len(fam.paths))
 			}
 		}
 	}
@@ -266,7 +269,7 @@ func TestShouldRelayPrefixes(t *testing.T) {
 	var off grid.Coord
 	var somePath []grid.Coord
 	for o, fam := range ft.fams {
-		for _, path := range fam {
+		for _, path := range fam.paths {
 			if len(path) == 3 {
 				off, somePath = o, path
 				break
@@ -308,7 +311,7 @@ func TestConfirmedPathsAndDeterminedDesignated(t *testing.T) {
 	// S1-type offset (0, -(r+1)) = origin two rows below the receiver.
 	origin := net.IDOf(grid.C(4, 2))
 	d := net.Delta(recv, origin)
-	relPaths := ft.fams[d]
+	relPaths := ft.fams[d].paths
 	if len(relPaths) != r*(2*r+1) {
 		t.Fatalf("offset %v: %d designated paths", d, len(relPaths))
 	}
@@ -357,7 +360,7 @@ func TestFamilyTablePathsAreValidOnTorus(t *testing.T) {
 	for off, fam := range ft.fams {
 		originC := recvC.Add(off)
 		seen := make(map[topology.NodeID]bool)
-		for _, rels := range fam {
+		for _, rels := range fam.paths {
 			full := make([]grid.Coord, 0, len(rels)+2)
 			full = append(full, originC)
 			for _, ro := range rels {

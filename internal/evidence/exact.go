@@ -1,8 +1,6 @@
 package evidence
 
 import (
-	"sort"
-
 	"repro/internal/grid"
 	"repro/internal/topology"
 )
@@ -27,12 +25,16 @@ func DeterminedExact(net *topology.Network, s *Store, receiver, origin topology.
 	}
 	r := net.Radius()
 	recvC := net.CoordOf(receiver)
+	// Pack every chain's relay set once; each candidate center then only
+	// filters the shared masks instead of rebuilding node sets.
+	masks, words := chainMasks(chains, false)
+	usable := make([][]uint64, 0, len(chains))
 	for _, center := range candidateCenters(net, recvC, origin) {
 		inNbd := func(id topology.NodeID) bool {
 			return net.Torus().Within(net.Metric(), center, net.CoordOf(id), r)
 		}
-		var usable []Chain
-		for _, c := range chains {
+		usable = usable[:0]
+		for i, c := range chains {
 			ok := true
 			for _, rel := range c.Relays {
 				if !inNbd(rel) {
@@ -41,13 +43,13 @@ func DeterminedExact(net *topology.Network, s *Store, receiver, origin topology.
 				}
 			}
 			if ok {
-				usable = append(usable, c)
+				usable = append(usable, masks[i])
 			}
 		}
 		if len(usable) < need {
 			continue
 		}
-		if maxDisjointChains(usable, need) >= need {
+		if maxDisjointMasks(usable, words, need) >= need {
 			return true
 		}
 	}
@@ -80,103 +82,36 @@ func candidateCenters(net *topology.Network, recvC grid.Coord, origin topology.N
 // subset of chains (chains share their origin, so only relays conflict),
 // stopping early once `target` is reached.
 func maxDisjointChains(chains []Chain, target int) int {
-	sets := make([]map[topology.NodeID]struct{}, 0, len(chains))
-	for _, c := range chains {
-		set := make(map[topology.NodeID]struct{}, len(c.Relays))
-		for _, rel := range c.Relays {
-			set[rel] = struct{}{}
-		}
-		sets = append(sets, set)
-	}
-	return maxDisjointSets(sets, target)
+	masks, words := chainMasks(chains, false)
+	return maxDisjointMasks(masks, words, target)
 }
 
 // maxDisjointSets computes the exact maximum pairwise-disjoint subfamily of
-// the given node sets, stopping early once `target` is reached. Sets that
-// are strict supersets of another set are pruned first (domination), then a
-// branch-and-bound search runs on the survivors. Each set is an atomic
-// evidence unit — recombining nodes across sets would be unsound, which is
-// why this is a set packing rather than a flow problem.
+// the given node sets, stopping early once `target` is reached. It is the
+// map-set entry point to the word-packed packer in bitset.go, retained for
+// callers (and property tests) that hold sets rather than chains.
 func maxDisjointSets(sets []map[topology.NodeID]struct{}, target int) int {
-	keep := make([]bool, len(sets))
-	for i := range keep {
-		keep[i] = true
-	}
-	for i := range sets {
-		if !keep[i] {
-			continue
-		}
-		for j := range sets {
-			if i == j || !keep[i] || !keep[j] {
-				continue
-			}
-			if subsetOf(sets[j], sets[i]) && len(sets[j]) < len(sets[i]) {
-				keep[i] = false // i strictly dominated by j
-			} else if subsetOf(sets[i], sets[j]) && i < j && len(sets[i]) == len(sets[j]) {
-				keep[j] = false // exact duplicate; keep the first
+	index := make(map[topology.NodeID]int, 4*len(sets))
+	for _, set := range sets {
+		for id := range set {
+			if _, ok := index[id]; !ok {
+				index[id] = len(index)
 			}
 		}
 	}
-	var pruned []map[topology.NodeID]struct{}
-	for i, k := range keep {
-		if k {
-			pruned = append(pruned, sets[i])
-		}
+	words := (len(index) + 63) / 64
+	if words == 0 {
+		words = 1
 	}
-	// Smaller relay sets first: they conflict less.
-	sort.Slice(pruned, func(i, j int) bool { return len(pruned[i]) < len(pruned[j]) })
-
-	best := 0
-	used := make(map[topology.NodeID]struct{})
-	var dfs func(idx, chosen int)
-	dfs = func(idx, chosen int) {
-		if chosen > best {
-			best = chosen
+	ms := newMaskSet(len(sets), words)
+	masks := make([][]uint64, len(sets))
+	for i, set := range sets {
+		for id := range set {
+			ms.set(i, index[id])
 		}
-		if best >= target || idx >= len(pruned) {
-			return
-		}
-		if chosen+len(pruned)-idx <= best {
-			return // cannot beat the incumbent
-		}
-		// Branch 1: take pruned[idx] if compatible.
-		conflict := false
-		for rel := range pruned[idx] {
-			if _, ok := used[rel]; ok {
-				conflict = true
-				break
-			}
-		}
-		if !conflict {
-			for rel := range pruned[idx] {
-				used[rel] = struct{}{}
-			}
-			dfs(idx+1, chosen+1)
-			for rel := range pruned[idx] {
-				delete(used, rel)
-			}
-			if best >= target {
-				return
-			}
-		}
-		// Branch 2: skip it.
-		dfs(idx+1, chosen)
+		masks[i] = ms.mask(i)
 	}
-	dfs(0, 0)
-	return best
-}
-
-// subsetOf reports a ⊆ b.
-func subsetOf(a, b map[topology.NodeID]struct{}) bool {
-	if len(a) > len(b) {
-		return false
-	}
-	for k := range a {
-		if _, ok := b[k]; !ok {
-			return false
-		}
-	}
-	return true
+	return maxDisjointMasks(masks, words, target)
 }
 
 // CommitSingleLevel implements the §VI-B (two-hop protocol) commit rule:
@@ -201,20 +136,11 @@ func CommitSingleLevelFocused(net *topology.Network, s *Store, receiver topology
 
 // commitSingleLevel implements both entry points.
 func commitSingleLevel(net *topology.Network, s *Store, receiver topology.NodeID, value byte, need int, focus *Chain) bool {
-	// Gather all chains for this value (any origin), including the
-	// direct COMMITTED receptions as relay-free chains.
-	var all []Chain
-	seenOrigin := make(map[topology.NodeID]bool)
-	for _, oc := range s.Origins() {
-		if oc.Value != value {
-			continue
-		}
-		if s.HasDirect(oc.Origin, value) && !seenOrigin[oc.Origin] {
-			seenOrigin[oc.Origin] = true
-			all = append(all, Chain{Origin: oc.Origin, Value: value})
-		}
-		all = append(all, s.Chains(oc.Origin, value)...)
-	}
+	// All chains for this value (any origin), including the direct
+	// COMMITTED receptions as relay-free chains; the store maintains this
+	// list incrementally so the hot per-insertion commit check re-gathers
+	// nothing.
+	all := s.ValueChains(value)
 	if len(all) < need {
 		return false
 	}
@@ -229,6 +155,10 @@ func commitSingleLevel(net *topology.Network, s *Store, receiver topology.NodeID
 		anchor = net.CoordOf(focus.Origin)
 		span = r
 	}
+	// Pack every chain's whole node set (origin AND relays — the §VI-B
+	// "collectively node-disjoint" requirement) once up front.
+	masks, words := chainMasks(all, true)
+	usable := make([][]uint64, 0, len(all))
 	for dy := -span; dy <= span; dy++ {
 		for dx := -span; dx <= span; dx++ {
 			center := t.Wrap(anchor.Add(grid.C(dx, dy)))
@@ -244,8 +174,8 @@ func commitSingleLevel(net *topology.Network, s *Store, receiver topology.NodeID
 			inNbd := func(id topology.NodeID) bool {
 				return t.Within(m, center, net.CoordOf(id), r)
 			}
-			var usable []Chain
-			for _, c := range all {
+			usable = usable[:0]
+			for i, c := range all {
 				if len(c.Relays) > 1 {
 					continue // two-hop protocol: at most one relay
 				}
@@ -260,13 +190,13 @@ func commitSingleLevel(net *topology.Network, s *Store, receiver topology.NodeID
 					}
 				}
 				if ok {
-					usable = append(usable, c)
+					usable = append(usable, masks[i])
 				}
 			}
 			if len(usable) < need {
 				continue
 			}
-			if maxDisjointWholeChains(usable, need) >= need {
+			if maxDisjointMasks(usable, words, need) >= need {
 				return true
 			}
 		}

@@ -1,0 +1,6 @@
+// Package experiments contains one runner per reproduced paper artifact
+// (Table I and Figs 1-19, plus every theorem's threshold) as indexed in
+// DESIGN.md. Each runner returns a structured Report whose rows mirror the
+// shape of the paper's claim; cmd/experiments renders them and EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiments

@@ -1,9 +1,3 @@
-// Package fault implements the paper's locally bounded adversary (§II): the
-// fault-budget checker (no closed neighborhood may contain more than t
-// faulty nodes), the worst-case placements used in the impossibility
-// constructions (the Fig 8 crash band and the Fig 13 checkerboard band),
-// randomized budget-respecting placements, iid percolation failures (§XI),
-// and the Byzantine node behaviours used in simulations.
 package fault
 
 import (

@@ -1,9 +1,3 @@
-// Package flow implements Dinic's maximum-flow algorithm and, on top of it,
-// maximum sets of vertex-disjoint paths via the standard vertex-splitting
-// reduction. The paper's protocols and proofs hinge on counting node-disjoint
-// paths inside single neighborhoods (§V, §VI); this package provides the
-// exact combinatorial tool, used both to construct designated path families
-// and to cross-check the explicit constructions of Figs 5, 6 and 12.
 package flow
 
 import "fmt"

@@ -1,11 +1,3 @@
-// Package grid provides the lattice geometry underlying the radio-network
-// model of Bhandari & Vaidya, "On Reliable Broadcast in a Radio Network"
-// (PODC 2005): integer grid coordinates, the L∞ and L2 distance metrics,
-// closed and open neighborhoods of radius r, and the explicit rectangular
-// regions used throughout the paper's constructions (Table I, Figs 1-7).
-//
-// All functions in this package operate on the infinite grid. Wrapping onto
-// a finite torus is the job of package topology.
 package grid
 
 import (

@@ -1,11 +1,3 @@
-// Package l2 reproduces the Euclidean-metric arguments of §VIII (Figs
-// 11-13): lattice-point counts of the construction regions, the
-// node-disjoint P-Q path count inside a single circular neighborhood
-// (Fig 12), and the Fig 13 impossibility construction's fault counts. The
-// paper's L2 results are explicitly informal ("A ± O(r)"), so the
-// reproduction reports measured lattice counts against the paper's area
-// constants: 0.23πr² (achievability), 0.3πr² (impossibility), 0.47πr²
-// (≈1.47r², the path-family total), and 0.6πr² (crash impossibility).
 package l2
 
 import (

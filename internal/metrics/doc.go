@@ -1,0 +1,11 @@
+// Package metrics provides cheap, concurrency-safe execution counters for
+// the simulation engines: running totals and per-round histograms of
+// broadcasts, deliveries, evidence evaluations and commits, plus the run's
+// wall-clock time. A nil *Collector is a valid no-op sink, so the engines
+// tap unconditionally and pay nothing when no one is collecting.
+//
+// Totals are atomics; the per-round histogram is guarded by a mutex because
+// the concurrent runtime records commits and evidence evaluations from many
+// node goroutines at once. Both engines drive the same taps, which is what
+// makes the counters differentially testable across them.
+package metrics

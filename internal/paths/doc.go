@@ -1,0 +1,12 @@
+// Package paths implements the explicit geometric constructions at the core
+// of Theorem 1's completeness proof (§VI, Figs 1-7 and Table I): the regions
+// M, R, U, S1, S2 around a neighborhood nbd(a,b), and for each node N in
+// those regions, the family of r(2r+1) node-disjoint N→P paths that lie
+// entirely inside one single neighborhood. These constructions are the
+// evidence plan the protocol relies on, and the experiments verify them
+// computationally for every node and every r.
+//
+// Everything here is in the infinite-grid L∞ world; (a,b) denotes the center
+// of the already-committed neighborhood and P the newly-reached node of
+// pnbd(a,b) − nbd(a,b) (worst case: the corner (a−r, b+r+1)).
+package paths

@@ -2,7 +2,6 @@ package protocol
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"repro/internal/evidence"
@@ -55,7 +54,7 @@ type bv4Proc struct {
 	// firstHeard dedupes HEARD by (sender, origin, relay path) — the value
 	// is deliberately excluded so contradictory retransmissions of the
 	// same logical message are ignored after the first (§V).
-	firstHeard map[string]struct{}
+	firstHeard map[heardKey]struct{}
 	// determined tracks reliably-determined (origin, value) pairs.
 	determined map[detKey]struct{}
 	// counters[v][center] counts determined committers of value v in the
@@ -101,7 +100,7 @@ func newBV4Factory(p Params) (sim.ProcessFactory, error) {
 			value:       p.Value,
 			store:       evidence.NewStore(),
 			firstCommit: make(map[topology.NodeID]struct{}),
-			firstHeard:  make(map[string]struct{}),
+			firstHeard:  make(map[heardKey]struct{}),
 			determined:  make(map[detKey]struct{}),
 			counters: [2]map[topology.NodeID]int{
 				make(map[topology.NodeID]int),
@@ -179,18 +178,17 @@ func (b *bv4Proc) acceptHeard(ctx sim.Context, from topology.NodeID, m sim.Messa
 	if m.Origin == b.self {
 		return // reports about ourselves carry no information
 	}
-	seen := make(map[topology.NodeID]struct{}, n+1)
-	seen[m.Origin] = struct{}{}
-	for _, rel := range m.Path {
+	for i, rel := range m.Path {
 		if rel == b.self || rel == m.Origin {
 			return // cyclic or self-involving chains are worthless
 		}
-		if _, dup := seen[rel]; dup {
-			return
+		for _, prev := range m.Path[:i] {
+			if rel == prev {
+				return
+			}
 		}
-		seen[rel] = struct{}{}
 	}
-	key := heardKey(m.Origin, m.Path)
+	key := newHeardKey(m.Origin, m.Path)
 	if _, dup := b.firstHeard[key]; dup {
 		return
 	}
@@ -207,7 +205,8 @@ func (b *bv4Proc) acceptHeard(ctx sim.Context, from topology.NodeID, m sim.Messa
 	// Re-relay with our identifier affixed, if the extended chain is still
 	// designated (or always, in exact mode) and under the relay cap.
 	if n < sim.MaxHeardRelays {
-		ext := append(append(make([]topology.NodeID, 0, n+1), m.Path...), b.self)
+		var extBuf [sim.MaxHeardRelays]topology.NodeID
+		ext := append(append(extBuf[:0], m.Path...), b.self)
 		if b.shouldRelay(m.Origin, ext) {
 			fwd := m.ExtendPath(b.self)
 			ctx.Broadcast(fwd)
@@ -254,7 +253,8 @@ func (b *bv4Proc) shouldRelay(origin topology.NodeID, relays []topology.NodeID) 
 	if b.mode == Exact {
 		return true
 	}
-	offs := make([]grid.Coord, len(relays))
+	var buf [sim.MaxHeardRelays]grid.Coord
+	offs := buf[:len(relays)]
 	for i, rel := range relays {
 		offs[i] = b.net.Delta(origin, rel)
 	}
@@ -280,21 +280,16 @@ func (b *bv4Proc) Decided() (byte, bool) {
 }
 
 // heardKey canonically identifies a logical HEARD message (value excluded,
-// so only the first of contradictory versions is accepted).
-func heardKey(origin topology.NodeID, path []topology.NodeID) string {
-	var sb strings.Builder
-	sb.Grow(4 * (len(path) + 1))
-	write := func(id topology.NodeID) {
-		sb.WriteByte(byte(id))
-		sb.WriteByte(byte(id >> 8))
-		sb.WriteByte(byte(id >> 16))
-		sb.WriteByte(byte(id >> 24))
-	}
-	write(origin)
-	for _, p := range path {
-		write(p)
-	}
-	return sb.String()
+// so only the first of contradictory versions is accepted). The path is at
+// most sim.MaxHeardRelays long, so origin plus path fit in a comparable
+// array; unused slots hold topology.None, which no real relay can be.
+type heardKey [1 + sim.MaxHeardRelays]topology.NodeID
+
+// newHeardKey packs (origin, path) into a heardKey.
+func newHeardKey(origin topology.NodeID, path []topology.NodeID) heardKey {
+	k := heardKey{origin, topology.None, topology.None, topology.None}
+	copy(k[1:], path)
+	return k
 }
 
 var _ sim.Process = (*bv4Proc)(nil)

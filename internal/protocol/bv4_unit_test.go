@@ -190,19 +190,19 @@ func TestBV4SourceValueCommitsNeighbor(t *testing.T) {
 }
 
 func TestHeardKeyDistinguishes(t *testing.T) {
-	a := heardKey(1, []topology.NodeID{2, 3})
-	variants := []string{
-		heardKey(2, []topology.NodeID{2, 3}),
-		heardKey(1, []topology.NodeID{3, 2}),
-		heardKey(1, []topology.NodeID{2}),
-		heardKey(1, nil),
+	a := newHeardKey(1, []topology.NodeID{2, 3})
+	variants := []heardKey{
+		newHeardKey(2, []topology.NodeID{2, 3}),
+		newHeardKey(1, []topology.NodeID{3, 2}),
+		newHeardKey(1, []topology.NodeID{2}),
+		newHeardKey(1, nil),
 	}
 	for i, v := range variants {
 		if v == a {
 			t.Errorf("variant %d collides", i)
 		}
 	}
-	if heardKey(1, []topology.NodeID{2, 3}) != a {
+	if newHeardKey(1, []topology.NodeID{2, 3}) != a {
 		t.Error("identical keys must match")
 	}
 }

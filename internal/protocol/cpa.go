@@ -18,10 +18,11 @@ type cpaProc struct {
 	spoof   bool // §X study: medium does not authenticate senders
 	value   byte
 	decided bool
-	// votes[v] = distinct neighbors that announced value v. Only a
+	// votes[v] counts distinct neighbors that announced value v. Only a
 	// neighbor's first announcement counts (§V: accept the first version,
-	// ignore the rest).
-	votes [2]map[topology.NodeID]struct{}
+	// ignore the rest), so the heard set is the dedup and plain counters
+	// suffice — no per-value membership sets on the delivery path.
+	votes [2]int
 	heard map[topology.NodeID]struct{} // neighbors whose announcement was consumed
 }
 
@@ -34,7 +35,6 @@ func newCPAFactory(p Params) sim.ProcessFactory {
 			t:      p.T,
 			spoof:  p.SpoofingPossible,
 			value:  p.Value,
-			votes:  [2]map[topology.NodeID]struct{}{make(map[topology.NodeID]struct{}), make(map[topology.NodeID]struct{})},
 			heard:  make(map[topology.NodeID]struct{}),
 		}
 	}
@@ -63,8 +63,8 @@ func (c *cpaProc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) 
 		return // only a neighbor's first announcement counts
 	}
 	c.heard[sender] = struct{}{}
-	c.votes[m.Value][sender] = struct{}{}
-	if len(c.votes[m.Value]) >= c.t+1 {
+	c.votes[m.Value]++
+	if c.votes[m.Value] >= c.t+1 {
 		c.commit(ctx, m.Value)
 	}
 }

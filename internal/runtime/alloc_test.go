@@ -1,0 +1,38 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// TestRunAllocsRegression guards the concurrent engine's allocation budget
+// on a 1024-node flood. The floor here is the goroutine fan-out itself —
+// one launch per active node per round — which is the engine's point, so
+// the budget is per-node-per-round plus setup. The pre-optimization engine
+// (fresh inbox/outbox slices, per-delivery Context values, map-based crash
+// checks) measured ~16.2k allocations on this workload; the rebuilt
+// hot path measures ~11.2k. The 14k budget trips on a return of per-round
+// buffer churn while leaving headroom over scheduler noise.
+func TestRunAllocsRegression(t *testing.T) {
+	net := testNet(t, 32, 32, 2)
+	src := net.IDOf(grid.C(0, 0))
+	cfg := Config{Net: net, Factory: floodFactory(src, 1)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds < 5 {
+		t.Fatalf("probe workload degenerate: %d rounds", res.Stats.Rounds)
+	}
+	const maxAllocs = 14_000
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > maxAllocs {
+		t.Errorf("full run allocated %.0f times (%.1f/round over %d rounds), budget %d — the round hot path regressed",
+			avg, avg/float64(res.Stats.Rounds), res.Stats.Rounds, maxAllocs)
+	}
+}

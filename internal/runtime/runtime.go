@@ -1,15 +1,3 @@
-// Package runtime executes the same Process state machines as package sim,
-// but with a goroutine per node communicating over channels — the natural
-// Go embedding of the paper's node-per-grid-point model. Rounds are
-// lock-step: all messages produced in round k are delivered in round k+1,
-// matching sim.ModeNextRound exactly, so the two engines are differentially
-// testable against each other.
-//
-// Within a round every node processes its (deterministically ordered) inbox
-// concurrently; the coordinator collects transmissions, applies crash
-// filtering, and fans deliveries out for the next round. The result is
-// bit-for-bit identical to the sequential engine while genuinely exercising
-// Go's concurrency runtime.
 package runtime
 
 import (
@@ -50,12 +38,15 @@ type transmission struct {
 	msg  sim.Message
 }
 
-// nodeState is the per-goroutine worker state.
+// nodeState is the per-goroutine worker state. Its inbox, outbox and
+// Context are all reused across rounds, so a steady-state round allocates
+// only the goroutine launches themselves.
 type nodeState struct {
 	id      topology.NodeID
 	proc    sim.Process
 	inbox   []transmission // deliveries for the current round, pre-sorted
 	out     []sim.Message  // broadcasts produced this round
+	ctx     nodeCtx        // reused Context; round is set each round
 	decided bool
 	value   byte
 	decRnd  int
@@ -102,24 +93,33 @@ func Run(cfg Config) (sim.Result, error) {
 	for i := 0; i < size; i++ {
 		id := topology.NodeID(i)
 		states[i] = &nodeState{id: id, proc: cfg.Factory(id)}
+		states[i].ctx.st = states[i]
 	}
 
 	slotOf := func(id topology.NodeID) int { return sched.SlotOf(id) }
-	crashed := func(id topology.NodeID, round int) bool {
-		at, ok := cfg.CrashAt[id]
-		return ok && round >= at
+	// crashAt[id] is the first silent round (noCrash = never); a dense
+	// array keeps the per-delivery crash check off the map path.
+	crashAt := make([]int, size)
+	for i := range crashAt {
+		crashAt[i] = noCrash
+	}
+	for id, at := range cfg.CrashAt {
+		if int(id) >= 0 && int(id) < size {
+			crashAt[id] = at
+		}
 	}
 
 	// Round 0: initialize processes (sequentially; Init is cheap and the
 	// source broadcast must be deterministic anyway).
 	var pending []transmission
 	for _, st := range states {
-		if crashed(st.id, 0) {
+		if crashAt[st.id] <= 0 {
 			continue
 		}
-		st.proc.Init(&nodeCtx{st: st, round: 0})
+		st.ctx.round = 0
+		st.proc.Init(&st.ctx)
 		st.noteDecision(0, cfg.Metrics)
-		pending = append(pending, st.drain(1, crashed)...) // transmits in round 1
+		pending = st.drainInto(pending, 1, crashAt) // transmits in round 1
 	}
 	sortTransmissions(pending, slotOf)
 
@@ -128,6 +128,12 @@ func Run(cfg Config) (sim.Result, error) {
 	if workers <= 0 || workers > size {
 		workers = size
 	}
+
+	// Per-round scratch, allocated once: the active-receiver mark bitset,
+	// the sorted active-id list and the worker-cap semaphore.
+	activeMark := topology.NewNodeSet(size)
+	ids := make([]topology.NodeID, 0, size)
+	sem := make(chan struct{}, workers)
 
 	for round := 1; round <= maxR; round++ {
 		if len(pending) == 0 {
@@ -140,40 +146,39 @@ func Run(cfg Config) (sim.Result, error) {
 
 		// Fan deliveries out to receiver inboxes. pending is already in
 		// slot order, so each inbox is deterministically ordered.
-		active := make(map[topology.NodeID]struct{})
+		ids = ids[:0]
 		roundDeliveries := int64(0)
 		for _, tx := range pending {
 			for _, nb := range net.Neighbors(tx.from) {
-				if crashed(nb, round) {
+				if crashAt[nb] <= round {
 					continue
 				}
 				stats.Deliveries++
 				roundDeliveries++
 				states[nb].inbox = append(states[nb].inbox, tx)
-				active[nb] = struct{}{}
+				if !activeMark.Has(nb) {
+					activeMark.Add(nb)
+					ids = append(ids, nb)
+				}
 			}
 		}
 		cfg.Metrics.AddDeliveries(round, roundDeliveries)
 
-		// Process all inboxes concurrently.
-		ids := make([]topology.NodeID, 0, len(active))
-		for id := range active {
-			ids = append(ids, id)
-		}
+		// Process all inboxes concurrently, in deterministic id order.
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
 		for _, id := range ids {
 			st := states[id]
+			activeMark.Remove(id)
 			wg.Add(1)
 			sem <- struct{}{}
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				ctx := &nodeCtx{st: st, round: round}
+				st.ctx.round = round
 				for _, tx := range st.inbox {
-					st.proc.Deliver(ctx, tx.from, tx.msg)
+					st.proc.Deliver(&st.ctx, tx.from, tx.msg)
 				}
 				st.inbox = st.inbox[:0]
 				st.noteDecision(round, cfg.Metrics)
@@ -184,7 +189,7 @@ func Run(cfg Config) (sim.Result, error) {
 		// Collect next round's transmissions in slot order.
 		pending = pending[:0]
 		for _, id := range ids {
-			pending = append(pending, states[id].drain(round+1, crashed)...)
+			pending = states[id].drainInto(pending, round+1, crashAt)
 		}
 		sortTransmissions(pending, slotOf)
 	}
@@ -203,22 +208,25 @@ func Run(cfg Config) (sim.Result, error) {
 	return res, nil
 }
 
-// drain moves the node's produced broadcasts into transmissions, dropping
-// them if the node will be crashed when they would transmit.
-func (st *nodeState) drain(txRound int, crashed func(topology.NodeID, int) bool) []transmission {
+// noCrash is the crashAt sentinel for nodes that never crash.
+const noCrash = int(^uint(0) >> 1) // max int
+
+// drainInto appends the node's produced broadcasts to pending as
+// transmissions, dropping them if the node will be crashed when they would
+// transmit. The node's outbox keeps its capacity for the next round.
+func (st *nodeState) drainInto(pending []transmission, txRound int, crashAt []int) []transmission {
 	if len(st.out) == 0 {
-		return nil
+		return pending
 	}
 	out := st.out
-	st.out = nil
-	if crashed(st.id, txRound) {
-		return nil
+	st.out = st.out[:0]
+	if crashAt[st.id] <= txRound {
+		return pending
 	}
-	txs := make([]transmission, len(out))
-	for i, m := range out {
-		txs[i] = transmission{from: st.id, msg: m}
+	for _, m := range out {
+		pending = append(pending, transmission{from: st.id, msg: m})
 	}
-	return txs
+	return pending
 }
 
 // noteDecision records the first decision.

@@ -1,0 +1,136 @@
+package scenarios
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	rbcast "repro"
+)
+
+// Scenario is one named workload.
+type Scenario struct {
+	// Name is the stable identifier used in BENCH_*.json and the golden
+	// file. Renaming a scenario orphans its golden entry; add new names
+	// instead.
+	Name string
+	// Config and Plan define the run.
+	Config rbcast.Config
+	Plan   rbcast.FaultPlan
+}
+
+// Matrix returns the canonical scenario list in stable order.
+//
+// Threshold coverage follows the paper's structure: "below" places fewer
+// faults than the protocol tolerates, "at" places the maximum tolerated
+// (the run must still be AllCorrect), "above" exceeds the bound (honest
+// nodes are expected to stall undecided — the run itself stays
+// deterministic, which is all the harness needs).
+func Matrix() []Scenario {
+	rCPA := 2
+	tCPA := rbcast.MaxCPALinf(rCPA) // Theorem 6 bound
+	rBV := 1
+	tBV := rbcast.MaxByzantineLinf(rBV) // Theorem 1 bound
+	return []Scenario{
+		// Flood: the raw engine cost of one full broadcast wave (§VII).
+		{
+			Name:   "flood/seq/32x32r2",
+			Config: rbcast.Config{Width: 32, Height: 32, Radius: 2, Protocol: rbcast.ProtocolFlood, Value: 1},
+		},
+		{
+			Name:   "flood/conc/32x32r2",
+			Config: rbcast.Config{Width: 32, Height: 32, Radius: 2, Protocol: rbcast.ProtocolFlood, Value: 1, Concurrent: true},
+		},
+		{
+			Name:   "flood/lockstep/32x32r2",
+			Config: rbcast.Config{Width: 32, Height: 32, Radius: 2, Protocol: rbcast.ProtocolFlood, Value: 1, LockStep: true},
+		},
+		// Flood under the crash-stop band adversary (Theorem 5 territory).
+		{
+			Name:   "flood/crash-band/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: 1, Protocol: rbcast.ProtocolFlood, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceBand, Strategy: rbcast.StrategyCrash, CrashRound: 2},
+		},
+		// Flood on the lossy medium (§II/§X probabilistic local broadcast).
+		{
+			Name:   "flood/lossy/24x24r2",
+			Config: rbcast.Config{Width: 24, Height: 24, Radius: 2, Protocol: rbcast.ProtocolFlood, Value: 1, LossRate: 0.3, Retransmit: 3, MediumSeed: 7},
+		},
+		// CPA below / at / above the Theorem 6 threshold.
+		{
+			Name:   "cpa/below/24x14r2",
+			Config: rbcast.Config{Width: 24, Height: 14, Radius: rCPA, Protocol: rbcast.ProtocolCPA, T: tCPA - 1, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent},
+		},
+		{
+			Name:   "cpa/at/24x14r2",
+			Config: rbcast.Config{Width: 24, Height: 14, Radius: rCPA, Protocol: rbcast.ProtocolCPA, T: tCPA, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent},
+		},
+		{
+			Name:   "cpa/above/24x14r2",
+			Config: rbcast.Config{Width: 24, Height: 14, Radius: rCPA, Protocol: rbcast.ProtocolCPA, T: tCPA + 1, Value: 1, MaxRounds: 64},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent},
+		},
+		// BV4 below / at / above the Theorem 1 threshold, forger adversary.
+		{
+			Name:   "bv4/below/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV4, T: tBV - 1, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyForger},
+		},
+		{
+			Name:   "bv4/at/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV4, T: tBV, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyForger},
+		},
+		{
+			Name:   "bv4/above/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV4, T: tBV + 1, Value: 1, MaxRounds: 64},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent},
+		},
+		// BV4 on the concurrent engine at the threshold.
+		{
+			Name:   "bv4/conc-at/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV4, T: tBV, Value: 1, Concurrent: true},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyForger},
+		},
+		// BV4 with exhaustive (exact set-packing) evidence evaluation.
+		{
+			Name:   "bv4/exact-at/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV4, T: tBV, Value: 1, ExactEvidence: true},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyForger},
+		},
+		// BV4 under identity spoofing (§X sensitivity study).
+		{
+			Name:   "bv4/spoof/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV4, T: tBV, Value: 1, SpoofingPossible: true, MaxRounds: 64},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySpoofer},
+		},
+		// BV2 at the threshold (silent and lying adversaries).
+		{
+			Name:   "bv2/at/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV2, T: tBV, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent},
+		},
+		{
+			Name:   "bv2/liar-at/16x10r1",
+			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV2, T: tBV, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyLiar},
+		},
+	}
+}
+
+// ResultHash returns the canonical SHA-256 of a Result's lossless JSON
+// encoding with the one nondeterministic field (Metrics.Wall) zeroed. Two
+// runs of the same scenario hash identically iff every decision, round
+// number, traffic counter and per-round histogram bucket matches.
+func ResultHash(res rbcast.Result) (string, error) {
+	res.Metrics.Wall = 0
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return "", fmt.Errorf("scenarios: encoding result: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}

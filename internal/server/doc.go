@@ -1,0 +1,18 @@
+// Package server implements rbcastd's HTTP/JSON serving layer: scenario
+// execution behind a fingerprint-keyed LRU result cache with single-flight
+// deduplication, asynchronous batch jobs on the rbcast.RunBatch worker
+// substrate, and Prometheus-text observability.
+//
+// Endpoints:
+//
+//	POST /v1/run       execute one scenario synchronously (cached)
+//	POST /v1/batch     submit a job list; returns a job id immediately
+//	GET  /v1/jobs/{id} poll a batch job's status and results
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text-format counters and gauges
+//
+// Identical scenarios — same canonical fingerprint, see
+// rbcast.Job.Fingerprint — are executed once and served from the cache
+// thereafter; concurrent identical /v1/run requests coalesce onto a single
+// execution and receive byte-identical bodies.
+package server

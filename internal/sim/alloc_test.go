@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// TestRunAllocsRegression guards the engine's allocation budget: a full
+// lock-step flood over 1024 nodes must stay a small multiple of the node
+// count. The pre-optimization engine (per-delivery map churn, per-node
+// Context values, fresh outbox slices every round) spent ~27k allocations
+// on this workload; the rebuilt hot path spends ~1.3k, dominated by the
+// one-time process construction. The bound sits far above today's number
+// and far below the old one, so it trips on a regression to map-backed
+// per-round state without flaking on incidental runtime changes.
+func TestRunAllocsRegression(t *testing.T) {
+	net := testNet(t, 32, 32, 2)
+	src := net.IDOf(grid.C(0, 0))
+	cfg := Config{Net: net, Factory: floodFactory(net, src, 1), Mode: ModeNextRound}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds < 5 {
+		t.Fatalf("probe workload degenerate: %d rounds", res.Stats.Rounds)
+	}
+	const maxAllocs = 4 * 1024 // 4 per node; seed measured ~27 per node
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > maxAllocs {
+		t.Errorf("full run allocated %.0f times (%.1f/round over %d rounds), budget %d — the round hot path regressed",
+			avg, avg/float64(res.Stats.Rounds), res.Stats.Rounds, maxAllocs)
+	}
+}

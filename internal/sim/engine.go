@@ -114,23 +114,40 @@ type Result struct {
 	DecidedRound map[topology.NodeID]int
 }
 
+// noCrash is the crashRound sentinel for nodes that never crash.
+const noCrash = int(^uint(0) >> 1) // max int
+
 // Engine is the deterministic round/slot executor.
+//
+// The hot path is allocation-free in steady state: decision and crash
+// tracking use dense per-node arrays instead of maps, the Context handed to
+// processes is a single reused value (processes must not retain it — see
+// Context), and drained outbox buffers are recycled through a free list
+// instead of being reallocated every frame.
 type Engine struct {
-	net      *topology.Network
-	sched    topology.Schedule
-	mode     DeliveryMode
-	procs    []Process
-	order    []topology.NodeID // node ids in slot order
-	outbox   [][]Message
-	crashAt  map[topology.NodeID]int
-	maxR     int
-	obs      Observer
-	medium   Medium
-	metrics  *metrics.Collector
-	rng      *rand.Rand // non-nil only for a lossy medium
-	decided  map[topology.NodeID]byte
-	decRound map[topology.NodeID]int
-	stats    Stats
+	net    *topology.Network
+	sched  topology.Schedule
+	mode   DeliveryMode
+	procs  []Process
+	order  []topology.NodeID // node ids in slot order
+	outbox [][]Message
+	free   [][]Message // drained outbox buffers, recycled by Broadcast
+	snap   [][]Message // ModeNextRound: reusable frozen-outbox snapshot
+	// crashRound[id] is the first silent round (noCrash = never).
+	crashRound []int
+	maxR       int
+	obs        Observer
+	medium     Medium
+	metrics    *metrics.Collector
+	rng        *rand.Rand // non-nil only for a lossy medium
+	// decided is a word-packed bitset over node ids; decidedVal/decRound
+	// are meaningful only where the bit is set.
+	decided    topology.NodeSet
+	decidedVal []byte
+	decRound   []int
+	nDecided   int
+	ctx        nodeCtx // reused Context; fields are set before each call
+	stats      Stats
 }
 
 // NewEngine validates cfg and builds the engine with all processes
@@ -162,19 +179,32 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	size := cfg.Net.Size()
 	e := &Engine{
-		net:      cfg.Net,
-		sched:    sched,
-		mode:     mode,
-		procs:    make([]Process, size),
-		order:    make([]topology.NodeID, size),
-		outbox:   make([][]Message, size),
-		crashAt:  cfg.CrashAt,
-		maxR:     maxR,
-		obs:      cfg.Observer,
-		medium:   cfg.Medium,
-		metrics:  cfg.Metrics,
-		decided:  make(map[topology.NodeID]byte),
-		decRound: make(map[topology.NodeID]int),
+		net:        cfg.Net,
+		sched:      sched,
+		mode:       mode,
+		procs:      make([]Process, size),
+		order:      make([]topology.NodeID, size),
+		outbox:     make([][]Message, size),
+		crashRound: make([]int, size),
+		maxR:       maxR,
+		obs:        cfg.Observer,
+		medium:     cfg.Medium,
+		metrics:    cfg.Metrics,
+		decided:    topology.NewNodeSet(size),
+		decidedVal: make([]byte, size),
+		decRound:   make([]int, size),
+	}
+	e.ctx.engine = e
+	if mode == ModeNextRound {
+		e.snap = make([][]Message, size)
+	}
+	for i := range e.crashRound {
+		e.crashRound[i] = noCrash
+	}
+	for id, at := range cfg.CrashAt {
+		if int(id) >= 0 && int(id) < size {
+			e.crashRound[id] = at
+		}
 	}
 	if e.medium.Retransmit < 1 {
 		e.medium.Retransmit = 1
@@ -200,7 +230,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if e.isCrashed(id, 0) {
 			continue
 		}
-		e.procs[id].Init(&nodeCtx{engine: e, id: id, round: 0})
+		e.ctx.id, e.ctx.round = id, 0
+		e.procs[id].Init(&e.ctx)
 		e.noteDecision(0, id)
 	}
 	return e, nil
@@ -223,21 +254,19 @@ func (e *Engine) survives() bool {
 
 // isCrashed reports whether id is silent in the given round.
 func (e *Engine) isCrashed(id topology.NodeID, round int) bool {
-	at, ok := e.crashAt[id]
-	if !ok {
-		return false
-	}
-	return round >= at
+	return round >= e.crashRound[id]
 }
 
 // noteDecision records a first-time decision and fires the observer.
 func (e *Engine) noteDecision(round int, id topology.NodeID) {
-	if _, done := e.decided[id]; done {
+	if e.decided.Has(id) {
 		return
 	}
 	if v, ok := e.procs[id].Decided(); ok {
-		e.decided[id] = v
+		e.decided.Add(id)
+		e.decidedVal[id] = v
 		e.decRound[id] = round
+		e.nDecided++
 		e.metrics.AddCommit(round)
 		if e.obs.OnDecide != nil {
 			e.obs.OnDecide(round, id, v)
@@ -251,12 +280,11 @@ func (e *Engine) Step() bool {
 	round := e.stats.Rounds
 	progress := false
 	var roundBroadcasts, roundDeliveries int64
-	var snapshot [][]Message
 	if e.mode == ModeNextRound {
 		// Lock-step: freeze all outboxes before any delivery so broadcasts
-		// produced this round wait for the next.
-		snapshot = make([][]Message, len(e.outbox))
-		copy(snapshot, e.outbox)
+		// produced this round wait for the next. The snapshot buffer is
+		// reused across rounds.
+		copy(e.snap, e.outbox)
 		for i := range e.outbox {
 			e.outbox[i] = nil
 		}
@@ -264,7 +292,8 @@ func (e *Engine) Step() bool {
 	for _, from := range e.order {
 		var out []Message
 		if e.mode == ModeNextRound {
-			out = snapshot[from]
+			out = e.snap[from]
+			e.snap[from] = nil
 		} else {
 			out = e.outbox[from]
 			e.outbox[from] = nil
@@ -272,29 +301,30 @@ func (e *Engine) Step() bool {
 		if len(out) == 0 {
 			continue
 		}
-		if e.isCrashed(from, round) {
-			continue // crashed: queued messages are never transmitted
-		}
-		for _, m := range out {
-			progress = true
-			e.stats.Broadcasts += e.medium.Retransmit
-			roundBroadcasts += int64(e.medium.Retransmit)
-			if e.obs.OnBroadcast != nil {
-				e.obs.OnBroadcast(round, from, m)
-			}
-			for _, nb := range e.net.Neighbors(from) {
-				if e.isCrashed(nb, round) {
-					continue
+		if !e.isCrashed(from, round) {
+			for _, m := range out {
+				progress = true
+				e.stats.Broadcasts += e.medium.Retransmit
+				roundBroadcasts += int64(e.medium.Retransmit)
+				if e.obs.OnBroadcast != nil {
+					e.obs.OnBroadcast(round, from, m)
 				}
-				if !e.survives() {
-					continue // lost to an accidental collision / channel error
+				for _, nb := range e.net.Neighbors(from) {
+					if e.isCrashed(nb, round) {
+						continue
+					}
+					if !e.survives() {
+						continue // lost to an accidental collision / channel error
+					}
+					e.stats.Deliveries++
+					roundDeliveries++
+					e.ctx.id, e.ctx.round = nb, round
+					e.procs[nb].Deliver(&e.ctx, from, m)
+					e.noteDecision(round, nb)
 				}
-				e.stats.Deliveries++
-				roundDeliveries++
-				e.procs[nb].Deliver(&nodeCtx{engine: e, id: nb, round: round}, from, m)
-				e.noteDecision(round, nb)
 			}
 		}
+		e.free = append(e.free, out[:0]) // recycle the drained buffer
 	}
 	e.metrics.AddBroadcasts(round, roundBroadcasts)
 	e.metrics.AddDeliveries(round, roundDeliveries)
@@ -315,12 +345,12 @@ func (e *Engine) Run() Result {
 
 // result snapshots decisions and stats.
 func (e *Engine) result() Result {
-	dec := make(map[topology.NodeID]byte, len(e.decided))
-	rounds := make(map[topology.NodeID]int, len(e.decRound))
-	for id, v := range e.decided {
-		dec[id] = v
+	dec := make(map[topology.NodeID]byte, e.nDecided)
+	rounds := make(map[topology.NodeID]int, e.nDecided)
+	e.decided.ForEach(func(id topology.NodeID) {
+		dec[id] = e.decidedVal[id]
 		rounds[id] = e.decRound[id]
-	}
+	})
 	return Result{Stats: e.stats, Decided: dec, DecidedRound: rounds}
 }
 
@@ -340,6 +370,13 @@ func (c *nodeCtx) Round() int { return c.round }
 // Broadcast implements Context.
 func (c *nodeCtx) Broadcast(m Message) {
 	e := c.engine
+	if e.outbox[c.id] == nil {
+		// Reuse a drained buffer instead of growing a fresh one.
+		if n := len(e.free); n > 0 {
+			e.outbox[c.id] = e.free[n-1]
+			e.free = e.free[:n-1]
+		}
+	}
 	e.outbox[c.id] = append(e.outbox[c.id], m)
 }
 

@@ -1,12 +1,3 @@
-// Package sim implements the synchronous, collision-free radio medium of the
-// paper as a deterministic round/slot engine. Each round is one full TDMA
-// frame: nodes transmit in slot order and every local broadcast is heard by
-// all neighbors — the paper's "reliable local broadcast assumption" (§II).
-// Per-node message ordering is preserved, identities cannot be spoofed, and
-// transmissions never collide.
-//
-// The engine is protocol-agnostic: protocols (and Byzantine adversaries) are
-// Process state machines driven by Deliver events.
 package sim
 
 import (

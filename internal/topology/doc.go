@@ -1,0 +1,7 @@
+// Package topology materializes the paper's radio network on a finite torus:
+// dense node indexing, per-node neighbor lists under a chosen metric and
+// radius, and the collision-free TDMA schedule that the model assumes
+// ("there exists a pre-determined TDMA schedule that all nodes follow",
+// §II). It also provides translation-invariant offset canonicalization used
+// to cache per-offset structures such as designated path families.
+package topology

@@ -1,9 +1,3 @@
-// Package topology materializes the paper's radio network on a finite torus:
-// dense node indexing, per-node neighbor lists under a chosen metric and
-// radius, and the collision-free TDMA schedule that the model assumes
-// ("there exists a pre-determined TDMA schedule that all nodes follow",
-// §II). It also provides translation-invariant offset canonicalization used
-// to cache per-offset structures such as designated path families.
 package topology
 
 import (
@@ -26,6 +20,7 @@ type Network struct {
 	radius    int
 	offsets   []grid.Coord // ball offsets defining the open neighborhood
 	neighbors [][]NodeID   // per-node sorted neighbor lists
+	closed    [][]NodeID   // per-point closed neighborhoods: [center, neighbors...]
 }
 
 // New constructs the network. The torus must be at least (2r+1) wide and
@@ -49,17 +44,27 @@ func New(t grid.Torus, m grid.Metric, r int) (*Network, error) {
 		offsets: m.BallOffsets(r),
 	}
 	size := t.Size()
-	// One contiguous backing array for all neighbor lists.
+	// One contiguous backing array for all neighbor lists, and one for the
+	// closed neighborhoods (center first, then the same offsets) — commit
+	// rules walk closed neighborhoods per determination, so these rows are
+	// precomputed once and shared.
 	deg := len(n.offsets)
 	backing := make([]NodeID, size*deg)
+	closedBacking := make([]NodeID, size*(deg+1))
 	n.neighbors = make([][]NodeID, size)
+	n.closed = make([][]NodeID, size)
 	for id := 0; id < size; id++ {
 		c := t.CoordOf(id)
 		row := backing[id*deg : id*deg : (id+1)*deg]
+		crow := closedBacking[id*(deg+1) : id*(deg+1) : (id+1)*(deg+1)]
+		crow = append(crow, NodeID(id))
 		for _, d := range n.offsets {
-			row = append(row, NodeID(t.Index(c.Add(d))))
+			nb := NodeID(t.Index(c.Add(d)))
+			row = append(row, nb)
+			crow = append(crow, nb)
 		}
 		n.neighbors[id] = row
+		n.closed[id] = crow
 	}
 	return n, nil
 }
@@ -124,14 +129,10 @@ func (n *Network) Dist(a, b NodeID) int {
 }
 
 // ClosedNbdIDs returns the ids of the closed neighborhood of the grid point
-// centered at c (which need not be a node of interest itself).
+// centered at c (which need not be a node of interest itself), center first.
+// The returned slice is a shared precomputed row; callers must not mutate it.
 func (n *Network) ClosedNbdIDs(c grid.Coord) []NodeID {
-	ids := make([]NodeID, 0, len(n.offsets)+1)
-	ids = append(ids, n.IDOf(c))
-	for _, d := range n.offsets {
-		ids = append(ids, n.IDOf(c.Add(d)))
-	}
-	return ids
+	return n.closed[n.torus.Index(c)]
 }
 
 // ForEach invokes fn for every node id in ascending order.

@@ -1,0 +1,5 @@
+// Package trace renders executions as round-by-round ASCII frames: the
+// commit wavefront of Figs 9-10 and 14-19 made visible. Frames are derived
+// from an engine Result (which records each node's commit round), so tracing
+// costs nothing during the run itself.
+package trace

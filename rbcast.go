@@ -2,6 +2,7 @@ package rbcast
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bounds"
@@ -159,7 +160,19 @@ func (c Config) validate() error {
 	return nil
 }
 
-// network builds the topology for the config.
+// networkKey identifies a topology by its constructor parameters.
+type networkKey struct {
+	w, h, r int
+	metric  grid.Metric
+}
+
+// networkCache shares immutable *topology.Network values across runs: the
+// adjacency and closed-neighborhood rows are precomputed once per distinct
+// (size, metric, radius) and reused by every subsequent Run/RunBatch call —
+// including rbcastd cache misses, which repeatedly rebuild the same grids.
+var networkCache sync.Map // networkKey -> *topology.Network
+
+// network builds (or fetches the shared precomputed) topology for the config.
 func (c Config) network() (*topology.Network, error) {
 	m := grid.Linf
 	switch c.Metric {
@@ -169,7 +182,16 @@ func (c Config) network() (*topology.Network, error) {
 	default:
 		return nil, fmt.Errorf("rbcast: invalid metric %d", int(c.Metric))
 	}
-	return topology.New(grid.Torus{W: c.Width, H: c.Height}, m, c.Radius)
+	key := networkKey{w: c.Width, h: c.Height, r: c.Radius, metric: m}
+	if v, ok := networkCache.Load(key); ok {
+		return v.(*topology.Network), nil
+	}
+	net, err := topology.New(grid.Torus{W: c.Width, H: c.Height}, m, c.Radius)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := networkCache.LoadOrStore(key, net)
+	return actual.(*topology.Network), nil
 }
 
 // kind maps the public protocol enum to the internal one.

@@ -1,0 +1,21 @@
+#!/bin/sh
+# benchdiff.sh — run the full benchmark suite and fail if any scenario's
+# allocations regress by more than 10% against the committed baseline
+# (testdata/bench_baseline.json).
+#
+# Allocation counts are deterministic for a fixed scenario matrix, so they
+# gate reliably across machines; ns/op is machine-dependent and reported
+# for information only (compare it with benchstat on the same host).
+#
+# Usage: sh scripts/benchdiff.sh [extra cmd/bench flags]
+# The fresh report is left at /tmp/rbcast_bench_current.json.
+set -eu
+
+GO="${GO:-go}"
+cd "$(dirname "$0")/.."
+
+exec "$GO" run ./cmd/bench \
+	-out /tmp/rbcast_bench_current.json \
+	-against testdata/bench_baseline.json \
+	-threshold 10 \
+	"$@"
