@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: verify build vet test race experiments serve-smoke bench bench-smoke bench-diff
+.PHONY: verify build vet test race experiments serve-smoke trace-smoke cover bench bench-smoke bench-diff
 
 # verify is the full pre-merge gate: tier-1 (build + test) plus vet, the
-# race detector across every package, the rbcastd serving smoke test, and
-# the benchmark-scenario golden-hash smoke.
-verify: build vet test race serve-smoke bench-smoke
+# race detector across every package, the rbcastd serving smoke test, the
+# execution-trace smoke test, and the benchmark-scenario golden-hash smoke.
+verify: build vet test race serve-smoke trace-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,19 @@ experiments:
 # bodies), a batch round trip, metrics consistency, graceful shutdown.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# trace-smoke exercises the observability surface end to end: a CLI trace
+# dump, the daemon's /v1/jobs/{id}/trace endpoint (byte-identical to the
+# CLI's JSONL for the same scenario), trace-endpoint error contracts, and
+# the per-route duration histograms in /metrics.
+trace-smoke:
+	GO="$(GO)" sh scripts/trace_smoke.sh
+
+# cover runs the test suite with coverage and prints a per-package summary
+# plus the total; the profile lands in cover.out for `go tool cover -html`.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # bench runs the full canonical scenario matrix and writes BENCH_3.json
 # (see PERFORMANCE.md for the methodology and field meanings).

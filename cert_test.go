@@ -1,0 +1,208 @@
+package rbcast_test
+
+import (
+	"strings"
+	"testing"
+
+	rbcast "repro"
+	"repro/internal/scenarios"
+)
+
+// TestCertificatesConsistent re-runs every at-threshold canonical scenario
+// with tracing on and checks each decided honest node's commit certificate
+// against the paper's commit rules:
+//
+//   - votes (CPA, §IX): at least t+1 distinct voters.
+//   - quorum (BV4, §VI): at least t+1 distinct determined committers
+//     inside one closed neighborhood, each backed by a direct COMMITTED
+//     reception or by t+1 pairwise relay-disjoint confirmation chains.
+//   - disjoint-chains (BV2, §VI-B): at least t+1 report chains inside one
+//     closed neighborhood, collectively node-disjoint including the
+//     committing endpoints.
+//
+// Every certificate must carry the node's committed value. The scenarios
+// run both engines (the conc-at variant) and both evidence modes (the
+// exact-at variant), so witness extraction is checked on all four paths.
+func TestCertificatesConsistent(t *testing.T) {
+	ran := 0
+	for _, sc := range scenarios.Matrix() {
+		if !strings.Contains(sc.Name, "at/") {
+			continue
+		}
+		sc := sc
+		ran++
+		t.Run(sc.Name, func(t *testing.T) {
+			cfg := sc.Config
+			cfg.Trace = true
+			res, err := rbcast.Run(cfg, sc.Plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty := make(map[rbcast.Node]bool, len(res.Faulty))
+			for _, n := range res.Faulty {
+				faulty[n] = true
+			}
+			source := rbcast.Node{X: cfg.SourceX, Y: cfg.SourceY}
+			checked := 0
+			for n, d := range res.Decisions {
+				if !d.Decided || faulty[n] {
+					continue
+				}
+				checked++
+				cert := res.CommitCertificate(n)
+				if cert == nil {
+					t.Errorf("node %v decided with no certificate", n)
+					continue
+				}
+				if cert.Value != d.Value {
+					t.Errorf("node %v committed %d but its certificate claims %d", n, d.Value, cert.Value)
+					continue
+				}
+				verifyCert(t, cfg, source, n, cert)
+			}
+			if checked == 0 {
+				t.Fatal("scenario decided no honest nodes — nothing verified")
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no at-threshold scenarios found in the matrix")
+	}
+}
+
+// verifyCert checks one certificate's structure against its rule.
+func verifyCert(t *testing.T, cfg rbcast.Config, source, n rbcast.Node, cert *rbcast.Certificate) {
+	t.Helper()
+	need := cfg.T + 1
+	switch cert.Rule {
+	case rbcast.RuleSource:
+		if n != source {
+			t.Errorf("node %v holds a source certificate but is not the source", n)
+		}
+	case rbcast.RuleDirect:
+		if len(cert.Voters) != 1 || cert.Voters[0] != source {
+			t.Errorf("node %v direct certificate names %v, want the source %v", n, cert.Voters, source)
+		}
+	case rbcast.RuleVotes:
+		if cfg.Protocol != rbcast.ProtocolCPA {
+			t.Errorf("node %v: votes rule under protocol %v", n, cfg.Protocol)
+		}
+		if len(cert.Voters) < need {
+			t.Errorf("node %v vote certificate has %d voters, need %d", n, len(cert.Voters), need)
+		}
+		seen := make(map[rbcast.Node]bool, len(cert.Voters))
+		for _, v := range cert.Voters {
+			if seen[v] {
+				t.Errorf("node %v vote certificate repeats voter %v", n, v)
+			}
+			seen[v] = true
+		}
+	case rbcast.RuleQuorum:
+		if cfg.Protocol != rbcast.ProtocolBV4 {
+			t.Errorf("node %v: quorum rule under protocol %v", n, cfg.Protocol)
+		}
+		if cert.Center == nil {
+			t.Fatalf("node %v quorum certificate has no neighborhood center", n)
+		}
+		if len(cert.Evidence) < need {
+			t.Errorf("node %v quorum certificate has %d committers, need %d", n, len(cert.Evidence), need)
+		}
+		origins := make(map[rbcast.Node]bool, len(cert.Evidence))
+		for _, ev := range cert.Evidence {
+			if origins[ev.Origin] {
+				t.Errorf("node %v quorum certificate repeats committer %v", n, ev.Origin)
+			}
+			origins[ev.Origin] = true
+			if d := torusLinfDist(cfg, *cert.Center, ev.Origin); d > cfg.Radius {
+				t.Errorf("node %v: committer %v is %d from center %v, radius %d", n, ev.Origin, d, *cert.Center, cfg.Radius)
+			}
+			if ev.Direct {
+				continue
+			}
+			// Reliable determination: t+1 chains, pairwise internally
+			// node-disjoint (relay sets share no node), no chain relayed
+			// by its own origin.
+			if len(ev.Chains) < need {
+				t.Errorf("node %v: committer %v backed by %d chains, need %d", n, ev.Origin, len(ev.Chains), need)
+			}
+			used := make(map[rbcast.Node]int)
+			for ci, chain := range ev.Chains {
+				if len(chain) == 0 {
+					t.Errorf("node %v: committer %v chain %d is empty", n, ev.Origin, ci)
+				}
+				for _, relay := range chain {
+					if relay == ev.Origin {
+						t.Errorf("node %v: committer %v relays through itself", n, ev.Origin)
+					}
+					used[relay]++
+				}
+			}
+			for relay, uses := range used {
+				if uses > 1 {
+					t.Errorf("node %v: committer %v chains share relay %v", n, ev.Origin, relay)
+				}
+			}
+		}
+	case rbcast.RuleDisjointChains:
+		if cfg.Protocol != rbcast.ProtocolBV2 {
+			t.Errorf("node %v: disjoint-chains rule under protocol %v", n, cfg.Protocol)
+		}
+		if cert.Center == nil {
+			t.Fatalf("node %v chain certificate has no neighborhood center", n)
+		}
+		if len(cert.Evidence) < need {
+			t.Errorf("node %v chain certificate has %d chains, need %d", n, len(cert.Evidence), need)
+		}
+		// Collective node-disjointness over origins AND relays, and the
+		// entire chain family inside one closed neighborhood.
+		used := make(map[rbcast.Node]int)
+		for _, ev := range cert.Evidence {
+			used[ev.Origin]++
+			if d := torusLinfDist(cfg, *cert.Center, ev.Origin); d > cfg.Radius {
+				t.Errorf("node %v: chain origin %v is %d from center %v, radius %d", n, ev.Origin, d, *cert.Center, cfg.Radius)
+			}
+			for _, chain := range ev.Chains {
+				if len(chain) > 1 {
+					t.Errorf("node %v: two-hop certificate carries a %d-relay chain", n, len(chain))
+				}
+				for _, relay := range chain {
+					used[relay]++
+					if d := torusLinfDist(cfg, *cert.Center, relay); d > cfg.Radius {
+						t.Errorf("node %v: relay %v is %d from center %v, radius %d", n, relay, d, *cert.Center, cfg.Radius)
+					}
+				}
+			}
+		}
+		for node, uses := range used {
+			if uses > 1 {
+				t.Errorf("node %v: chain family reuses node %v", n, node)
+			}
+		}
+	default:
+		t.Errorf("node %v committed under unexpected rule %v", n, cert.Rule)
+	}
+}
+
+// torusLinfDist is the wraparound L∞ distance between two grid nodes. The
+// at-threshold scenarios all use the L∞ metric, matching the paper's
+// exact-threshold setting.
+func torusLinfDist(cfg rbcast.Config, a, b rbcast.Node) int {
+	dx := wrapAbs(a.X-b.X, cfg.Width)
+	dy := wrapAbs(a.Y-b.Y, cfg.Height)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// wrapAbs is the shorter-way absolute delta on a ring of size n.
+func wrapAbs(d, n int) int {
+	if d < 0 {
+		d = -d
+	}
+	d %= n
+	if alt := n - d; alt < d {
+		return alt
+	}
+	return d
+}

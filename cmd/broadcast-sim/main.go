@@ -1,7 +1,10 @@
 // Command broadcast-sim runs one reliable-broadcast scenario on a torus
 // radio network and prints the outcome, optionally with an ASCII map of the
 // per-node decisions ('#' committed correctly, 'X' committed wrongly,
-// '.' undecided, 'F' faulty).
+// '.' undecided, 'F' faulty). -frames renders the bordered per-round
+// wavefront frames; -trace-out dumps the structured execution trace as
+// JSON Lines ("-" for stdout), byte-identical to rbcastd's
+// GET /v1/jobs/{id}/trace for the same scenario.
 package main
 
 import (
@@ -11,6 +14,10 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -32,6 +39,8 @@ func main() {
 		retx     = flag.Int("retx", 1, "blind retransmission count for the lossy medium")
 		spoof    = flag.Bool("spoofable", false, "drop the no-address-spoofing assumption (§X what-if)")
 		traceRun = flag.Bool("trace", false, "print the commit wavefront round by round (implies -lockstep)")
+		frames   = flag.Bool("frames", false, "print bordered per-round wavefront frames (implies -lockstep)")
+		traceOut = flag.String("trace-out", "", "write the structured execution trace as JSON Lines to this file (\"-\" = stdout)")
 		lockstep = flag.Bool("lockstep", false, "one-hop-per-round delivery (readable round numbers)")
 	)
 	flag.Parse()
@@ -43,7 +52,8 @@ func main() {
 		LossRate:         *loss,
 		Retransmit:       *retx,
 		SpoofingPossible: *spoof,
-		LockStep:         *lockstep || *traceRun,
+		LockStep:         *lockstep || *traceRun || *frames,
+		Trace:            *traceOut != "",
 	}
 	switch *metric {
 	case "linf":
@@ -135,6 +145,72 @@ func main() {
 			fmt.Printf("round %d:\n%s\n", round, renderRound(cfg, res, round))
 		}
 	}
+	if *frames {
+		out, err := renderFrames(cfg, res)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(out)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, res.Trace); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+// renderFrames draws the internal/trace bordered frame sequence for the
+// finished run, reconstructing the engine-level result the renderer wants
+// from the public decision map.
+func renderFrames(cfg rbcast.Config, res rbcast.Result) (string, error) {
+	m := grid.Linf
+	if cfg.Metric == rbcast.MetricL2 {
+		m = grid.L2
+	}
+	net := topology.MustNew(grid.Torus{W: cfg.Width, H: cfg.Height}, m, cfg.Radius)
+	sr := sim.Result{
+		Decided:      make(map[topology.NodeID]byte, len(res.Decisions)),
+		DecidedRound: make(map[topology.NodeID]int, len(res.Decisions)),
+	}
+	for n, d := range res.Decisions {
+		if !d.Decided {
+			continue
+		}
+		id := net.IDOf(grid.C(n.X, n.Y))
+		sr.Decided[id] = d.Value
+		sr.DecidedRound[id] = d.Round
+	}
+	faulty := make([]topology.NodeID, 0, len(res.Faulty))
+	for _, n := range res.Faulty {
+		faulty = append(faulty, net.IDOf(grid.C(n.X, n.Y)))
+	}
+	fs, err := trace.Frames(trace.Config{
+		Net:    net,
+		Result: sr,
+		Source: net.IDOf(grid.C(cfg.SourceX, cfg.SourceY)),
+		Value:  cfg.Value,
+		Faulty: faulty,
+	})
+	if err != nil {
+		return "", err
+	}
+	return trace.RenderAll(fs), nil
+}
+
+// writeTrace dumps the structured trace as JSON Lines.
+func writeTrace(path string, events []rbcast.TraceEvent) error {
+	if path == "-" {
+		return rbcast.EncodeTrace(os.Stdout, events)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rbcast.EncodeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // renderRound draws the decision map as of the given round (-1 = final).

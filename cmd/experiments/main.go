@@ -3,12 +3,14 @@
 // reports indexed in DESIGN.md. Use -run to select a subset, -list to
 // enumerate the available experiment ids, and -workers to fan independent
 // experiments across a worker pool (the report order stays deterministic
-// regardless of worker count).
+// regardless of worker count). Reports go to stdout; diagnostics are
+// structured log/slog lines on stderr (-log-format text|json).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"strings"
@@ -18,11 +20,23 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments run concurrently (<=0 means GOMAXPROCS)")
+		run       = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments run concurrently (<=0 means GOMAXPROCS)")
+		logFormat = flag.String("log-format", "text", "diagnostic log handler: text or json")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown log format %q (text, json)\n", *logFormat)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -45,11 +59,11 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err)
+		logger.Error("experiments failed", "err", err)
 		os.Exit(1)
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) did not match the paper's claims\n", failures)
+		logger.Error("experiments diverged from the paper's claims", "failures", failures)
 		os.Exit(1)
 	}
 }

@@ -7,20 +7,26 @@
 //	rbcastd -addr :8080 -cache 1024 -workers 0
 //
 // Endpoints: POST /v1/run, POST /v1/batch, GET /v1/jobs/{id},
-// GET /healthz, GET /metrics. Pass -addr host:0 to bind an ephemeral port;
-// the actual address is logged on startup ("rbcastd listening on ..."),
-// which is what scripts/serve_smoke.sh parses. On SIGINT/SIGTERM the
-// daemon stops accepting work, drains in-flight requests and queued batch
-// jobs, and exits.
+// GET /v1/jobs/{id}/trace, GET /healthz, GET /metrics. Pass -addr host:0
+// to bind an ephemeral port; the actual address is logged on startup
+// (msg="rbcastd listening" addr=...), which is what scripts/serve_smoke.sh
+// parses. Logs are structured (log/slog); -log-format selects text or
+// JSON, -log-level the threshold. -ops-addr optionally serves
+// net/http/pprof (plus /metrics and /healthz) on a separate operations
+// listener so profiling never shares a port with the public API. On
+// SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
+// requests and queued batch jobs, and exits.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,28 +35,104 @@ import (
 	"repro/internal/server"
 )
 
+// newLogger builds the process logger from the -log-format/-log-level
+// flags. Unknown values are errors: a daemon silently logging at the wrong
+// level is worse than one that refuses to start.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (text, json)", format)
+	}
+}
+
+// serveOps serves the operations listener: pprof under /debug/pprof/ plus
+// the daemon's /metrics and /healthz, so an operator (or a scraper) never
+// has to touch the public port.
+func serveOps(addr string, srv *server.Server, logger *slog.Logger) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", srv)
+	mux.Handle("/healthz", srv)
+	ops := &http.Server{Handler: mux}
+	go func() {
+		if err := ops.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("ops serve", "err", err)
+		}
+	}()
+	logger.Info("rbcastd ops listening", "addr", ln.Addr())
+	return ops, ln, nil
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address (host:0 binds an ephemeral port)")
+		opsAddr   = flag.String("ops-addr", "", "optional operations listener serving net/http/pprof, /metrics and /healthz")
 		cacheSize = flag.Int("cache", 1024, "result-cache capacity in entries")
 		workers   = flag.Int("workers", 0, "worker pool size per batch job (<=0 means GOMAXPROCS)")
 		maxJobs   = flag.Int("max-jobs", 4096, "retained batch jobs before the oldest finished are dropped")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight work")
+		logFormat = flag.String("log-format", "text", "log handler: text or json")
+		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbcastd: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("rbcastd: %v", err)
+		fatal("listen", err)
 	}
 	srv := server.New(server.Options{
 		CacheSize: *cacheSize,
 		Workers:   *workers,
 		MaxJobs:   *maxJobs,
+		Logger:    logger,
 	})
 	hs := &http.Server{Handler: srv}
 
-	log.Printf("rbcastd listening on %s", ln.Addr())
+	logger.Info("rbcastd listening", "addr", ln.Addr())
+	var ops *http.Server
+	if *opsAddr != "" {
+		var err error
+		ops, _, err = serveOps(*opsAddr, srv, logger)
+		if err != nil {
+			fatal("ops listen", err)
+		}
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -58,22 +140,27 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatalf("rbcastd: serve: %v", err)
+		fatal("serve", err)
 	case <-ctx.Done():
 	}
 	stop()
 
-	log.Printf("rbcastd: shutting down (draining up to %v)", *drain)
+	logger.Info("rbcastd shutting down", "drain_timeout", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("rbcastd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
+	}
+	if ops != nil {
+		if err := ops.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("ops shutdown", "err", err)
+		}
 	}
 	if err := srv.Drain(shutdownCtx); err != nil {
-		log.Fatalf("rbcastd: %v", err)
+		fatal("drain", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("rbcastd: serve: %v", err)
+		fatal("serve", err)
 	}
-	log.Print("rbcastd: drained, bye")
+	logger.Info("rbcastd: drained, bye")
 }

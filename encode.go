@@ -17,9 +17,12 @@ package rbcast
 //     two spellings of the same scenario share one cache entry.
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 )
@@ -127,6 +130,109 @@ func (s *Strategy) UnmarshalText(text []byte) error {
 	return nil
 }
 
+// MarshalText encodes the event kind name ("broadcast", "delivery",
+// "evidence-eval", "crash", "spoof", "commit"). The zero value encodes as
+// "".
+func (k EventKind) MarshalText() ([]byte, error) {
+	return enumText("event kind", int(k), k.String())
+}
+
+// UnmarshalText decodes an event kind name; "" restores the zero value.
+func (k *EventKind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*k = 0
+	case "broadcast":
+		*k = EventBroadcast
+	case "delivery":
+		*k = EventDelivery
+	case "evidence-eval":
+		*k = EventEvidenceEval
+	case "crash":
+		*k = EventCrash
+	case "spoof":
+		*k = EventSpoof
+	case "commit":
+		*k = EventCommit
+	default:
+		return fmt.Errorf("rbcast: unknown event kind %q", text)
+	}
+	return nil
+}
+
+// MarshalText encodes the commit rule name ("source", "direct", "quorum",
+// "disjoint-chains", "votes", "flood"). The zero value encodes as "".
+func (r CommitRule) MarshalText() ([]byte, error) {
+	return enumText("commit rule", int(r), r.String())
+}
+
+// UnmarshalText decodes a commit rule name; "" restores the zero value.
+func (r *CommitRule) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*r = 0
+	case "source":
+		*r = RuleSource
+	case "direct":
+		*r = RuleDirect
+	case "quorum":
+		*r = RuleQuorum
+	case "disjoint-chains":
+		*r = RuleDisjointChains
+	case "votes":
+		*r = RuleVotes
+	case "flood":
+		*r = RuleFlood
+	default:
+		return fmt.Errorf("rbcast: unknown commit rule %q", text)
+	}
+	return nil
+}
+
+// EncodeTrace writes the events as JSON Lines: one compact JSON object per
+// event, each terminated by '\n'. The encoding is lossless — DecodeTrace
+// restores exactly the slice that was encoded — and byte-deterministic for
+// a given slice, so equal traces encode to equal bytes.
+func EncodeTrace(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		line, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("rbcast: encoding trace event %d: %w", i, err)
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// DecodeTrace reads a JSON Lines trace produced by EncodeTrace. Blank
+// lines are skipped; an empty stream decodes to nil.
+func DecodeTrace(r io.Reader) ([]TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	// Commit events on dense grids carry whole chain families; allow
+	// lines well beyond the 64 KiB scanner default.
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []TraceEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("rbcast: decoding trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rbcast: reading trace: %w", err)
+	}
+	return events, nil
+}
+
 // enumText is the shared MarshalText body: zero encodes as "", names pass
 // through, and the String() fallback spelling for out-of-range values
 // (which always contains a parenthesis) is an encoding error rather than a
@@ -215,6 +321,13 @@ func (j Job) canonical() []byte {
 		"plan:placement=%s;strategy=%s;budget=%d;count=%d;probability=%s;crash_round=%d;seed=%d\n",
 		p.Placement, p.Strategy, p.Budget, p.Count,
 		canonicalFloat(p.Probability), p.CrashRound, p.Seed)
+	// Trace joined the Config after fp/v1 shipped; a conditional trailer
+	// keeps every pre-existing (untraced) scenario's fingerprint stable
+	// while still separating traced results (which carry Result.Trace)
+	// from untraced ones in caches.
+	if c.Trace {
+		b.WriteString("trace:enabled\n")
+	}
 	return []byte(b.String())
 }
 

@@ -257,6 +257,10 @@ func TestFingerprintSingleFieldSensitivity(t *testing.T) {
 		{"medium_seed", func(j *Job) { j.Config.MediumSeed++ }},
 		{"spoofing_possible", func(j *Job) { j.Config.SpoofingPossible = false }},
 		{"lock_step", func(j *Job) { j.Config.LockStep = false }},
+		// Trace stays false in fullConfig so the committed fingerprint
+		// goldens stay valid; flipping it must still change the hash (a
+		// traced result is a different cacheable artifact).
+		{"trace", func(j *Job) { j.Config.Trace = true }},
 		{"placement", func(j *Job) { j.Plan.Placement = PlacePercolation }},
 		{"strategy", func(j *Job) { j.Plan.Strategy = StrategyLiar }},
 		{"budget", func(j *Job) { j.Plan.Budget++ }},

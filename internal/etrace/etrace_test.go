@@ -1,0 +1,82 @@
+package etrace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestNilRecorderIsSafe pins the tap discipline: every method on a nil
+// recorder is a no-op, so call sites may thread a nil tap with no guards.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	r.Broadcast(1, 2, 0, 1, topology.None, nil)
+	r.Delivery(1, 3, 2, 0, 1, topology.None, nil)
+	r.EvidenceEval(1, 3, 2, 1)
+	r.Crash(1, 4)
+	r.Spoof(1, 3, 2, 5)
+	r.Commit(1, 3, 1, &Certificate{Rule: RuleDirect})
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+}
+
+func TestRecorderPreservesOrder(t *testing.T) {
+	r := New()
+	if !r.Enabled() {
+		t.Fatal("fresh recorder is not enabled")
+	}
+	r.Broadcast(0, 1, 0, 1, topology.None, nil)
+	r.Delivery(0, 2, 1, 0, 1, topology.None, nil)
+	r.Commit(0, 2, 1, &Certificate{Rule: RuleDirect, Value: 1})
+	events := r.Events()
+	want := []Kind{KindBroadcast, KindDelivery, KindCommit}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(events), len(want))
+	}
+	for i, k := range want {
+		if events[i].Kind != k {
+			t.Errorf("event %d has kind %v, want %v", i, events[i].Kind, k)
+		}
+	}
+}
+
+// TestRecorderCopiesPaths pins the record-time copy: mutating the caller's
+// path slice after recording must not corrupt the trace. The engines reuse
+// message buffers, so aliasing here would be a real bug.
+func TestRecorderCopiesPaths(t *testing.T) {
+	r := New()
+	path := []topology.NodeID{7, 8}
+	r.Broadcast(1, 1, 2, 1, 9, path)
+	path[0] = 99
+	got := r.Events()[0].Path
+	if want := []topology.NodeID{7, 8}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recorded path aliases the caller's slice: got %v, want %v", got, want)
+	}
+}
+
+// TestEventsReturnsCopy: mutating the returned slice must not affect later
+// snapshots.
+func TestEventsReturnsCopy(t *testing.T) {
+	r := New()
+	r.Crash(2, 5)
+	first := r.Events()
+	first[0].Node = 42
+	if again := r.Events(); again[0].Node != 5 {
+		t.Fatal("Events exposes internal storage")
+	}
+}
+
+// TestCrashClampsNegativeRound: fault plans encode "crashed before round
+// 1" with negative rounds; the trace reports those as round 0.
+func TestCrashClampsNegativeRound(t *testing.T) {
+	r := New()
+	r.Crash(-3, 1)
+	if got := r.Events()[0].Round; got != 0 {
+		t.Fatalf("crash round = %d, want 0", got)
+	}
+}

@@ -184,3 +184,52 @@ func maxDisjointMasks(masks [][]uint64, words, target int) int {
 	dfs(0, 0)
 	return best
 }
+
+// disjointWitnessMasks is maxDisjointMasks' witness-producing sibling: it
+// returns the indices (into masks) of a pairwise-disjoint subfamily of size
+// target, or nil when none exists. It runs without domination pruning — the
+// caller needs real member indices, and witness extraction only runs at
+// most once per traced commit, off the hot path.
+func disjointWitnessMasks(masks [][]uint64, words, target int) []int {
+	if target <= 0 {
+		return []int{}
+	}
+	if len(masks) < target {
+		return nil
+	}
+	// Smaller node sets first: they conflict less, shrinking the search.
+	order := make([]int, len(masks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return popcount(masks[order[i]]) < popcount(masks[order[j]])
+	})
+	used := make([]uint64, words)
+	chosen := make([]int, 0, target)
+	var dfs func(pos int) bool
+	dfs = func(pos int) bool {
+		if len(chosen) >= target {
+			return true
+		}
+		if len(chosen)+len(order)-pos < target {
+			return false // not enough candidates left
+		}
+		i := order[pos]
+		if !intersects(masks[i], used) {
+			orInto(used, masks[i])
+			chosen = append(chosen, i)
+			if dfs(pos + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+			andNotInto(used, masks[i])
+		}
+		return dfs(pos + 1)
+	}
+	if !dfs(0) {
+		return nil
+	}
+	sort.Ints(chosen)
+	return chosen
+}

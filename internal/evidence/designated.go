@@ -196,6 +196,35 @@ func (ft *FamilyTable) ConfirmedPaths(net *topology.Network, s *Store, receiver,
 	return confirmed
 }
 
+// ConfirmedChainList returns the recorded chains confirming designated
+// paths for the receiver→origin offset — the explicit witness behind a
+// DeterminedDesignated verdict, in designated-family order. Confirmed
+// designated paths are internally node-disjoint and lie inside one closed
+// neighborhood by construction, so the returned chains are a valid §VI
+// evidence family whenever there are ≥ t+1 of them. Trace-path only; the
+// hot path uses ConfirmedPaths, which never materializes the list.
+func (ft *FamilyTable) ConfirmedChainList(net *topology.Network, s *Store, receiver, origin topology.NodeID, value byte) []Chain {
+	d := net.Delta(receiver, origin)
+	fam, ok := ft.fams[d]
+	if !ok {
+		return nil
+	}
+	chains := s.Chains(origin, value)
+	if len(chains) == 0 {
+		return nil
+	}
+	var out []Chain
+	for _, pk := range fam.keys {
+		for _, c := range chains {
+			if relayKey(net, receiver, c.Relays) == pk {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // HonestPathCount counts the designated paths for the receiver→origin
 // offset whose relays all satisfy the honesty predicate. Honest relays
 // always forward designated prefixes, so this is the number of paths

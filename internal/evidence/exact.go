@@ -56,6 +56,57 @@ func DeterminedExact(net *topology.Network, s *Store, receiver, origin topology.
 	return false
 }
 
+// DeterminedExactWitness reconstructs the explicit evidence behind a
+// DeterminedExact verdict: need pairwise internally node-disjoint recorded
+// chains inside one closed neighborhood (or direct = true when the
+// COMMITTED was heard on the channel itself, which needs no chains). ok is
+// false when the rule does not currently hold. Trace-path only — it reruns
+// the packing search with witness extraction, which DeterminedExact's hot
+// path deliberately avoids.
+func DeterminedExactWitness(net *topology.Network, s *Store, receiver, origin topology.NodeID, value byte, need int) (chains []Chain, direct, ok bool) {
+	if s.HasDirect(origin, value) {
+		return nil, true, true
+	}
+	all := s.Chains(origin, value)
+	if len(all) < need {
+		return nil, false, false
+	}
+	r := net.Radius()
+	recvC := net.CoordOf(receiver)
+	masks, words := chainMasks(all, false)
+	for _, center := range candidateCenters(net, recvC, origin) {
+		inNbd := func(id topology.NodeID) bool {
+			return net.Torus().Within(net.Metric(), center, net.CoordOf(id), r)
+		}
+		var sub [][]uint64
+		var subIdx []int
+		for i, c := range all {
+			fits := true
+			for _, rel := range c.Relays {
+				if !inNbd(rel) {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				sub = append(sub, masks[i])
+				subIdx = append(subIdx, i)
+			}
+		}
+		if len(sub) < need {
+			continue
+		}
+		if sel := disjointWitnessMasks(sub, words, need); sel != nil {
+			out := make([]Chain, len(sel))
+			for j, k := range sel {
+				out[j] = all[subIdx[k]]
+			}
+			return out, false, true
+		}
+	}
+	return nil, false, false
+}
+
 // candidateCenters enumerates the grid points whose closed neighborhood
 // contains both the receiver and the origin.
 func candidateCenters(net *topology.Network, recvC grid.Coord, origin topology.NodeID) []grid.Coord {
@@ -202,6 +253,67 @@ func commitSingleLevel(net *topology.Network, s *Store, receiver topology.NodeID
 		}
 	}
 	return false
+}
+
+// CommitWitness reconstructs the explicit evidence behind a satisfied
+// §VI-B commit rule for the receiver: a closed-neighborhood center and
+// need recorded chains for the value that are collectively node-disjoint
+// (origins and relays) and lie wholly inside that neighborhood. ok is
+// false when the rule does not currently hold. The center sweep mirrors
+// commitSingleLevel's unfocused mode (span 3r around the receiver), which
+// covers every center the focused hot-path check can fire at. Trace-path
+// only.
+func CommitWitness(net *topology.Network, s *Store, receiver topology.NodeID, value byte, need int) (center grid.Coord, chains []Chain, ok bool) {
+	all := s.ValueChains(value)
+	if len(all) < need {
+		return grid.Coord{}, nil, false
+	}
+	r := net.Radius()
+	t := net.Torus()
+	m := net.Metric()
+	anchor := net.CoordOf(receiver)
+	span := 3 * r
+	masks, words := chainMasks(all, true)
+	for dy := -span; dy <= span; dy++ {
+		for dx := -span; dx <= span; dx++ {
+			c := t.Wrap(anchor.Add(grid.C(dx, dy)))
+			inNbd := func(id topology.NodeID) bool {
+				return t.Within(m, c, net.CoordOf(id), r)
+			}
+			var sub [][]uint64
+			var subIdx []int
+			for i, ch := range all {
+				if len(ch.Relays) > 1 {
+					continue // two-hop protocol: at most one relay
+				}
+				if !inNbd(ch.Origin) {
+					continue
+				}
+				fits := true
+				for _, rel := range ch.Relays {
+					if !inNbd(rel) {
+						fits = false
+						break
+					}
+				}
+				if fits {
+					sub = append(sub, masks[i])
+					subIdx = append(subIdx, i)
+				}
+			}
+			if len(sub) < need {
+				continue
+			}
+			if sel := disjointWitnessMasks(sub, words, need); sel != nil {
+				out := make([]Chain, len(sel))
+				for j, k := range sel {
+					out[j] = all[subIdx[k]]
+				}
+				return c, out, true
+			}
+		}
+	}
+	return grid.Coord{}, nil, false
 }
 
 // maxDisjointWholeChains computes the exact maximum set of pairwise

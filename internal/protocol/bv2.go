@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"repro/internal/etrace"
 	"repro/internal/evidence"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -21,6 +22,7 @@ type bv2Proc struct {
 	net    *topology.Network
 	spoof  bool               // §X study: medium does not authenticate senders
 	mc     *metrics.Collector // evidence-evaluation tap (nil = off)
+	tr     *etrace.Recorder   // event/certificate tap (nil = off)
 
 	value     byte
 	decided   bool
@@ -46,6 +48,7 @@ func newBV2Factory(p Params) sim.ProcessFactory {
 			net:         p.Net,
 			spoof:       p.SpoofingPossible,
 			mc:          p.Metrics,
+			tr:          p.Trace,
 			value:       p.Value,
 			store:       evidence.NewStore(),
 			firstCommit: make(map[topology.NodeID]struct{}),
@@ -60,6 +63,10 @@ func (b *bv2Proc) Init(ctx sim.Context) {
 	if b.self == b.source {
 		b.decided = true
 		b.announced = true
+		if b.tr.Enabled() {
+			b.tr.Commit(ctx.Round(), b.self, b.value,
+				&etrace.Certificate{Rule: etrace.RuleSource, Value: b.value})
+		}
 		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: b.value})
 	}
 }
@@ -70,6 +77,9 @@ func (b *bv2Proc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) 
 		return // not a binary broadcast value
 	}
 	sender := attributedSender(b.spoof, from, m)
+	if b.tr.Enabled() && sender != from {
+		b.tr.Spoof(ctx.Round(), b.self, from, sender)
+	}
 	switch m.Kind {
 	case sim.KindValue:
 		if sender != b.source {
@@ -79,7 +89,12 @@ func (b *bv2Proc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) 
 		// announcement; its neighbors commit immediately (base case).
 		b.acceptCommitted(ctx, sender, m.Value)
 		if !b.decided {
-			b.commit(ctx, m.Value)
+			var cert *etrace.Certificate
+			if b.tr.Enabled() {
+				cert = &etrace.Certificate{Rule: etrace.RuleDirect, Value: m.Value,
+					Voters: []topology.NodeID{sender}}
+			}
+			b.commit(ctx, m.Value, cert)
 		}
 	case sim.KindCommitted:
 		if m.Origin != sender {
@@ -132,15 +147,48 @@ func (b *bv2Proc) tryCommit(ctx sim.Context, chain evidence.Chain) {
 		return
 	}
 	b.mc.AddEvidenceEvals(ctx.Round(), 1)
+	if b.tr.Enabled() {
+		b.tr.EvidenceEval(ctx.Round(), b.self, chain.Origin, chain.Value)
+	}
 	if evidence.CommitSingleLevelFocused(b.net, b.store, b.self, chain.Value, b.t+1, chain) {
-		b.commit(ctx, chain.Value)
+		b.commit(ctx, chain.Value, b.chainCert(chain.Value))
 	}
 }
 
-// commit records the decision and announces it once.
-func (b *bv2Proc) commit(ctx sim.Context, v byte) {
+// chainCert reconstructs the §VI-B justification at the moment the rule
+// fired: a neighborhood center and t+1 collectively node-disjoint chains
+// for v inside it. Nil on untraced runs.
+func (b *bv2Proc) chainCert(v byte) *etrace.Certificate {
+	if !b.tr.Enabled() {
+		return nil
+	}
+	center, chains, ok := evidence.CommitWitness(b.net, b.store, b.self, v, b.t+1)
+	if !ok {
+		return nil // defensive: the focused check just succeeded
+	}
+	cert := &etrace.Certificate{
+		Rule: etrace.RuleDisjointChains, Value: v,
+		Center: b.net.IDOf(center), HasCenter: true,
+		Evidence: make([]etrace.Evidence, 0, len(chains)),
+	}
+	for _, c := range chains {
+		item := etrace.Evidence{Origin: c.Origin, Direct: len(c.Relays) == 0}
+		if len(c.Relays) > 0 {
+			item.Chains = [][]topology.NodeID{append([]topology.NodeID(nil), c.Relays...)}
+		}
+		cert.Evidence = append(cert.Evidence, item)
+	}
+	return cert
+}
+
+// commit records the decision and announces it once. cert is nil on
+// untraced runs.
+func (b *bv2Proc) commit(ctx sim.Context, v byte, cert *etrace.Certificate) {
 	b.decided = true
 	b.value = v
+	if b.tr.Enabled() {
+		b.tr.Commit(ctx.Round(), b.self, v, cert)
+	}
 	if !b.announced {
 		b.announced = true
 		ctx.Broadcast(sim.Message{Kind: sim.KindCommitted, Origin: b.self, Value: v})

@@ -2,8 +2,10 @@ package protocol
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
+	"repro/internal/etrace"
 	"repro/internal/evidence"
 	"repro/internal/grid"
 	"repro/internal/metrics"
@@ -43,6 +45,7 @@ type bv4Proc struct {
 	ft     *evidence.FamilyTable // nil in Exact mode
 	spoof  bool                  // §X study: medium does not authenticate senders
 	mc     *metrics.Collector    // evidence-evaluation tap (nil = off)
+	tr     *etrace.Recorder      // event/certificate tap (nil = off)
 
 	value     byte
 	decided   bool
@@ -97,6 +100,7 @@ func newBV4Factory(p Params) (sim.ProcessFactory, error) {
 			ft:          ft,
 			spoof:       p.SpoofingPossible,
 			mc:          p.Metrics,
+			tr:          p.Trace,
 			value:       p.Value,
 			store:       evidence.NewStore(),
 			firstCommit: make(map[topology.NodeID]struct{}),
@@ -115,6 +119,10 @@ func (b *bv4Proc) Init(ctx sim.Context) {
 	if b.self == b.source {
 		b.decided = true
 		b.announced = true
+		if b.tr.Enabled() {
+			b.tr.Commit(ctx.Round(), b.self, b.value,
+				&etrace.Certificate{Rule: etrace.RuleSource, Value: b.value})
+		}
 		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: b.value})
 	}
 }
@@ -125,6 +133,9 @@ func (b *bv4Proc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) 
 		return
 	}
 	sender := attributedSender(b.spoof, from, m)
+	if b.tr.Enabled() && sender != from {
+		b.tr.Spoof(ctx.Round(), b.self, from, sender)
+	}
 	switch m.Kind {
 	case sim.KindValue:
 		if sender != b.source {
@@ -134,7 +145,7 @@ func (b *bv4Proc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) 
 		// the source's transmission is also its COMMITTED announcement.
 		b.acceptCommitted(ctx, sender, m.Value)
 		if !b.decided {
-			b.commit(ctx, m.Value)
+			b.commit(ctx, m.Value, b.directCert(sender, m.Value))
 		}
 	case sim.KindCommitted:
 		if m.Origin != sender {
@@ -220,6 +231,9 @@ func (b *bv4Proc) isDetermined(round int, origin topology.NodeID, v byte) bool {
 		return false // already counted; avoid re-evaluation
 	}
 	b.mc.AddEvidenceEvals(round, 1)
+	if b.tr.Enabled() {
+		b.tr.EvidenceEval(round, b.self, origin, v)
+	}
 	need := b.t + 1
 	if b.mode == Designated {
 		return evidence.DeterminedDesignated(b.net, b.ft, b.store, b.self, origin, v, need)
@@ -243,7 +257,7 @@ func (b *bv4Proc) onDetermined(ctx sim.Context, origin topology.NodeID, v byte) 
 		}
 	}
 	if commit && !b.decided {
-		b.commit(ctx, v)
+		b.commit(ctx, v, b.quorumCert(v))
 	}
 }
 
@@ -261,14 +275,82 @@ func (b *bv4Proc) shouldRelay(origin topology.NodeID, relays []topology.NodeID) 
 	return b.ft.ShouldRelay(offs)
 }
 
-// commit records the decision and announces it once.
-func (b *bv4Proc) commit(ctx sim.Context, v byte) {
+// commit records the decision and announces it once. cert is nil on
+// untraced runs.
+func (b *bv4Proc) commit(ctx sim.Context, v byte, cert *etrace.Certificate) {
 	b.decided = true
 	b.value = v
+	if b.tr.Enabled() {
+		b.tr.Commit(ctx.Round(), b.self, v, cert)
+	}
 	if !b.announced {
 		b.announced = true
 		ctx.Broadcast(sim.Message{Kind: sim.KindCommitted, Origin: b.self, Value: v})
 	}
+}
+
+// directCert builds the base-case certificate: the value was heard
+// directly from the designated source. Nil on untraced runs.
+func (b *bv4Proc) directCert(sender topology.NodeID, v byte) *etrace.Certificate {
+	if !b.tr.Enabled() {
+		return nil
+	}
+	return &etrace.Certificate{Rule: etrace.RuleDirect, Value: v, Voters: []topology.NodeID{sender}}
+}
+
+// quorumCert reconstructs the §VI commit rule's justification at the
+// moment it fired: a closed-neighborhood center holding ≥ t+1 reliably-
+// determined committers of v, each backed by a direct COMMITTED reception
+// or by its confirmed disjoint chain family. Nil on untraced runs.
+func (b *bv4Proc) quorumCert(v byte) *etrace.Certificate {
+	if !b.tr.Enabled() {
+		return nil
+	}
+	need := b.t + 1
+	center := topology.None
+	for c, n := range b.counters[v] {
+		if n >= need && (center == topology.None || c < center) {
+			center = c // smallest qualifying center, deterministically
+		}
+	}
+	if center == topology.None {
+		return nil // defensive: the caller observed the quorum fire
+	}
+	var origins []topology.NodeID
+	for k := range b.determined {
+		if k.value == v && b.net.WithinClosed(center, k.origin) {
+			origins = append(origins, k.origin)
+		}
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	cert := &etrace.Certificate{
+		Rule: etrace.RuleQuorum, Value: v,
+		Center: center, HasCenter: true,
+		Evidence: make([]etrace.Evidence, 0, len(origins)),
+	}
+	for _, origin := range origins {
+		item := etrace.Evidence{Origin: origin}
+		if b.store.HasDirect(origin, v) {
+			item.Direct = true
+		} else {
+			for _, c := range b.determinedChains(origin, v, need) {
+				item.Chains = append(item.Chains, append([]topology.NodeID(nil), c.Relays...))
+			}
+		}
+		cert.Evidence = append(cert.Evidence, item)
+	}
+	return cert
+}
+
+// determinedChains returns the explicit chain witness that reliably
+// determined (origin, v) under the process's evidence mode. Evidence only
+// accumulates, so the witness exists whenever determination fired.
+func (b *bv4Proc) determinedChains(origin topology.NodeID, v byte, need int) []evidence.Chain {
+	if b.mode == Designated {
+		return b.ft.ConfirmedChainList(b.net, b.store, b.self, origin, v)
+	}
+	chains, _, _ := evidence.DeterminedExactWitness(b.net, b.store, b.self, origin, v, need)
+	return chains
 }
 
 // Decided implements sim.Process.

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"repro/internal/etrace"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -24,6 +25,10 @@ type cpaProc struct {
 	// suffice — no per-value membership sets on the delivery path.
 	votes [2]int
 	heard map[topology.NodeID]struct{} // neighbors whose announcement was consumed
+	tr    *etrace.Recorder             // event/certificate tap (nil = off)
+	// voters[v] retains the counted announcers per value — trace-only
+	// state (the vote-set certificate), never allocated on untraced runs.
+	voters [2][]topology.NodeID
 }
 
 // newCPAFactory builds CPA processes.
@@ -36,6 +41,7 @@ func newCPAFactory(p Params) sim.ProcessFactory {
 			spoof:  p.SpoofingPossible,
 			value:  p.Value,
 			heard:  make(map[topology.NodeID]struct{}),
+			tr:     p.Trace,
 		}
 	}
 }
@@ -44,6 +50,10 @@ func newCPAFactory(p Params) sim.ProcessFactory {
 func (c *cpaProc) Init(ctx sim.Context) {
 	if c.self == c.source {
 		c.decided = true
+		if c.tr.Enabled() {
+			c.tr.Commit(ctx.Round(), c.self, c.value,
+				&etrace.Certificate{Rule: etrace.RuleSource, Value: c.value})
+		}
 		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: c.value})
 	}
 }
@@ -54,9 +64,17 @@ func (c *cpaProc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) 
 		return
 	}
 	sender := attributedSender(c.spoof, from, m)
+	if c.tr.Enabled() && sender != from {
+		c.tr.Spoof(ctx.Round(), c.self, from, sender)
+	}
 	// Direct reception from the designated source: commit immediately.
 	if sender == c.source {
-		c.commit(ctx, m.Value)
+		var cert *etrace.Certificate
+		if c.tr.Enabled() {
+			cert = &etrace.Certificate{Rule: etrace.RuleDirect, Value: m.Value,
+				Voters: []topology.NodeID{sender}}
+		}
+		c.commit(ctx, m.Value, cert)
 		return
 	}
 	if _, seen := c.heard[sender]; seen {
@@ -64,15 +82,27 @@ func (c *cpaProc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) 
 	}
 	c.heard[sender] = struct{}{}
 	c.votes[m.Value]++
+	if c.tr.Enabled() {
+		c.voters[m.Value] = append(c.voters[m.Value], sender)
+	}
 	if c.votes[m.Value] >= c.t+1 {
-		c.commit(ctx, m.Value)
+		var cert *etrace.Certificate
+		if c.tr.Enabled() {
+			cert = &etrace.Certificate{Rule: etrace.RuleVotes, Value: m.Value,
+				Voters: append([]topology.NodeID(nil), c.voters[m.Value]...)}
+		}
+		c.commit(ctx, m.Value, cert)
 	}
 }
 
-// commit records the decision and makes the one-time announcement.
-func (c *cpaProc) commit(ctx sim.Context, v byte) {
+// commit records the decision and makes the one-time announcement. cert is
+// nil on untraced runs.
+func (c *cpaProc) commit(ctx sim.Context, v byte, cert *etrace.Certificate) {
 	c.decided = true
 	c.value = v
+	if c.tr.Enabled() {
+		c.tr.Commit(ctx.Round(), c.self, v, cert)
+	}
 	ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: v})
 }
 

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"repro/internal/etrace"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -14,12 +15,13 @@ type floodProc struct {
 	source  topology.NodeID
 	value   byte
 	decided bool
+	tr      *etrace.Recorder // event/certificate tap (nil = off)
 }
 
 // newFloodFactory builds flood processes.
 func newFloodFactory(p Params) sim.ProcessFactory {
 	return func(id topology.NodeID) sim.Process {
-		return &floodProc{self: id, source: p.Source, value: p.Value}
+		return &floodProc{self: id, source: p.Source, value: p.Value, tr: p.Trace}
 	}
 }
 
@@ -27,17 +29,29 @@ func newFloodFactory(p Params) sim.ProcessFactory {
 func (f *floodProc) Init(ctx sim.Context) {
 	if f.self == f.source {
 		f.decided = true
+		if f.tr.Enabled() {
+			f.tr.Commit(ctx.Round(), f.self, f.value,
+				&etrace.Certificate{Rule: etrace.RuleSource, Value: f.value})
+		}
 		ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: f.value})
 	}
 }
 
 // Deliver implements sim.Process.
-func (f *floodProc) Deliver(ctx sim.Context, _ topology.NodeID, m sim.Message) {
+func (f *floodProc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Message) {
 	if f.decided || m.Kind != sim.KindValue {
 		return
 	}
 	f.decided = true
 	f.value = m.Value
+	if f.tr.Enabled() {
+		// Delivery provenance: with crash-stop faults the sole commit
+		// justification is "who handed us the value".
+		f.tr.Commit(ctx.Round(), f.self, m.Value, &etrace.Certificate{
+			Rule: etrace.RuleFlood, Value: m.Value,
+			Voters: []topology.NodeID{from},
+		})
+	}
 	ctx.Broadcast(sim.Message{Kind: sim.KindValue, Value: m.Value})
 }
 

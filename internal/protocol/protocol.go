@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 
+	"repro/internal/etrace"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -91,6 +92,12 @@ type Params struct {
 	// concurrent use; processes tap it from the concurrent runtime's node
 	// goroutines.
 	Metrics *metrics.Collector
+	// Trace optionally records protocol events: evidence evaluations,
+	// spoofed attributions, and commits with their justifying
+	// certificates. Nil disables recording; processes skip certificate
+	// construction entirely then. Like Metrics, it must be safe for
+	// concurrent use.
+	Trace *etrace.Recorder
 }
 
 // attributedSender resolves the identity a receiver ascribes a message to:

@@ -85,6 +85,7 @@ func Run(cfg RunConfig) (Outcome, error) {
 		Observer:  cfg.Observer,
 		Medium:    cfg.Medium,
 		Metrics:   cfg.Params.Metrics,
+		Trace:     cfg.Params.Trace,
 	})
 	if err != nil {
 		return Outcome{}, err

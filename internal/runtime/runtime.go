@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/etrace"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -30,6 +31,13 @@ type Config struct {
 	// broadcasts, deliveries and commits, mirroring the sequential
 	// engine's taps. Nil disables collection.
 	Metrics *metrics.Collector
+	// Trace optionally records per-event execution history, mirroring
+	// the sequential engine's taps. Broadcast and delivery events are
+	// recorded in the deterministic fan-out loops; protocol events
+	// (evidence, commits) arrive from node goroutines, so their
+	// within-round interleaving is scheduler-dependent. Nil disables
+	// recording.
+	Trace *etrace.Recorder
 }
 
 // transmission is a message sent by a node in some round.
@@ -143,6 +151,11 @@ func Run(cfg Config) (sim.Result, error) {
 		stats.Rounds = round
 		stats.Broadcasts += len(pending)
 		cfg.Metrics.AddBroadcasts(round, int64(len(pending)))
+		if cfg.Trace != nil {
+			for _, tx := range pending {
+				cfg.Trace.Broadcast(round, tx.from, uint8(tx.msg.Kind), tx.msg.Value, tx.msg.Origin, tx.msg.Path)
+			}
+		}
 
 		// Fan deliveries out to receiver inboxes. pending is already in
 		// slot order, so each inbox is deterministically ordered.
@@ -155,6 +168,9 @@ func Run(cfg Config) (sim.Result, error) {
 				}
 				stats.Deliveries++
 				roundDeliveries++
+				if cfg.Trace != nil {
+					cfg.Trace.Delivery(round, nb, tx.from, uint8(tx.msg.Kind), tx.msg.Value, tx.msg.Origin, tx.msg.Path)
+				}
 				states[nb].inbox = append(states[nb].inbox, tx)
 				if !activeMark.Has(nb) {
 					activeMark.Add(nb)

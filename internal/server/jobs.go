@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -180,6 +181,57 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job.mu.Unlock()
 	writeJSON(w, http.StatusOK, status)
+}
+
+// handleJobTrace streams one batch element's execution trace as JSON
+// Lines (application/x-ndjson), exactly as rbcast.EncodeTrace renders it —
+// the bytes round-trip through rbcast.DecodeTrace and repeated GETs are
+// byte-identical. The element is selected with ?job=N (default 0, batch
+// order). Traces exist only for elements whose Config.Trace was set.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	job.mu.Lock()
+	done, results := job.done, job.results
+	job.mu.Unlock()
+	if !done {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %q is still running", id))
+		return
+	}
+	idx := 0
+	if q := r.URL.Query().Get("job"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid job index %q", q))
+			return
+		}
+		idx = n
+	}
+	if idx < 0 || idx >= len(results) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("job index %d out of range [0,%d)", idx, len(results)))
+		return
+	}
+	el := results[idx]
+	switch {
+	case el.Error != "":
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job element %d failed: %s", idx, el.Error))
+		return
+	case el.Result == nil || len(el.Result.Trace) == 0:
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job element %d recorded no trace — set config.trace", idx))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rbcast.EncodeTrace(w, el.Result.Trace)
 }
 
 // evictJobsLocked drops the oldest *finished* jobs beyond MaxJobs so a

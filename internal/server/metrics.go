@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -36,6 +37,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(paths)
 	for _, p := range paths {
 		fmt.Fprintf(&b, "rbcastd_requests_total{path=%q} %d\n", p, s.requestsByPath[p].Load())
+	}
+
+	writeHeader(&b, "rbcastd_request_duration_seconds", "histogram",
+		"HTTP request duration in seconds, by route.")
+	for _, p := range paths {
+		cum, count, sum := s.histByPath[p].snapshot()
+		for i, ub := range durationBuckets {
+			fmt.Fprintf(&b, "rbcastd_request_duration_seconds_bucket{path=%q,le=%q} %d\n",
+				p, strconv.FormatFloat(ub, 'g', -1, 64), cum[i])
+		}
+		fmt.Fprintf(&b, "rbcastd_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n",
+			p, cum[len(cum)-1])
+		fmt.Fprintf(&b, "rbcastd_request_duration_seconds_sum{path=%q} %g\n", p, sum)
+		fmt.Fprintf(&b, "rbcastd_request_duration_seconds_count{path=%q} %d\n", p, count)
 	}
 
 	cs := s.cache.Stats()

@@ -1,0 +1,96 @@
+package server
+
+// HTTP observability: per-route request-duration histograms, request IDs,
+// and structured request logging. All of it hangs off the one route
+// wrapper installed in New, so handlers stay unaware of it.
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// durationBuckets are the histogram upper bounds in seconds. The range
+// spans cache hits (sub-millisecond) to large uncached batch polls;
+// Prometheus convention adds a +Inf bucket on top.
+var durationBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// routeHist is one route's cumulative-free duration histogram: per-bucket
+// counts (last slot is +Inf), the total, and the sum of observations.
+// Exposition computes the cumulative form Prometheus expects.
+type routeHist struct {
+	buckets  [len(durationBuckets) + 1]atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// observe records one request duration.
+func (h *routeHist) observe(d time.Duration) {
+	secs := d.Seconds()
+	slot := len(durationBuckets)
+	for i, ub := range durationBuckets {
+		if secs <= ub {
+			slot = i
+			break
+		}
+	}
+	h.buckets[slot].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// snapshot returns the cumulative bucket counts (le-ordered, +Inf last),
+// the observation count, and the sum in seconds.
+func (h *routeHist) snapshot() (cum [len(durationBuckets) + 1]uint64, count uint64, sum float64) {
+	var running uint64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	return cum, h.count.Load(), time.Duration(h.sumNanos.Load()).Seconds()
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// nextRequestID mints a process-unique request id: the server start time
+// anchors uniqueness across restarts, a sequence number within the
+// process. Cheap, ordered, and grep-friendly — not globally unique.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%x-%06d", s.start.UnixNano(), s.reqSeq.Add(1))
+}
+
+// instrument wraps a route handler with the observability stack: request
+// counter, request id (echoed as X-Request-Id), duration histogram, and
+// one structured log line per request when a logger is configured.
+func (s *Server) instrument(route string, counter *atomic.Uint64, hist *routeHist, handler http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		counter.Add(1)
+		id := s.nextRequestID()
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		handler(sw, req)
+		elapsed := time.Since(begin)
+		hist.observe(elapsed)
+		if s.opts.Logger != nil {
+			s.opts.Logger.Info("request",
+				"request_id", id,
+				"method", req.Method,
+				"route", route,
+				"path", req.URL.Path,
+				"status", sw.status,
+				"duration_ms", float64(elapsed)/float64(time.Millisecond))
+		}
+	}
+}

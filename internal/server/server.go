@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,9 @@ type Options struct {
 	// BatchRunner executes a batch job's cache misses (nil:
 	// rbcast.RunBatch).
 	BatchRunner func([]rbcast.Job, rbcast.BatchOptions) []rbcast.BatchResult
+	// Logger receives one structured line per request (nil: no request
+	// logging). Metrics and request ids are recorded either way.
+	Logger *slog.Logger
 }
 
 // Server is the rbcastd HTTP handler plus its execution state. Construct
@@ -40,8 +44,12 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	// requestsByPath maps each registered route to its request counter.
+	// requestsByPath maps each registered route to its request counter;
+	// histByPath maps it to its duration histogram.
 	requestsByPath map[string]*atomic.Uint64
+	histByPath     map[string]*routeHist
+	// reqSeq sequences request ids.
+	reqSeq atomic.Uint64
 
 	// inflightRuns counts scenario executions currently on a CPU
 	// (sync runs and batch pool occupancy alike).
@@ -81,6 +89,7 @@ func New(opts Options) *Server {
 		mux:            http.NewServeMux(),
 		start:          time.Now(),
 		requestsByPath: make(map[string]*atomic.Uint64),
+		histByPath:     make(map[string]*routeHist),
 		jobs:           make(map[string]*batchJob),
 	}
 	routes := []struct {
@@ -91,17 +100,16 @@ func New(opts Options) *Server {
 		{"POST /v1/run", "/v1/run", s.handleRun},
 		{"POST /v1/batch", "/v1/batch", s.handleBatch},
 		{"GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob},
+		{"GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleJobTrace},
 		{"GET /healthz", "/healthz", s.handleHealthz},
 		{"GET /metrics", "/metrics", s.handleMetrics},
 	}
 	for _, r := range routes {
 		counter := &atomic.Uint64{}
+		hist := &routeHist{}
 		s.requestsByPath[r.path] = counter
-		handler := r.handler
-		s.mux.HandleFunc(r.pattern, func(w http.ResponseWriter, req *http.Request) {
-			counter.Add(1)
-			handler(w, req)
-		})
+		s.histByPath[r.path] = hist
+		s.mux.HandleFunc(r.pattern, s.instrument(r.path, counter, hist, r.handler))
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/etrace"
 	"repro/internal/metrics"
 	"repro/internal/topology"
 )
@@ -63,6 +64,10 @@ type Config struct {
 	// broadcasts, deliveries and commits. Nil disables collection at zero
 	// cost; the counters mirror Stats exactly.
 	Metrics *metrics.Collector
+	// Trace optionally records per-event execution history (broadcasts
+	// and deliveries from the engine; protocols add their own events
+	// through the same recorder). Nil disables recording at zero cost.
+	Trace *etrace.Recorder
 }
 
 // Medium models the channel-quality extension of §II/§X: the paper's ideal
@@ -139,6 +144,7 @@ type Engine struct {
 	obs        Observer
 	medium     Medium
 	metrics    *metrics.Collector
+	trace      *etrace.Recorder
 	rng        *rand.Rand // non-nil only for a lossy medium
 	// decided is a word-packed bitset over node ids; decidedVal/decRound
 	// are meaningful only where the bit is set.
@@ -190,6 +196,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		obs:        cfg.Observer,
 		medium:     cfg.Medium,
 		metrics:    cfg.Metrics,
+		trace:      cfg.Trace,
 		decided:    topology.NewNodeSet(size),
 		decidedVal: make([]byte, size),
 		decRound:   make([]int, size),
@@ -309,6 +316,9 @@ func (e *Engine) Step() bool {
 				if e.obs.OnBroadcast != nil {
 					e.obs.OnBroadcast(round, from, m)
 				}
+				if e.trace != nil {
+					e.trace.Broadcast(round, from, uint8(m.Kind), m.Value, m.Origin, m.Path)
+				}
 				for _, nb := range e.net.Neighbors(from) {
 					if e.isCrashed(nb, round) {
 						continue
@@ -318,6 +328,11 @@ func (e *Engine) Step() bool {
 					}
 					e.stats.Deliveries++
 					roundDeliveries++
+					if e.trace != nil {
+						// Before Deliver, so a commit event triggered by
+						// this message follows its delivery in the record.
+						e.trace.Delivery(round, nb, from, uint8(m.Kind), m.Value, m.Origin, m.Path)
+					}
 					e.ctx.id, e.ctx.round = nb, round
 					e.procs[nb].Deliver(&e.ctx, from, m)
 					e.noteDecision(round, nb)

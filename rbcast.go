@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/etrace"
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
@@ -120,6 +121,13 @@ type Config struct {
 	// slots react within the same frame. Decisions are identical; round
 	// numbers become hop counts, which makes wavefront traces readable.
 	LockStep bool `json:"lock_step,omitempty"`
+	// Trace records a structured execution trace — every broadcast,
+	// delivery, evidence evaluation, crash, spoof and commit, the latter
+	// carrying its Certificate — into Result.Trace. Off by default; the
+	// engines and protocols pay nothing when unset. Traces from the
+	// concurrent engine interleave protocol events nondeterministically
+	// within a round (see Result.Trace).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // validate rejects invalid public options up front, so every
@@ -234,6 +242,18 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 		mode = protocol.Exact
 	}
 	collector := metrics.New()
+	var rec *etrace.Recorder
+	if cfg.Trace {
+		rec = etrace.New()
+		// Crash events come from the fault plan, not the engines: record
+		// them up front, in id order, so every trace opens with the
+		// adversary's schedule.
+		for _, id := range faulty.faulty {
+			if round, crashed := faulty.crash[id]; crashed {
+				rec.Crash(round, id)
+			}
+		}
+	}
 	params := protocol.Params{
 		Net:              net,
 		Source:           source,
@@ -242,6 +262,7 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 		Mode:             mode,
 		SpoofingPossible: cfg.SpoofingPossible,
 		Metrics:          collector,
+		Trace:            rec,
 	}
 	medium := sim.Medium{LossRate: cfg.LossRate, Retransmit: cfg.Retransmit, Seed: cfg.MediumSeed}
 
@@ -270,6 +291,9 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 	collector.ObserveWall(time.Since(start))
 	res := newResult(net, out, faulty)
 	res.Metrics = newMetrics(collector.Snapshot())
+	if rec != nil {
+		res.Trace = newTraceEvents(net, rec.Events())
+	}
 	return res, nil
 }
 
@@ -291,6 +315,7 @@ func runConcurrent(kind protocol.Kind, params protocol.Params, faulty materializ
 		CrashAt:   faulty.crash,
 		MaxRounds: maxRounds,
 		Metrics:   params.Metrics,
+		Trace:     params.Trace,
 	})
 	if err != nil {
 		return protocol.Outcome{}, err

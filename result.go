@@ -61,6 +61,13 @@ type Result struct {
 	// histograms, evidence-evaluation counts and wall-clock time. The
 	// per-round broadcast/delivery columns sum to Broadcasts/Deliveries.
 	Metrics Metrics `json:"metrics,omitempty"`
+	// Trace is the structured execution trace recorded when Config.Trace
+	// was set; nil otherwise. Sequential-engine traces are fully
+	// deterministic. The concurrent engine orders broadcasts and
+	// deliveries deterministically but interleaves protocol events
+	// (evidence evaluations, commits) in scheduler order within a round;
+	// sort by (round, kind, node) before comparing such traces.
+	Trace []TraceEvent `json:"trace,omitempty"`
 }
 
 // RoundMetrics is one engine round's event counts. Round 0 is process

@@ -31,11 +31,11 @@ fail() {
 "$TMP/rbcastd" -addr 127.0.0.1:0 >"$TMP/log" 2>&1 &
 PID=$!
 
-# The daemon logs "rbcastd listening on 127.0.0.1:PORT" once bound.
+# The daemon logs msg="rbcastd listening" addr=127.0.0.1:PORT once bound.
 ADDR=""
 i=0
 while [ $i -lt 100 ]; do
-    ADDR=$(sed -n 's/.*rbcastd listening on \(.*\)/\1/p' "$TMP/log" | head -n 1)
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
     [ -n "$ADDR" ] && break
     kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
     sleep 0.1

@@ -1,0 +1,116 @@
+#!/bin/sh
+# trace_smoke.sh — end-to-end smoke test for the observability surface
+# (`make trace-smoke`).
+#
+# Runs the same traced scenario through the CLI (-trace-out) and through
+# rbcastd's GET /v1/jobs/{id}/trace, and checks the two JSONL dumps are
+# byte-identical (one deterministic run, one lossless encoding). Also
+# checks: repeated trace GETs are byte-identical, commit events carry
+# certificates, untraced elements 404, unknown jobs 404, and /metrics
+# exposes the per-route duration histograms. Requires curl.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "trace-smoke: FAIL: $*" >&2
+    [ -f "$TMP/log" ] && { echo "--- rbcastd log ---" >&2; cat "$TMP/log" >&2; }
+    exit 1
+}
+
+"${GO:-go}" build -o "$TMP/broadcast-sim" ./cmd/broadcast-sim
+"${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
+
+# CLI dump of the canonical traced scenario (bv4 at threshold, greedy
+# silent band) — the same scenario the daemon runs below.
+"$TMP/broadcast-sim" -protocol bv4 -t 2 -value 1 -faults greedy -strategy silent \
+    -trace-out "$TMP/cli.jsonl" >/dev/null || fail "CLI traced run failed"
+[ -s "$TMP/cli.jsonl" ] || fail "CLI wrote an empty trace"
+head -n 1 "$TMP/cli.jsonl" | grep -q '^{"round":' || fail "trace lines do not start with {\"round\":"
+grep -q '"kind":"commit"' "$TMP/cli.jsonl" || fail "trace carries no commit events"
+grep -q '"certificate"' "$TMP/cli.jsonl" || fail "commit events carry no certificates"
+
+"$TMP/rbcastd" -addr 127.0.0.1:0 >"$TMP/log" 2>&1 &
+PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || fail "daemon never reported its address"
+BASE="http://$ADDR"
+
+TRACED='{"config":{"width":16,"height":10,"radius":1,"protocol":"bv4","t":2,"value":1,"trace":true},"plan":{"placement":"greedy-band","strategy":"silent"}}'
+UNTRACED='{"config":{"width":16,"height":10,"radius":1,"protocol":"flood","value":1},"plan":{}}'
+
+# Batch with a traced element (0) and an untraced one (1).
+curl -fsS -H 'Content-Type: application/json' \
+    -d "{\"jobs\":[$TRACED,$UNTRACED]}" "$BASE/v1/batch" >"$TMP/ack" \
+    || fail "/v1/batch submission failed"
+JOB_URL=$(sed -n 's/.*"status_url":"\([^"]*\)".*/\1/p' "$TMP/ack")
+[ -n "$JOB_URL" ] || fail "batch ack carries no status_url"
+i=0
+while [ $i -lt 100 ]; do
+    curl -fsS "$BASE$JOB_URL" >"$TMP/job"
+    grep -q '"state":"done"' "$TMP/job" && break
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q '"state":"done"' "$TMP/job" || fail "batch job never finished"
+
+# The daemon's trace must be byte-identical to the CLI's: same
+# deterministic run, same lossless JSONL encoding.
+curl -fsS "$BASE$JOB_URL/trace?job=0" >"$TMP/srv1.jsonl" || fail "trace GET failed"
+cmp -s "$TMP/cli.jsonl" "$TMP/srv1.jsonl" || fail "daemon trace differs from the CLI trace"
+
+# Repeated GETs are byte-identical (the trace is stored, not re-derived).
+curl -fsS "$BASE$JOB_URL/trace?job=0" >"$TMP/srv2.jsonl" || fail "second trace GET failed"
+cmp -s "$TMP/srv1.jsonl" "$TMP/srv2.jsonl" || fail "repeated trace GETs differ"
+
+# Content type is NDJSON.
+curl -fsS -D "$TMP/th" -o /dev/null "$BASE$JOB_URL/trace?job=0"
+grep -qi '^Content-Type: application/x-ndjson' "$TMP/th" || fail "trace content type is not application/x-ndjson"
+
+# Error contracts: untraced element and unknown job both 404.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE$JOB_URL/trace?job=1")
+[ "$CODE" = "404" ] || fail "untraced element returned $CODE, want 404"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs/nope/trace")
+[ "$CODE" = "404" ] || fail "unknown job returned $CODE, want 404"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE$JOB_URL/trace?job=99")
+[ "$CODE" = "400" ] || fail "out-of-range element returned $CODE, want 400"
+
+# Request IDs are echoed on every response.
+grep -qi '^X-Request-Id:' "$TMP/th" || fail "responses carry no X-Request-Id"
+
+# The duration histograms cover the routes exercised above.
+curl -fsS "$BASE/metrics" >"$TMP/metrics" || fail "/metrics failed"
+grep -q '# TYPE rbcastd_request_duration_seconds histogram' "$TMP/metrics" \
+    || fail "duration histogram family missing"
+grep -q 'rbcastd_request_duration_seconds_bucket{path="/v1/jobs/{id}/trace",le="+Inf"}' "$TMP/metrics" \
+    || fail "trace-route histogram missing"
+grep -q 'rbcastd_request_duration_seconds_count{path="/v1/batch"} 1' "$TMP/metrics" \
+    || fail "batch-route histogram count is not 1"
+
+kill "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    [ $i -ge 100 ] && fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+    i=$((i + 1))
+done
+wait "$PID" 2>/dev/null || fail "daemon exited nonzero on SIGTERM"
+PID=""
+
+echo "trace-smoke: ok ($BASE)"
