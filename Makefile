@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: verify build vet test race experiments serve-smoke trace-smoke cover bench bench-smoke bench-diff
+.PHONY: verify ci build vet test race experiments serve-smoke trace-smoke load-smoke cover bench bench-smoke bench-diff
 
-# verify is the full pre-merge gate: tier-1 (build + test) plus vet, the
-# race detector across every package, the rbcastd serving smoke test, the
-# execution-trace smoke test, and the benchmark-scenario golden-hash smoke.
-verify: build vet test race serve-smoke trace-smoke bench-smoke
+# ci is the gate .github/workflows/ci.yml runs on every push and pull
+# request: tier-1 (build + test) plus vet, the race detector across every
+# package, the rbcastd serving smoke test, the execution-trace smoke test,
+# the saturation/backpressure smoke test, and the benchmark-scenario
+# golden-hash smoke. The full benchmark suite and bench-diff stay out —
+# they need a quiet machine and run in the nightly workflow instead.
+ci: build vet test race serve-smoke trace-smoke load-smoke bench-smoke
+
+# verify is the full pre-merge gate; it is exactly what CI runs.
+verify: ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +40,14 @@ serve-smoke:
 # the per-route duration histograms in /metrics.
 trace-smoke:
 	GO="$(GO)" sh scripts/trace_smoke.sh
+
+# load-smoke boots rbcastd with tiny limits (-queue-depth 1 -max-inflight 1
+# -job-timeout 250ms) and drives it to saturation with cmd/loadgen: shed
+# requests must get 429 + Retry-After (never hang), a retrying client must
+# eventually succeed, and an over-deadline job must fail alone with a
+# partial result while its siblings complete.
+load-smoke:
+	GO="$(GO)" sh scripts/load_smoke.sh
 
 # cover runs the test suite with coverage and prints a per-package summary
 # plus the total; the profile lands in cover.out for `go tool cover -html`.

@@ -2,7 +2,8 @@ package rbcast
 
 import (
 	"context"
-	"fmt"
+	"runtime/debug"
+	"time"
 
 	"repro/internal/pool"
 )
@@ -17,22 +18,32 @@ type Job struct {
 
 // BatchResult is the outcome of one batch job.
 type BatchResult struct {
-	// Result is the job's outcome; valid only when Err is nil.
+	// Result is the job's outcome. It is valid when Err is nil, and also —
+	// as a partial result — when Err wraps ErrDeadline (see RunContext).
+	// For any other error it is the zero Result.
 	Result Result
-	// Err captures the job's own failure (invalid config, cancelled
-	// context, panic). One failing job never affects the others.
+	// Err captures the job's own failure: an invalid config, a cancelled
+	// or expired context (wrapping ErrDeadline), or a panic (a
+	// *PanicError carrying the stack). One failing job never affects the
+	// others.
 	Err error
 }
 
 // BatchOptions configures RunBatch. The zero value runs with GOMAXPROCS
-// workers and no cancellation.
+// workers, no cancellation and no per-job deadline.
 type BatchOptions struct {
 	// Workers caps the worker pool; ≤ 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// Context optionally cancels the batch: jobs not yet started when it
-	// is done complete immediately with Err = Context.Err(). Jobs already
-	// in flight run to completion — individual runs are not preemptible.
+	// is done complete immediately with Err = Context.Err(), and jobs in
+	// flight stop at their next round boundary with a partial Result and
+	// an Err wrapping ErrDeadline.
 	Context context.Context
+	// JobTimeout optionally bounds each job's wall-clock time,
+	// independent of Config.MaxRounds. A job that exceeds it stops at the
+	// next round boundary with a partial Result and an Err wrapping
+	// ErrDeadline; its siblings are unaffected. ≤ 0 means no bound.
+	JobTimeout time.Duration
 }
 
 // batchJobDispatched, when non-nil, runs with each job's index after the
@@ -49,21 +60,27 @@ var batchJobDispatched func(i int)
 // pure CPU work on disjoint state, so throughput scales with cores; this is
 // the substrate the threshold sweeps, experiment drivers and the rbcastd
 // batch endpoint fan out on.
+//
+// RunBatch bounds the damage any one job can do: a panicking job fails
+// with a *PanicError instead of crashing the process, and a job that
+// exceeds JobTimeout (or an expired batch Context) fails with ErrDeadline,
+// in both cases leaving every sibling to complete normally.
 func RunBatch(jobs []Job, opts BatchOptions) []BatchResult {
 	results := make([]BatchResult, len(jobs))
 	ctx := opts.Context
 	pool.Run(opts.Workers, len(jobs), func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
-				results[i] = BatchResult{Err: fmt.Errorf("rbcast: job %d panicked: %v", i, r)}
+				results[i] = BatchResult{Err: &PanicError{Index: i, Value: r, Stack: debug.Stack()}}
 			}
 		}()
 		if hook := batchJobDispatched; hook != nil {
 			hook(i)
 		}
 		// The check sits immediately before the run so cancellation
-		// arriving any time up to job start is observed; once Run begins
-		// the job is committed (runs are not preemptible).
+		// arriving any time up to job start is observed without paying for
+		// a run that is already unwanted; cancellation after the start is
+		// the engines' round-boundary check.
 		if ctx != nil {
 			select {
 			case <-ctx.Done():
@@ -72,7 +89,16 @@ func RunBatch(jobs []Job, opts BatchOptions) []BatchResult {
 			default:
 			}
 		}
-		res, err := Run(jobs[i].Config, jobs[i].Plan)
+		jobCtx := ctx
+		if jobCtx == nil {
+			jobCtx = context.Background()
+		}
+		if opts.JobTimeout > 0 {
+			var cancel context.CancelFunc
+			jobCtx, cancel = context.WithTimeout(jobCtx, opts.JobTimeout)
+			defer cancel()
+		}
+		res, err := RunContext(jobCtx, jobs[i].Config, jobs[i].Plan)
 		results[i] = BatchResult{Result: res, Err: err}
 	})
 	return results

@@ -1,0 +1,361 @@
+// Package client is the Go client for rbcastd, the scenario-serving
+// daemon. It speaks the daemon's HTTP/JSON contract (POST /v1/run,
+// POST /v1/batch, GET /v1/jobs/{id}, GET /healthz, GET /metrics) and
+// implements the client half of the serving path's backpressure protocol:
+// requests the daemon sheds with 429 (or 503) are retried with jittered
+// exponential backoff, honoring the Retry-After hint when the daemon sends
+// one, under the caller's context deadline.
+//
+// Every rbcastd request is safe to retry: scenario runs are deterministic
+// pure functions of their fingerprint, and a shed batch submission was
+// never accepted.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	rbcast "repro"
+)
+
+// Options configure a Client. The zero value is usable: a 30-second
+// per-attempt HTTP timeout, 4 retries, backoff from 100ms to 2s.
+type Options struct {
+	// HTTPClient issues the requests (nil: a client with a 30s timeout).
+	HTTPClient *http.Client
+	// MaxRetries is the number of re-attempts after the first try for
+	// retryable failures — 429, 503, transport errors (0: 4; negative:
+	// never retry).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff ceiling; each further
+	// attempt doubles it (0: 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0: 2s). A server
+	// Retry-After hint overrides the computed backoff but is still capped
+	// by MaxBackoff, so a misbehaving server cannot park the client.
+	MaxBackoff time.Duration
+}
+
+// Client is an rbcastd HTTP client. It is safe for concurrent use.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxRetries  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	// sleep and jitter are test seams: sleep waits out a backoff under
+	// the context, jitter draws from [0,1).
+	sleep  func(context.Context, time.Duration) error
+	jitter func() float64
+}
+
+// New builds a client for the daemon at baseURL (e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts Options) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	maxRetries := opts.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = 4
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	base := opts.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxB := opts.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	return &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          hc,
+		maxRetries:  maxRetries,
+		baseBackoff: base,
+		maxBackoff:  maxB,
+		sleep:       sleepCtx,
+		jitter:      rand.Float64,
+	}
+}
+
+// StatusError is a non-2xx response from the daemon.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Message is the daemon's error body (the "error" field when the body
+	// is the uniform JSON error shape, the raw body otherwise).
+	Message string
+	// RetryAfter is the daemon's Retry-After hint (0 when absent).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("rbcastd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+// Temporary reports whether the failure is worth retrying: the daemon shed
+// the request (429) or is draining (503).
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+// RunResult is a completed synchronous run.
+type RunResult struct {
+	Fingerprint string        `json:"fingerprint"`
+	Result      rbcast.Result `json:"result"`
+	// Cached reports the daemon served the run from its result cache.
+	Cached bool `json:"-"`
+}
+
+// BatchAck acknowledges an accepted batch submission.
+type BatchAck struct {
+	ID        string `json:"id"`
+	Jobs      int    `json:"jobs"`
+	StatusURL string `json:"status_url"`
+}
+
+// JobStatus mirrors GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID      string      `json:"id"`
+	State   string      `json:"state"` // "running" or "done"
+	Jobs    int         `json:"jobs"`
+	Results []JobResult `json:"results,omitempty"`
+}
+
+// Done reports whether the batch finished.
+func (s JobStatus) Done() bool { return s.State == "done" }
+
+// JobResult is one batch element's outcome.
+type JobResult struct {
+	Fingerprint string         `json:"fingerprint"`
+	Result      *rbcast.Result `json:"result,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	Cached      bool           `json:"cached,omitempty"`
+	// Partial marks an element the daemon's job deadline cut short:
+	// Error carries the deadline error, Result the partial state.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// batchRequest is the POST /v1/batch payload.
+type batchRequest struct {
+	Jobs    []rbcast.Job `json:"jobs"`
+	Workers int          `json:"workers,omitempty"`
+}
+
+// Run executes one scenario synchronously, retrying shed requests.
+func (c *Client) Run(ctx context.Context, cfg rbcast.Config, plan rbcast.FaultPlan) (RunResult, error) {
+	body, err := json.Marshal(rbcast.Job{Config: cfg, Plan: plan})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("client: encoding scenario: %w", err)
+	}
+	var out RunResult
+	hdr, data, err := c.do(ctx, http.MethodPost, "/v1/run", body)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return RunResult{}, fmt.Errorf("client: decoding run response: %w", err)
+	}
+	out.Cached = hdr.Get("X-Rbcast-Cache") == "hit"
+	return out, nil
+}
+
+// Submit enqueues a batch job, retrying submissions the daemon sheds.
+// workers ≤ 0 leaves the pool size to the daemon.
+func (c *Client) Submit(ctx context.Context, jobs []rbcast.Job, workers int) (BatchAck, error) {
+	body, err := json.Marshal(batchRequest{Jobs: jobs, Workers: workers})
+	if err != nil {
+		return BatchAck{}, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	var ack BatchAck
+	_, data, err := c.do(ctx, http.MethodPost, "/v1/batch", body)
+	if err != nil {
+		return BatchAck{}, err
+	}
+	if err := json.Unmarshal(data, &ack); err != nil {
+		return BatchAck{}, fmt.Errorf("client: decoding batch ack: %w", err)
+	}
+	return ack, nil
+}
+
+// Job fetches a batch job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	_, data, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return JobStatus{}, fmt.Errorf("client: decoding job status: %w", err)
+	}
+	return st, nil
+}
+
+// WaitJob polls a batch job until it is done or ctx expires. poll ≤ 0
+// defaults to 50ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.Done() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return JobStatus{}, fmt.Errorf("client: waiting for job %s: %w", id, err)
+		}
+	}
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	_, data, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	return string(data), err
+}
+
+// do issues one request with the retry loop: temporary daemon failures
+// (429/503) and transport errors back off and re-attempt, honoring
+// Retry-After when present; everything else returns immediately. The body
+// is replayed from the encoded bytes on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (http.Header, []byte, error) {
+	var last error
+	for attempt := 0; ; attempt++ {
+		hdr, data, err := c.once(ctx, method, path, body)
+		if err == nil {
+			return hdr, data, nil
+		}
+		last = err
+		wait := time.Duration(0)
+		var se *StatusError
+		if errors.As(err, &se) {
+			if !se.Temporary() {
+				return nil, nil, err
+			}
+			wait = se.RetryAfter
+		}
+		if ctx.Err() != nil || attempt >= c.maxRetries {
+			return nil, nil, last
+		}
+		if wait <= 0 {
+			wait = c.backoff(attempt)
+		}
+		if wait > c.maxBackoff {
+			wait = c.maxBackoff
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return nil, nil, fmt.Errorf("client: %w (last failure: %v)", err, last)
+		}
+	}
+}
+
+// once issues a single attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte) (http.Header, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, nil, &StatusError{
+			Code:       resp.StatusCode,
+			Message:    errorMessage(data),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	}
+	return resp.Header, data, nil
+}
+
+// backoff computes the jittered exponential delay for a retry attempt:
+// full jitter over [d/2, d) where d doubles from BaseBackoff, capped at
+// MaxBackoff. Jitter decorrelates a fleet of clients that were all shed by
+// the same saturated daemon at the same instant.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseBackoff
+	for i := 0; i < attempt && d < c.maxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(c.jitter()*float64(half))
+}
+
+// parseRetryAfter reads a Retry-After value: delta-seconds or an HTTP-date.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// errorMessage extracts the daemon's uniform {"error": "..."} body, falling
+// back to the raw text for anything else.
+func errorMessage(data []byte) string {
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &er); err == nil && er.Error != "" {
+		return er.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,217 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rbcast "repro"
+	"repro/internal/server"
+)
+
+// testScenario is the small, fast scenario used across the suite.
+func testScenario() rbcast.Job {
+	return rbcast.Job{
+		Config: rbcast.Config{Width: 16, Height: 10, Radius: 1, Protocol: rbcast.ProtocolBV4, T: 2, Value: 1},
+		Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent},
+	}
+}
+
+// recordingClient wires the test seams: sleeps are recorded instead of
+// waited out, and jitter is pinned to 0.5 so backoffs are deterministic.
+func recordingClient(url string, opts Options, sleeps *[]time.Duration) *Client {
+	c := New(url, opts)
+	c.jitter = func() float64 { return 0.5 }
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		*sleeps = append(*sleeps, d)
+		return ctx.Err()
+	}
+	return c
+}
+
+func TestRunAgainstRealDaemon(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+	c := New(ts.URL, Options{})
+
+	job := testScenario()
+	got, err := c.Run(context.Background(), job.Config, job.Plan)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Cached {
+		t.Error("first run reported cached")
+	}
+	if got.Fingerprint != job.Fingerprint() {
+		t.Errorf("fingerprint %q, want %q", got.Fingerprint, job.Fingerprint())
+	}
+	want, err := rbcast.Run(job.Config, job.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Correct != want.Correct || got.Result.Rounds != want.Rounds {
+		t.Errorf("result diverges from direct run: correct %d rounds %d, want %d/%d",
+			got.Result.Correct, got.Result.Rounds, want.Correct, want.Rounds)
+	}
+
+	again, err := c.Run(context.Background(), job.Config, job.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("second identical run was not served from the cache")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+	c := New(ts.URL, Options{})
+	ctx := context.Background()
+
+	flood := rbcast.Job{Config: rbcast.Config{Width: 16, Height: 10, Radius: 1, Protocol: rbcast.ProtocolFlood, Value: 1}}
+	ack, err := c.Submit(ctx, []rbcast.Job{testScenario(), flood}, 0)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if ack.Jobs != 2 || ack.ID == "" {
+		t.Fatalf("ack = %+v", ack)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	st, err := c.WaitJob(waitCtx, ack.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if len(st.Results) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	for i, jr := range st.Results {
+		if jr.Error != "" || jr.Result == nil {
+			t.Errorf("element %d: %+v", i, jr)
+		}
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"queue full"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ok","uptime_seconds":1}`))
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{}, &sleeps)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+	// Both backoffs must be the server's Retry-After hint, not the
+	// exponential schedule.
+	if len(sleeps) != 2 || sleeps[0] != time.Second || sleeps[1] != time.Second {
+		t.Errorf("sleeps = %v, want [1s 1s]", sleeps)
+	}
+}
+
+func TestRetryBacksOffExponentiallyWithJitter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			// No Retry-After: the client falls back to its own schedule.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok","uptime_seconds":1}`))
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 150 * time.Millisecond}, &sleeps)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after retries: %v", err)
+	}
+	// jitter pinned at 0.5: delay = d/2 + d/4 = 3d/4 with d the capped
+	// doubling schedule 100ms, 150ms, 150ms.
+	want := []time.Duration{75 * time.Millisecond, 112500 * time.Microsecond, 112500 * time.Microsecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, sleeps[i], want[i])
+		}
+	}
+}
+
+func TestNonRetryableStatusReturnsImmediately(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"invalid scenario"}`))
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{}, &sleeps)
+	err := c.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest || se.Message != "invalid scenario" {
+		t.Fatalf("err = %v, want StatusError 400 with daemon message", err)
+	}
+	if calls.Load() != 1 || len(sleeps) != 0 {
+		t.Errorf("non-retryable status must not retry: %d calls, sleeps %v", calls.Load(), sleeps)
+	}
+}
+
+func TestRetriesExhaustAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{MaxRetries: 2}, &sleeps)
+	err := c.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want StatusError 429", err)
+	}
+	if se.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s", se.RetryAfter)
+	}
+	if got := calls.Load(); got != 3 { // 1 try + 2 retries
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("7"); d != 7*time.Second {
+		t.Errorf("seconds form: %v", d)
+	}
+	date := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(date); d <= 0 || d > 90*time.Second {
+		t.Errorf("HTTP-date form: %v", d)
+	}
+	if d := parseRetryAfter(""); d != 0 {
+		t.Errorf("absent header: %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Errorf("garbage header: %v", d)
+	}
+}

@@ -4,7 +4,16 @@
 // asynchronous batch jobs on the RunBatch worker pool, and Prometheus
 // observability.
 //
-//	rbcastd -addr :8080 -cache 1024 -workers 0
+//	rbcastd -addr :8080 -cache 1024 -workers 0 \
+//	        -queue-depth 1024 -max-inflight 8 -job-timeout 30s
+//
+// The daemon bounds the damage any one request or job can do: the batch
+// queue is bounded (-queue-depth; full submissions shed with 429 +
+// Retry-After), concurrent execution is bounded (-max-inflight; saturated
+// sync runs shed with 429 while accepted batch jobs wait), each scenario's
+// wall clock is bounded (-job-timeout; an over-budget run fails
+// individually with a partial result), and a panicking scenario fails its
+// own job instead of the process.
 //
 // Endpoints: POST /v1/run, POST /v1/batch, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/trace, GET /healthz, GET /metrics. Pass -addr host:0
@@ -91,14 +100,17 @@ func serveOps(addr string, srv *server.Server, logger *slog.Logger) (*http.Serve
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address (host:0 binds an ephemeral port)")
-		opsAddr   = flag.String("ops-addr", "", "optional operations listener serving net/http/pprof, /metrics and /healthz")
-		cacheSize = flag.Int("cache", 1024, "result-cache capacity in entries")
-		workers   = flag.Int("workers", 0, "worker pool size per batch job (<=0 means GOMAXPROCS)")
-		maxJobs   = flag.Int("max-jobs", 4096, "retained batch jobs before the oldest finished are dropped")
-		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight work")
-		logFormat = flag.String("log-format", "text", "log handler: text or json")
-		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+		addr        = flag.String("addr", ":8080", "listen address (host:0 binds an ephemeral port)")
+		opsAddr     = flag.String("ops-addr", "", "optional operations listener serving net/http/pprof, /metrics and /healthz")
+		cacheSize   = flag.Int("cache", 1024, "result-cache capacity in entries")
+		workers     = flag.Int("workers", 0, "worker pool size per batch job (<=0 means GOMAXPROCS)")
+		maxJobs     = flag.Int("max-jobs", 4096, "retained batch jobs before the oldest finished are dropped")
+		queueDepth  = flag.Int("queue-depth", 1024, "batch jobs accepted but unfinished before submissions shed with 429")
+		maxInflight = flag.Int("max-inflight", 0, "concurrently executing jobs before sync runs shed with 429 (<=0 means unbounded)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "wall-clock bound per scenario execution; over it a run fails with a partial result (0 disables)")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight work")
+		logFormat   = flag.String("log-format", "text", "log handler: text or json")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 	)
 	flag.Parse()
 
@@ -117,10 +129,13 @@ func main() {
 		fatal("listen", err)
 	}
 	srv := server.New(server.Options{
-		CacheSize: *cacheSize,
-		Workers:   *workers,
-		MaxJobs:   *maxJobs,
-		Logger:    logger,
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+		MaxJobs:     *maxJobs,
+		QueueDepth:  *queueDepth,
+		MaxInflight: *maxInflight,
+		JobTimeout:  *jobTimeout,
+		Logger:      logger,
 	})
 	hs := &http.Server{Handler: srv}
 

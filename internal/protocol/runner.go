@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/fault"
@@ -29,6 +31,8 @@ type RunConfig struct {
 	Observer sim.Observer
 	// Medium configures the optional unreliable-channel extension.
 	Medium sim.Medium
+	// Context optionally bounds the run by wall clock (see sim.Config).
+	Context context.Context
 }
 
 // Outcome summarizes a run from the perspective of the honest nodes.
@@ -56,7 +60,10 @@ func (o Outcome) AllCorrect() bool { return o.Wrong == 0 && o.Undecided == 0 }
 // (Theorem 2's guarantee, which must hold even when liveness fails).
 func (o Outcome) Safe() bool { return o.Wrong == 0 }
 
-// Run executes the configured scenario on the deterministic engine.
+// Run executes the configured scenario on the deterministic engine. When
+// the run is stopped by its Context, the outcome scores the partial state
+// and is returned together with the engine's error wrapping sim.ErrDeadline;
+// undecided honest nodes then mean "not yet", not "never".
 func Run(cfg RunConfig) (Outcome, error) {
 	honest, err := NewFactory(cfg.Kind, cfg.Params)
 	if err != nil {
@@ -86,11 +93,12 @@ func Run(cfg RunConfig) (Outcome, error) {
 		Medium:    cfg.Medium,
 		Metrics:   cfg.Params.Metrics,
 		Trace:     cfg.Params.Trace,
+		Context:   cfg.Context,
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, sim.ErrDeadline) {
 		return Outcome{}, err
 	}
-	return score(cfg, res), nil
+	return score(cfg, res), err
 }
 
 // score tallies honest-node outcomes.

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -38,6 +39,11 @@ type Config struct {
 	// within-round interleaving is scheduler-dependent. Nil disables
 	// recording.
 	Trace *etrace.Recorder
+	// Context optionally bounds the run by wall clock, independent of
+	// MaxRounds: cancellation is observed at round boundaries, the run
+	// stops, and the partial result is returned with an error wrapping
+	// sim.ErrDeadline. Nil costs nothing.
+	Context context.Context
 }
 
 // transmission is a message sent by a node in some round.
@@ -77,8 +83,11 @@ func (c *nodeCtx) Broadcast(m sim.Message) { c.st.out = append(c.st.out, m) }
 
 var _ sim.Context = (*nodeCtx)(nil)
 
-// Run executes the configured protocol to quiescence (or MaxRounds) and
-// returns a result identical in shape to the sequential engine's.
+// Run executes the configured protocol to quiescence (or MaxRounds, or
+// Context expiry) and returns a result identical in shape to the sequential
+// engine's. On expiry the partial result is returned together with an error
+// wrapping sim.ErrDeadline; any other error means the configuration was
+// rejected and the result is zero.
 func Run(cfg Config) (sim.Result, error) {
 	if cfg.Net == nil {
 		return sim.Result{}, fmt.Errorf("runtime: Config.Net is required")
@@ -143,7 +152,24 @@ func Run(cfg Config) (sim.Result, error) {
 	ids := make([]topology.NodeID, 0, size)
 	sem := make(chan struct{}, workers)
 
+	var done <-chan struct{}
+	if cfg.Context != nil {
+		done = cfg.Context.Done()
+	}
+	var deadlineErr error
+
 	for round := 1; round <= maxR; round++ {
+		if done != nil {
+			select {
+			case <-done:
+				deadlineErr = fmt.Errorf("runtime: %w after %d rounds: %w",
+					sim.ErrDeadline, stats.Rounds, cfg.Context.Err())
+			default:
+			}
+			if deadlineErr != nil {
+				break
+			}
+		}
 		if len(pending) == 0 {
 			stats.Quiesced = true
 			break
@@ -221,7 +247,7 @@ func Run(cfg Config) (sim.Result, error) {
 			res.DecidedRound[st.id] = st.decRnd
 		}
 	}
-	return res, nil
+	return res, deadlineErr
 }
 
 // noCrash is the crashAt sentinel for nodes that never crash.

@@ -44,6 +44,10 @@ type JobResult struct {
 	// duplicate fingerprint earlier in the same batch) rather than a
 	// fresh execution.
 	Cached bool `json:"cached,omitempty"`
+	// Partial reports the element was stopped by the server's job
+	// deadline: Error carries the deadline error and Result holds the
+	// partial state at the round where the run was cut (never cached).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // batchJob is one asynchronous batch execution.
@@ -77,6 +81,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
+	// Admission control: a full queue sheds with 429 + Retry-After — the
+	// locally bounded failure discipline applied to load. The depth check
+	// and increment share s.mu so concurrent submissions cannot overshoot
+	// the bound.
+	if int(s.queueDepth.Load()) >= s.opts.QueueDepth {
+		s.mu.Unlock()
+		s.shedQueueFull.Add(1)
+		writeShed(w, fmt.Errorf("batch queue is full (%d jobs), retry later", s.opts.QueueDepth))
+		return
+	}
+	s.queueDepth.Add(1)
 	s.nextID++
 	job := &batchJob{id: fmt.Sprintf("job-%d", s.nextID), n: len(req.Jobs), created: time.Now()}
 	s.jobs[job.id] = job
@@ -85,7 +100,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	s.queueDepth.Add(1)
 	workers := s.opts.Workers
 	if req.Workers > 0 && (workers <= 0 || req.Workers < workers) {
 		workers = req.Workers
@@ -93,6 +107,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer s.wg.Done()
 		defer s.queueDepth.Add(-1)
+		// Panic isolation for the stitching path itself: rbcast.RunBatch
+		// already confines per-scenario panics to their element, so this
+		// recover only fires on a server bug — the job fails, the daemon
+		// and its sibling jobs do not.
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			s.panicsRecovered.Add(1)
+			if s.opts.Logger != nil {
+				s.opts.Logger.Error("batch job panicked", "job", job.id, "panic", r)
+			}
+			failed := make([]JobResult, job.n)
+			for i := range failed {
+				failed[i].Error = fmt.Sprintf("batch execution panicked: %v", r)
+			}
+			job.mu.Lock()
+			if !job.done {
+				job.results = failed
+				job.done = true
+			}
+			job.mu.Unlock()
+		}()
+		// An accepted job waits for an execution slot rather than shedding:
+		// backpressure was applied at admission, MaxInflight paces the CPU.
+		if s.runSlots != nil {
+			s.runSlots <- struct{}{}
+			defer func() { <-s.runSlots }()
+		}
 		results := s.runBatch(req.Jobs, workers)
 		job.mu.Lock()
 		job.results = results
@@ -136,12 +180,23 @@ func (s *Server) runBatch(reqs []RunRequest, workers int) []JobResult {
 
 	if len(missJobs) > 0 {
 		s.inflightRuns.Add(int64(len(missJobs)))
-		batch := s.opts.BatchRunner(missJobs, rbcast.BatchOptions{Workers: workers})
+		batch := s.opts.BatchRunner(missJobs, rbcast.BatchOptions{
+			Workers:    workers,
+			JobTimeout: s.opts.JobTimeout,
+		})
 		s.inflightRuns.Add(-int64(len(missJobs)))
 		for k, br := range batch {
 			i := missIndex[k]
 			if br.Err != nil {
 				results[i].Error = br.Err.Error()
+				if errors.Is(br.Err, rbcast.ErrDeadline) {
+					// The element was cut by the job deadline: surface the
+					// partial state alongside the error, but never cache it.
+					s.deadlineRuns.Add(1)
+					res := br.Result
+					results[i].Result = &res
+					results[i].Partial = true
+				}
 				continue
 			}
 			res := br.Result
@@ -159,6 +214,7 @@ func (s *Server) runBatch(reqs []RunRequest, workers int) []JobResult {
 		first := results[firstIndex[results[i].Fingerprint]]
 		results[i].Result = first.Result
 		results[i].Error = first.Error
+		results[i].Partial = first.Partial
 	}
 	return results
 }

@@ -67,6 +67,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Scenario executions currently running (sync and batch).", float64(s.inflightRuns.Load()))
 	writeGauge(&b, "rbcastd_jobs_queue_depth", "gauge",
 		"Batch jobs accepted but not yet finished.", float64(s.queueDepth.Load()))
+	writeGauge(&b, "rbcastd_jobs_queue_limit", "gauge",
+		"Batch queue admission bound (submissions over it are shed with 429).",
+		float64(s.opts.QueueDepth))
+	writeGauge(&b, "rbcastd_inflight_limit", "gauge",
+		"Concurrent execution bound (0 = unbounded).", float64(s.opts.MaxInflight))
+
+	writeHeader(&b, "rbcastd_shed_total", "counter",
+		"Requests shed with 429 + Retry-After, by reason.")
+	fmt.Fprintf(&b, "rbcastd_shed_total{reason=\"queue_full\"} %d\n", s.shedQueueFull.Load())
+	fmt.Fprintf(&b, "rbcastd_shed_total{reason=\"busy\"} %d\n", s.shedBusy.Load())
+	writeGauge(&b, "rbcastd_run_deadline_total", "counter",
+		"Scenario executions stopped by the job deadline (partial results).",
+		float64(s.deadlineRuns.Load()))
+	writeGauge(&b, "rbcastd_panics_recovered_total", "counter",
+		"Panicking executions isolated to their job instead of killing the daemon.",
+		float64(s.panicsRecovered.Load()))
 
 	writeGauge(&b, "rbcastd_sim_runs_total", "counter",
 		"Scenario executions completed successfully.", float64(s.simRuns.Load()))

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,11 +27,25 @@ type Options struct {
 	// bound is hit, the oldest finished job is dropped; running jobs are
 	// never dropped.
 	MaxJobs int
-	// Runner executes one scenario for /v1/run (nil: rbcast.Run). Tests
-	// inject counting or blocking runners.
-	Runner func(rbcast.Config, rbcast.FaultPlan) (rbcast.Result, error)
+	// QueueDepth bounds batch jobs accepted but not yet finished (≤ 0:
+	// 1024). A submission over the bound is shed with 429 and a
+	// Retry-After header instead of queueing unboundedly.
+	QueueDepth int
+	// MaxInflight bounds concurrently *executing* jobs — sync /v1/run
+	// executions plus running batch jobs (≤ 0: unbounded). At the bound,
+	// sync runs are shed with 429 + Retry-After (a cache hit is still
+	// served); accepted batch jobs wait for a slot.
+	MaxInflight int
+	// JobTimeout bounds each scenario execution's wall clock (≤ 0: none).
+	// A sync run over it fails with 504; a batch element over it fails
+	// individually with a partial result while its siblings complete.
+	JobTimeout time.Duration
+	// Runner executes one scenario for /v1/run (nil: rbcast.RunContext).
+	// Tests inject counting or blocking runners. The context carries the
+	// server's job deadline; runners should stop when it is done.
+	Runner func(context.Context, rbcast.Config, rbcast.FaultPlan) (rbcast.Result, error)
 	// BatchRunner executes a batch job's cache misses (nil:
-	// rbcast.RunBatch).
+	// rbcast.RunBatch). The BatchOptions carry the server's JobTimeout.
 	BatchRunner func([]rbcast.Job, rbcast.BatchOptions) []rbcast.BatchResult
 	// Logger receives one structured line per request (nil: no request
 	// logging). Metrics and request ids are recorded either way.
@@ -56,6 +72,15 @@ type Server struct {
 	inflightRuns atomic.Int64
 	// queueDepth counts batch jobs accepted but not yet finished.
 	queueDepth atomic.Int64
+	// runSlots is the MaxInflight semaphore (nil = unbounded): sync runs
+	// try-acquire and shed on failure, batch jobs block for a slot.
+	runSlots chan struct{}
+	// shedQueueFull and shedBusy count requests shed with 429 because the
+	// batch queue was full / every execution slot was taken.
+	shedQueueFull, shedBusy atomic.Int64
+	// deadlineRuns counts executions stopped by the job deadline;
+	// panicsRecovered counts scenario panics isolated to their job.
+	deadlineRuns, panicsRecovered atomic.Int64
 
 	// Aggregated simulation totals across every executed (non-cached)
 	// run — the internal/metrics counters surfaced fleet-wide.
@@ -77,8 +102,11 @@ func New(opts Options) *Server {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = 4096
 	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
 	if opts.Runner == nil {
-		opts.Runner = rbcast.Run
+		opts.Runner = rbcast.RunContext
 	}
 	if opts.BatchRunner == nil {
 		opts.BatchRunner = rbcast.RunBatch
@@ -91,6 +119,9 @@ func New(opts Options) *Server {
 		requestsByPath: make(map[string]*atomic.Uint64),
 		histByPath:     make(map[string]*routeHist),
 		jobs:           make(map[string]*batchJob),
+	}
+	if opts.MaxInflight > 0 {
+		s.runSlots = make(chan struct{}, opts.MaxInflight)
 	}
 	routes := []struct {
 		pattern string
@@ -136,9 +167,28 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// errBusy is executeOne's shed signal: every execution slot is taken and
+// the caller should retry after backing off. It is never cached.
+var errBusy = errors.New("server is at max in-flight executions, retry later")
+
+// retryAfterSeconds is the Retry-After hint sent with every 429. Scenario
+// runs are short (milliseconds to low seconds), so one second is a
+// conservative back-off that keeps well-behaved clients from hammering a
+// saturated daemon.
+const retryAfterSeconds = 1
+
+// writeShed rejects a request with 429 and a Retry-After header — explicit
+// backpressure instead of unbounded queueing.
+func writeShed(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+}
+
 // handleRun executes one scenario synchronously through the cache.
 // Concurrent identical requests single-flight onto one execution; the
 // X-Rbcast-Cache header reports hit (served without executing) or miss.
+// Failure modes map to statuses: invalid scenario 400, all execution slots
+// taken 429 (Retry-After), job deadline exceeded 504, scenario panic 500.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -151,9 +201,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return s.executeOne(req.Config, req.Plan)
 	})
 	if err != nil {
-		// Every rbcast error here is a scenario rejection (invalid
-		// config/plan), not a server fault.
-		writeError(w, http.StatusBadRequest, err)
+		var pe *rbcast.PanicError
+		switch {
+		case errors.Is(err, errBusy):
+			s.shedBusy.Add(1)
+			writeShed(w, err)
+		case errors.Is(err, rbcast.ErrDeadline):
+			s.deadlineRuns.Add(1)
+			writeError(w, http.StatusGatewayTimeout, err)
+		case errors.As(err, &pe):
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			// Everything else is a scenario rejection (invalid
+			// config/plan), not a server fault.
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	if cached {
@@ -165,11 +227,39 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // executeOne runs a single scenario, tracking in-flight occupancy and
-// aggregating its engine metrics.
-func (s *Server) executeOne(cfg rbcast.Config, plan rbcast.FaultPlan) (rbcast.Result, error) {
+// aggregating its engine metrics. It sheds with errBusy when every
+// execution slot is taken, bounds the run with the server's job deadline,
+// and converts a panicking scenario into an error instead of letting it
+// kill the daemon. The deadline context is detached from the request so a
+// disconnecting client cannot cancel an execution that coalesced
+// single-flight waiters.
+func (s *Server) executeOne(cfg rbcast.Config, plan rbcast.FaultPlan) (res rbcast.Result, err error) {
+	if s.runSlots != nil {
+		select {
+		case s.runSlots <- struct{}{}:
+			defer func() { <-s.runSlots }()
+		default:
+			return rbcast.Result{}, errBusy
+		}
+	}
 	s.inflightRuns.Add(1)
 	defer s.inflightRuns.Add(-1)
-	res, err := s.opts.Runner(cfg, plan)
+	ctx := context.Background()
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			err = &rbcast.PanicError{Index: -1, Value: r, Stack: debug.Stack()}
+			if s.opts.Logger != nil {
+				s.opts.Logger.Error("scenario panicked", "panic", r, "stack", string(debug.Stack()))
+			}
+		}
+	}()
+	res, err = s.opts.Runner(ctx, cfg, plan)
 	if err == nil {
 		s.observe(res)
 	}

@@ -107,12 +107,12 @@ func TestConcurrentIdenticalRunsSingleFlight(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	srv := New(Options{
-		Runner: func(cfg rbcast.Config, plan rbcast.FaultPlan) (rbcast.Result, error) {
+		Runner: func(ctx context.Context, cfg rbcast.Config, plan rbcast.FaultPlan) (rbcast.Result, error) {
 			if executions.Add(1) == 1 {
 				close(entered)
 			}
 			<-release
-			return rbcast.Run(cfg, plan)
+			return rbcast.RunContext(ctx, cfg, plan)
 		},
 	})
 	ts := httptest.NewServer(srv)

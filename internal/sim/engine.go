@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -9,6 +11,14 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/topology"
 )
+
+// ErrDeadline reports that a run was stopped by its Context before reaching
+// quiescence or MaxRounds. The result returned alongside it is the partial
+// state at the round boundary where the cancellation was observed. Errors
+// wrapping it also wrap the context's own error, so callers can distinguish
+// a deadline (context.DeadlineExceeded) from an explicit cancellation
+// (context.Canceled) with errors.Is.
+var ErrDeadline = errors.New("run deadline exceeded")
 
 // Observer receives engine events; all callbacks are optional. Observers
 // power the figure reproductions (frontier traces, message counts) without
@@ -68,6 +78,12 @@ type Config struct {
 	// and deliveries from the engine; protocols add their own events
 	// through the same recorder). Nil disables recording at zero cost.
 	Trace *etrace.Recorder
+	// Context optionally bounds the run by wall clock, independent of
+	// MaxRounds: cancellation is observed at frame boundaries, the run
+	// stops, and the partial result is returned with an error wrapping
+	// ErrDeadline. Nil (or a context that is never done) costs nothing on
+	// the hot path.
+	Context context.Context
 }
 
 // Medium models the channel-quality extension of §II/§X: the paper's ideal
@@ -154,6 +170,10 @@ type Engine struct {
 	nDecided   int
 	ctx        nodeCtx // reused Context; fields are set before each call
 	stats      Stats
+	// runCtx is Config.Context; done is its Done channel, hoisted so the
+	// per-frame check is a single nil test plus a non-blocking select.
+	runCtx context.Context
+	done   <-chan struct{}
 }
 
 // NewEngine validates cfg and builds the engine with all processes
@@ -202,6 +222,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		decRound:   make([]int, size),
 	}
 	e.ctx.engine = e
+	if cfg.Context != nil {
+		e.runCtx = cfg.Context
+		e.done = cfg.Context.Done()
+	}
 	if mode == ModeNextRound {
 		e.snap = make([][]Message, size)
 	}
@@ -346,16 +370,36 @@ func (e *Engine) Step() bool {
 	return progress
 }
 
-// Run executes frames until quiescence or MaxRounds and returns the result.
-func (e *Engine) Run() Result {
+// Run executes frames until quiescence, MaxRounds, or Context expiry. On
+// expiry it returns the partial result together with an error wrapping both
+// ErrDeadline and the context's error; otherwise the error is nil.
+func (e *Engine) Run() (Result, error) {
 	for e.stats.Rounds < e.maxR {
+		if e.expired() {
+			return e.result(), fmt.Errorf("sim: %w after %d rounds: %w",
+				ErrDeadline, e.stats.Rounds, e.runCtx.Err())
+		}
 		if !e.Step() {
 			e.stats.Rounds-- // final empty frame is bookkeeping, not protocol time
 			e.stats.Quiesced = true
 			break
 		}
 	}
-	return e.result()
+	return e.result(), nil
+}
+
+// expired reports whether the run context is done. It never blocks and is
+// free when no context was configured.
+func (e *Engine) expired() bool {
+	if e.done == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // result snapshots decisions and stats.
@@ -397,11 +441,13 @@ func (c *nodeCtx) Broadcast(m Message) {
 
 var _ Context = (*nodeCtx)(nil)
 
-// Run is the one-call convenience wrapper: build an engine and run it.
+// Run is the one-call convenience wrapper: build an engine and run it. A
+// non-nil error wrapping ErrDeadline accompanies a *partial* result; any
+// other error means the configuration was rejected and the result is zero.
 func Run(cfg Config) (Result, error) {
 	e, err := NewEngine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Run(), nil
+	return e.Run()
 }

@@ -1,6 +1,8 @@
 package rbcast
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -220,6 +222,18 @@ func (c Config) kind() (protocol.Kind, error) {
 
 // Run executes the scenario against the fault plan and reports the outcome.
 func Run(cfg Config, plan FaultPlan) (Result, error) {
+	return RunContext(context.Background(), cfg, plan)
+}
+
+// RunContext is Run with a wall-clock bound: when ctx expires or is
+// cancelled, the engines stop at the next round boundary and RunContext
+// returns the partial Result together with an error wrapping ErrDeadline
+// (and the context's own error). This is the serving path's defense against
+// adversarial or mis-sized scenarios — MaxRounds bounds protocol time,
+// the context bounds machine time. Configuration errors still return a
+// zero Result, so callers distinguish "rejected" from "truncated" with
+// errors.Is(err, ErrDeadline).
+func RunContext(ctx context.Context, cfg Config, plan FaultPlan) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
@@ -269,7 +283,7 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 	start := time.Now()
 	var out protocol.Outcome
 	if cfg.Concurrent {
-		out, err = runConcurrent(kind, params, faulty, cfg.MaxRounds)
+		out, err = runConcurrent(ctx, kind, params, faulty, cfg.MaxRounds)
 	} else {
 		mode := sim.ModeFrame
 		if cfg.LockStep {
@@ -283,9 +297,10 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 			MaxRounds: cfg.MaxRounds,
 			Medium:    medium,
 			Mode:      mode,
+			Context:   ctx,
 		})
 	}
-	if err != nil {
+	if err != nil && !errors.Is(err, sim.ErrDeadline) {
 		return Result{}, err
 	}
 	collector.ObserveWall(time.Since(start))
@@ -294,11 +309,16 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 	if rec != nil {
 		res.Trace = newTraceEvents(net, rec.Events())
 	}
+	if err != nil {
+		// The partial result travels with the typed deadline error; the
+		// chain keeps the engine's round count and the context cause.
+		return res, fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
 	return res, nil
 }
 
 // runConcurrent executes on the goroutine-per-node engine.
-func runConcurrent(kind protocol.Kind, params protocol.Params, faulty materialized, maxRounds int) (protocol.Outcome, error) {
+func runConcurrent(ctx context.Context, kind protocol.Kind, params protocol.Params, faulty materialized, maxRounds int) (protocol.Outcome, error) {
 	honest, err := protocol.NewFactory(kind, params)
 	if err != nil {
 		return protocol.Outcome{}, err
@@ -316,8 +336,9 @@ func runConcurrent(kind protocol.Kind, params protocol.Params, faulty materializ
 		MaxRounds: maxRounds,
 		Metrics:   params.Metrics,
 		Trace:     params.Trace,
+		Context:   ctx,
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, sim.ErrDeadline) {
 		return protocol.Outcome{}, err
 	}
 	out := protocol.Outcome{Result: res}
@@ -339,7 +360,7 @@ func runConcurrent(kind protocol.Kind, params protocol.Params, faulty materializ
 			out.Wrong++
 		}
 	})
-	return out, nil
+	return out, err
 }
 
 // Threshold re-exports: the closed-form fault-tolerance bounds of the paper

@@ -7,15 +7,22 @@
 # gate reliably across machines; ns/op is machine-dependent and reported
 # for information only (compare it with benchstat on the same host).
 #
-# Usage: sh scripts/benchdiff.sh [extra cmd/bench flags]
-# The fresh report is left at /tmp/rbcast_bench_current.json.
+# Usage: [BENCH_OUT=path] sh scripts/benchdiff.sh [extra cmd/bench flags]
+# The fresh report is written to $BENCH_OUT when set (how CI collects it
+# as an artifact), otherwise to a private temp file — never to a fixed
+# world-writable /tmp path two concurrent runs would fight over.
 set -eu
 
 GO="${GO:-go}"
 cd "$(dirname "$0")/.."
 
+OUT="${BENCH_OUT:-}"
+if [ -z "$OUT" ]; then
+    OUT=$(mktemp -t rbcast_bench_current.XXXXXX.json)
+fi
+
 exec "$GO" run ./cmd/bench \
-	-out /tmp/rbcast_bench_current.json \
+	-out "$OUT" \
 	-against testdata/bench_baseline.json \
 	-threshold 10 \
 	"$@"

@@ -14,11 +14,17 @@ cd "$(dirname "$0")/.."
 
 TMP=$(mktemp -d)
 PID=""
+# Reap the daemon on every exit path: kill alone can leave it running just
+# long enough to hold the port against the next CI step, so wait for it.
 cleanup() {
-    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
     rm -rf "$TMP"
 }
-trap cleanup EXIT INT TERM
+trap cleanup EXIT
+trap 'exit 1' INT TERM
 
 fail() {
     echo "trace-smoke: FAIL: $*" >&2
