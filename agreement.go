@@ -51,7 +51,9 @@ func Agree(cfg AgreementConfig) (AgreementResult, error) {
 		Width: cfg.Width, Height: cfg.Height, Radius: cfg.Radius,
 		Protocol: cfg.Protocol,
 	}
-	net, err := base.network()
+	// Agreement committees are located by grid coordinate, so this surface
+	// stays on the torus family.
+	net, err := base.torusNetwork()
 	if err != nil {
 		return AgreementResult{}, err
 	}

@@ -321,17 +321,24 @@ func (c *Client) backoff(attempt int) time.Duration {
 }
 
 // parseRetryAfter reads a Retry-After value: delta-seconds or an HTTP-date.
+// Values that ask for no wait — negative delta-seconds, an HTTP-date in the
+// past, or garbage — clamp to 0; a negative duration must never escape here,
+// or it would skew the backoff cap arithmetic in retry loops.
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
 		return time.Duration(secs) * time.Second
 	}
 	if t, err := http.ParseTime(v); err == nil {
 		if d := time.Until(t); d > 0 {
 			return d
 		}
+		return 0
 	}
 	return 0
 }

@@ -201,17 +201,33 @@ func TestRetriesExhaustAfterMaxRetries(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
-	if d := parseRetryAfter("7"); d != 7*time.Second {
-		t.Errorf("seconds form: %v", d)
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	past := time.Now().Add(-90 * time.Second).UTC().Format(http.TimeFormat)
+	tests := []struct {
+		name  string
+		value string
+		// min/max bound the accepted result; exact values use min == max.
+		min, max time.Duration
+	}{
+		{"absent header", "", 0, 0},
+		{"delta-seconds", "7", 7 * time.Second, 7 * time.Second},
+		{"zero delta-seconds", "0", 0, 0},
+		{"negative delta-seconds clamps to 0", "-3", 0, 0},
+		{"HTTP-date in the future", future, time.Millisecond, 90 * time.Second},
+		{"HTTP-date in the past clamps to 0", past, 0, 0},
+		{"HTTP-date exactly now clamps to 0", time.Now().UTC().Format(http.TimeFormat), 0, 0},
+		{"garbage", "garbage", 0, 0},
+		{"fractional seconds are not delta-seconds", "1.5", 0, 0},
 	}
-	date := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
-	if d := parseRetryAfter(date); d <= 0 || d > 90*time.Second {
-		t.Errorf("HTTP-date form: %v", d)
-	}
-	if d := parseRetryAfter(""); d != 0 {
-		t.Errorf("absent header: %v", d)
-	}
-	if d := parseRetryAfter("garbage"); d != 0 {
-		t.Errorf("garbage header: %v", d)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := parseRetryAfter(tt.value)
+			if d < 0 {
+				t.Fatalf("parseRetryAfter(%q) = %v: a negative duration must never escape (it would skew backoff caps)", tt.value, d)
+			}
+			if d < tt.min || d > tt.max {
+				t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", tt.value, d, tt.min, tt.max)
+			}
+		})
 	}
 }

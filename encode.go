@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,6 +49,29 @@ func (p *Protocol) UnmarshalText(text []byte) error {
 		*p = ProtocolBV2
 	default:
 		return fmt.Errorf("rbcast: unknown protocol %q", text)
+	}
+	return nil
+}
+
+// MarshalText encodes the topology family name ("torus", "rgg", "custom").
+// The zero value encodes as "".
+func (t Topology) MarshalText() ([]byte, error) {
+	return enumText("topology", int(t), t.String())
+}
+
+// UnmarshalText decodes a topology family name; "" restores the zero value.
+func (t *Topology) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*t = 0
+	case "torus":
+		*t = TopologyTorus
+	case "rgg":
+		*t = TopologyRGG
+	case "custom":
+		*t = TopologyCustom
+	default:
+		return fmt.Errorf("rbcast: unknown topology %q", text)
 	}
 	return nil
 }
@@ -328,7 +352,50 @@ func (j Job) canonical() []byte {
 	if c.Trace {
 		b.WriteString("trace:enabled\n")
 	}
+	// Topology families joined after fp/v1 shipped and follow the same
+	// conditional-trailer discipline: torus scenarios (Topology zero or
+	// TopologyTorus — a documented alias) emit nothing, so every
+	// pre-family fingerprint is stable, while the non-torus families hash
+	// their defining parameters. Custom graphs hash a canonical edge list
+	// (endpoints low-first, lexicographically sorted) so any spelling of
+	// the same graph shares a cache entry.
+	if c.Topology != 0 && c.Topology != TopologyTorus {
+		fmt.Fprintf(&b, "topology:family=%s;nodes=%d;rgg_radius=%s;topology_seed=%d;source=%d\n",
+			c.Topology, c.Nodes, canonicalFloat(c.RGGRadius), c.TopologySeed, c.Source)
+		if c.Graph != nil {
+			fmt.Fprintf(&b, "graph:nodes=%d;edges=%s\n", c.Graph.Nodes, canonicalEdges(c.Graph.Edges))
+		}
+	}
 	return []byte(b.String())
+}
+
+// canonicalEdges renders an undirected edge list canonically: each edge
+// low-endpoint-first, the list sorted, rendered "a-b,c-d".
+func canonicalEdges(edges [][2]int) string {
+	norm := make([][2]int, len(edges))
+	for i, e := range edges {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		norm[i] = [2]int{a, b}
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i][0] != norm[j][0] {
+			return norm[i][0] < norm[j][0]
+		}
+		return norm[i][1] < norm[j][1]
+	})
+	var b strings.Builder
+	for i, e := range norm {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(e[0]))
+		b.WriteByte('-')
+		b.WriteString(strconv.Itoa(e[1]))
+	}
+	return b.String()
 }
 
 // canonicalFloat renders a float exactly (hexadecimal mantissa/exponent),

@@ -25,6 +25,17 @@ func TestEnumTextRoundTrip(t *testing.T) {
 			t.Errorf("Protocol %d round-trips to %d (err %v)", v, back, err)
 		}
 	}
+	topologies := []Topology{0, TopologyTorus, TopologyRGG, TopologyCustom}
+	for _, v := range topologies {
+		text, err := v.MarshalText()
+		if err != nil {
+			t.Fatalf("Topology(%d).MarshalText: %v", v, err)
+		}
+		var back Topology
+		if err := back.UnmarshalText(text); err != nil || back != v {
+			t.Errorf("Topology %d round-trips to %d (err %v)", v, back, err)
+		}
+	}
 	metrics := []Metric{0, MetricLinf, MetricL2}
 	for _, v := range metrics {
 		text, err := v.MarshalText()
@@ -74,6 +85,13 @@ func TestEnumTextRejectsInvalid(t *testing.T) {
 	var m Metric
 	if err := m.UnmarshalText([]byte("l3")); err == nil {
 		t.Error("unknown metric name must not unmarshal")
+	}
+	if _, err := Topology(99).MarshalText(); err == nil {
+		t.Error("invalid topology must not marshal")
+	}
+	var topo Topology
+	if err := topo.UnmarshalText([]byte("hypercube")); err == nil {
+		t.Error("unknown topology name must not unmarshal")
 	}
 	var pl Placement
 	if err := pl.UnmarshalText([]byte("everywhere")); err == nil {
@@ -220,6 +238,9 @@ func TestFingerprintZeroValueAliases(t *testing.T) {
 		{"retransmit 0 ≡ 1",
 			Job{Config: base},
 			Job{Config: func() Config { c := base; c.Retransmit = 1; return c }()}},
+		{"topology 0 ≡ torus",
+			Job{Config: base},
+			Job{Config: func() Config { c := base; c.Topology = TopologyTorus; return c }()}},
 		{"placement 0 ≡ none",
 			Job{Config: base},
 			Job{Config: base, Plan: FaultPlan{Placement: PlaceNone}}},
@@ -261,6 +282,9 @@ func TestFingerprintSingleFieldSensitivity(t *testing.T) {
 		// goldens stay valid; flipping it must still change the hash (a
 		// traced result is a different cacheable artifact).
 		{"trace", func(j *Job) { j.Config.Trace = true }},
+		// Topology stays zero (torus) in fullConfig for the same reason;
+		// switching the family appends the non-torus trailer.
+		{"topology", func(j *Job) { j.Config.Topology = TopologyRGG }},
 		{"placement", func(j *Job) { j.Plan.Placement = PlacePercolation }},
 		{"strategy", func(j *Job) { j.Plan.Strategy = StrategyLiar }},
 		{"budget", func(j *Job) { j.Plan.Budget++ }},
@@ -305,6 +329,12 @@ func TestFingerprintGolden(t *testing.T) {
 			Config: Config{Width: 24, Height: 24, Radius: 2, Protocol: ProtocolCPA, T: 1, Value: 1, LossRate: 0.5, Retransmit: 4, MediumSeed: 9},
 			Plan:   FaultPlan{Placement: PlacePercolation, Probability: 0.01, Seed: 3},
 		}},
+		{"rgg-flood", Job{
+			Config: Config{Topology: TopologyRGG, Nodes: 64, RGGRadius: 0.22, TopologySeed: 1, Protocol: ProtocolFlood, Value: 1},
+		}},
+		{"custom-cycle", Job{
+			Config: Config{Topology: TopologyCustom, Graph: &GraphSpec{Nodes: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}, Protocol: ProtocolCPA, T: 1, Value: 1},
+		}},
 	}
 	var b strings.Builder
 	for _, tt := range jobs {
@@ -327,5 +357,76 @@ func TestFingerprintGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("fingerprints drifted from %s:\n got:\n%s want:\n%s", golden, got, want)
+	}
+}
+
+// TestFingerprintCanonicalEdges pins the custom-graph edge canonicalization:
+// any spelling of the same undirected edge set — reversed endpoints,
+// shuffled order — must share one fingerprint, and a genuinely different
+// edge set must not.
+func TestFingerprintCanonicalEdges(t *testing.T) {
+	base := Config{Topology: TopologyCustom, Protocol: ProtocolFlood, Value: 1}
+	spell := func(edges [][2]int) Job {
+		c := base
+		c.Graph = &GraphSpec{Nodes: 4, Edges: edges}
+		return Job{Config: c}
+	}
+	a := spell([][2]int{{0, 1}, {1, 2}, {2, 3}})
+	b := spell([][2]int{{3, 2}, {1, 0}, {2, 1}})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equivalent edge spellings must fingerprint identically")
+	}
+	c := spell([][2]int{{0, 1}, {1, 2}, {1, 3}})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different edge sets must not collide")
+	}
+}
+
+// TestFingerprintNonTorusSensitivity checks every non-torus trailer field
+// changes the hash.
+func TestFingerprintNonTorusSensitivity(t *testing.T) {
+	base := Job{Config: Config{Topology: TopologyRGG, Nodes: 64, RGGRadius: 0.22, TopologySeed: 1, Source: 2, Protocol: ProtocolFlood, Value: 1}}
+	want := base.Fingerprint()
+	mutations := []struct {
+		name   string
+		mutate func(*Job)
+	}{
+		{"topology", func(j *Job) { j.Config.Topology = TopologyCustom }},
+		{"nodes", func(j *Job) { j.Config.Nodes++ }},
+		{"rgg_radius", func(j *Job) { j.Config.RGGRadius += 0.01 }},
+		{"topology_seed", func(j *Job) { j.Config.TopologySeed++ }},
+		{"source", func(j *Job) { j.Config.Source++ }},
+	}
+	for _, tt := range mutations {
+		j := base
+		tt.mutate(&j)
+		if j.Fingerprint() == want {
+			t.Errorf("changing %s did not change the fingerprint", tt.name)
+		}
+	}
+}
+
+// TestConfigJSONRoundTripNonTorus covers the pointer-bearing non-torus
+// configurations the struct-equality round-trip test cannot.
+func TestConfigJSONRoundTripNonTorus(t *testing.T) {
+	rgg := Config{Topology: TopologyRGG, Nodes: 48, RGGRadius: 0.25, TopologySeed: 7, Source: 3, Protocol: ProtocolFlood, Value: 1}
+	custom := Config{Topology: TopologyCustom, Graph: &GraphSpec{Nodes: 3, Edges: [][2]int{{0, 1}, {1, 2}}}, Protocol: ProtocolCPA, T: 1, Value: 1}
+	for _, cfg := range []Config{rgg, custom} {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", cfg, err)
+		}
+		var back Config
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !reflect.DeepEqual(back, cfg) {
+			t.Errorf("non-torus config round-trip drifted:\n  in  %+v\n  out %+v\n  via %s", cfg, back, data)
+		}
+	}
+	// The family enum must surface by name in the payload.
+	data, _ := json.Marshal(rgg)
+	if !strings.Contains(string(data), `"topology":"rgg"`) {
+		t.Errorf("rgg config JSON %s does not name its family", data)
 	}
 }

@@ -125,17 +125,26 @@ type materialized struct {
 	faulty    []topology.NodeID
 }
 
-// materialize resolves the plan on a concrete network.
-func (p FaultPlan) materialize(net *topology.Network, source topology.NodeID) (materialized, error) {
+// materialize resolves the plan on a concrete network. The band placements
+// are torus constructions (they corrupt grid columns) and reject every other
+// family; the random placements work on any topology.Graph.
+func (p FaultPlan) materialize(g topology.Graph, source topology.NodeID) (materialized, error) {
 	placement := p.Placement
 	if placement == 0 {
 		placement = PlaceNone
 	}
-	r := net.Radius()
-	w := net.Torus().W
 	budget := p.Budget
 	if budget == 0 {
 		budget = p.budgetForPlan
+	}
+	// torus gates the band placements on the grid family.
+	torus := func() (*topology.Network, error) {
+		net, ok := g.(*topology.Network)
+		if !ok {
+			return nil, fmt.Errorf("rbcast: placement %q requires the torus topology, got family %q",
+				placement, g.Family())
+		}
+		return net, nil
 	}
 
 	var ids []topology.NodeID
@@ -143,10 +152,20 @@ func (p FaultPlan) materialize(net *topology.Network, source topology.NodeID) (m
 	switch placement {
 	case PlaceNone:
 	case PlaceBand:
+		net, terr := torus()
+		if terr != nil {
+			return materialized{}, terr
+		}
+		r, w := net.Radius(), net.Torus().W
 		for _, x0 := range []int{w / 4, 3 * w / 4} {
 			ids = append(ids, fault.Band(net, x0, r)...)
 		}
 	case PlaceCheckerboardBand:
+		net, terr := torus()
+		if terr != nil {
+			return materialized{}, terr
+		}
+		r, w := net.Radius(), net.Torus().W
 		for _, x0 := range []int{w / 4, 3 * w / 4} {
 			band, cerr := fault.CheckerboardBand(net, x0, r)
 			if cerr != nil {
@@ -155,6 +174,11 @@ func (p FaultPlan) materialize(net *topology.Network, source topology.NodeID) (m
 			ids = append(ids, band...)
 		}
 	case PlaceGreedyBand:
+		net, terr := torus()
+		if terr != nil {
+			return materialized{}, terr
+		}
+		r, w := net.Radius(), net.Torus().W
 		for _, x0 := range []int{w / 4, 3 * w / 4} {
 			band, cerr := fault.GreedyBand(net, x0, r, budget)
 			if cerr != nil {
@@ -167,9 +191,9 @@ func (p FaultPlan) materialize(net *topology.Network, source topology.NodeID) (m
 		if count <= 0 {
 			count = -1 // maximal placement
 		}
-		ids, err = fault.RandomBounded(net, budget, count, p.Seed)
+		ids, err = fault.RandomBounded(g, budget, count, p.Seed)
 	case PlacePercolation:
-		ids, err = fault.Percolation(net, p.Probability, source, p.Seed)
+		ids, err = fault.Percolation(g, p.Probability, source, p.Seed)
 	default:
 		return materialized{}, fmt.Errorf("rbcast: invalid placement %d", int(placement))
 	}
@@ -237,19 +261,23 @@ func filterFaulty(ids []topology.NodeID, source topology.NodeID) []topology.Node
 // neighborhood of a materialized plan on the configured network — the
 // ground-truth validator for the locally bounded constraint.
 func MaxFaultsPerNeighborhood(cfg Config, plan FaultPlan) (int, error) {
-	net, err := cfg.network()
+	g, err := cfg.network()
+	if err != nil {
+		return 0, err
+	}
+	source, err := cfg.sourceID(g)
 	if err != nil {
 		return 0, err
 	}
 	plan.budgetForPlan = cfg.T
-	m, err := plan.materialize(net, net.IDOf(gridCoord(cfg.SourceX, cfg.SourceY)))
+	m, err := plan.materialize(g, source)
 	if err != nil {
 		return 0, err
 	}
-	return fault.MaxPerNeighborhood(net, m.faulty), nil
+	return fault.MaxPerNeighborhood(g, m.faulty), nil
 }
 
 // faultMaxPerNeighborhood is an indirection point shared with result.go.
-func faultMaxPerNeighborhood(net *topology.Network, ids []topology.NodeID) int {
-	return fault.MaxPerNeighborhood(net, ids)
+func faultMaxPerNeighborhood(g topology.Graph, ids []topology.NodeID) int {
+	return fault.MaxPerNeighborhood(g, ids)
 }

@@ -6,11 +6,12 @@ import (
 	"repro/internal/topology"
 )
 
-// Budget incrementally tracks, for every closed neighborhood on the torus,
+// Budget incrementally tracks, for every closed neighborhood of the graph,
 // how many faulty nodes it contains. It answers "can this node still be made
-// faulty without any neighborhood exceeding t?" in O(degree) time.
+// faulty without any neighborhood exceeding t?" in O(degree) time. It works
+// on any topology.Graph family.
 type Budget struct {
-	net    *topology.Network
+	g      topology.Graph
 	t      int
 	counts []int // counts[c] = number of faults in the closed nbd centered at c
 	faulty []bool
@@ -19,18 +20,18 @@ type Budget struct {
 
 // NewBudget creates an empty budget for at most t faults per closed
 // neighborhood. t may be zero (no faults allowed anywhere).
-func NewBudget(net *topology.Network, t int) (*Budget, error) {
-	if net == nil {
+func NewBudget(g topology.Graph, t int) (*Budget, error) {
+	if g == nil {
 		return nil, fmt.Errorf("fault: network is required")
 	}
 	if t < 0 {
 		return nil, fmt.Errorf("fault: negative fault bound %d", t)
 	}
 	return &Budget{
-		net:    net,
+		g:      g,
 		t:      t,
-		counts: make([]int, net.Size()),
-		faulty: make([]bool, net.Size()),
+		counts: make([]int, g.Size()),
+		faulty: make([]bool, g.Size()),
 	}, nil
 }
 
@@ -54,7 +55,7 @@ func (b *Budget) CanAdd(id topology.NodeID) bool {
 	if b.counts[id]+1 > b.t {
 		return false
 	}
-	for _, c := range b.net.Neighbors(id) {
+	for _, c := range b.g.Neighbors(id) {
 		if b.counts[c]+1 > b.t {
 			return false
 		}
@@ -74,7 +75,7 @@ func (b *Budget) Add(id topology.NodeID) error {
 	b.faulty[id] = true
 	b.total++
 	b.counts[id]++
-	for _, c := range b.net.Neighbors(id) {
+	for _, c := range b.g.Neighbors(id) {
 		b.counts[c]++
 	}
 	return nil
@@ -92,21 +93,21 @@ func (b *Budget) Faulty() []topology.NodeID {
 }
 
 // MaxPerNeighborhood exhaustively computes the maximum number of nodes of
-// `faulty` contained in any closed neighborhood on the torus. It is the
+// `faulty` contained in any closed neighborhood of the graph. It is the
 // ground-truth validator for every placement (independent of Budget's
 // incremental counters).
-func MaxPerNeighborhood(net *topology.Network, faulty []topology.NodeID) int {
-	isF := make([]bool, net.Size())
+func MaxPerNeighborhood(g topology.Graph, faulty []topology.NodeID) int {
+	isF := make([]bool, g.Size())
 	for _, id := range faulty {
 		isF[id] = true
 	}
 	maxCount := 0
-	net.ForEach(func(center topology.NodeID) {
+	for center := 0; center < g.Size(); center++ {
 		n := 0
 		if isF[center] {
 			n++
 		}
-		for _, nb := range net.Neighbors(center) {
+		for _, nb := range g.Neighbors(topology.NodeID(center)) {
 			if isF[nb] {
 				n++
 			}
@@ -114,6 +115,6 @@ func MaxPerNeighborhood(net *topology.Network, faulty []topology.NodeID) int {
 		if n > maxCount {
 			maxCount = n
 		}
-	})
+	}
 	return maxCount
 }

@@ -84,14 +84,14 @@ func GreedyBand(net *topology.Network, x0, width, t int) ([]topology.NodeID, err
 // RandomBounded places faults by visiting all nodes in a seeded random
 // order, marking each faulty while the budget t permits, until `target`
 // faults are placed (or the placement saturates). target < 0 means "as many
-// as possible".
-func RandomBounded(net *topology.Network, t, target int, seed int64) ([]topology.NodeID, error) {
-	b, err := NewBudget(net, t)
+// as possible". It works on any topology.Graph family.
+func RandomBounded(g topology.Graph, t, target int, seed int64) ([]topology.NodeID, error) {
+	b, err := NewBudget(g, t)
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
-	perm := rng.Perm(net.Size())
+	perm := rng.Perm(g.Size())
 	for _, idx := range perm {
 		if target >= 0 && b.Total() >= target {
 			break
@@ -108,17 +108,19 @@ func RandomBounded(net *topology.Network, t, target int, seed int64) ([]topology
 
 // Percolation marks each node faulty independently with probability pf —
 // the random-failure model the paper connects to site percolation (§XI).
-// The source node is kept non-faulty so reachability is well-defined.
-func Percolation(net *topology.Network, pf float64, source topology.NodeID, seed int64) ([]topology.NodeID, error) {
+// The source node is kept non-faulty so reachability is well-defined. It
+// works on any topology.Graph family.
+func Percolation(g topology.Graph, pf float64, source topology.NodeID, seed int64) ([]topology.NodeID, error) {
 	if pf < 0 || pf > 1 {
 		return nil, fmt.Errorf("fault: probability %v out of [0,1]", pf)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var out []topology.NodeID
-	net.ForEach(func(id topology.NodeID) {
+	for i := 0; i < g.Size(); i++ {
+		id := topology.NodeID(i)
 		if id != source && rng.Float64() < pf {
 			out = append(out, id)
 		}
-	})
+	}
 	return out, nil
 }

@@ -39,13 +39,17 @@ type bv2Proc struct {
 }
 
 // newBV2Factory builds two-hop protocol processes.
-func newBV2Factory(p Params) sim.ProcessFactory {
+func newBV2Factory(p Params) (sim.ProcessFactory, error) {
+	net, err := p.torus(BV2)
+	if err != nil {
+		return nil, err
+	}
 	return func(id topology.NodeID) sim.Process {
 		return &bv2Proc{
 			self:        id,
 			source:      p.Source,
 			t:           p.T,
-			net:         p.Net,
+			net:         net,
 			spoof:       p.SpoofingPossible,
 			mc:          p.Metrics,
 			tr:          p.Trace,
@@ -55,7 +59,7 @@ func newBV2Factory(p Params) sim.ProcessFactory {
 			firstHeard:  make(map[[2]topology.NodeID]struct{}),
 			relayed:     make(map[topology.NodeID]struct{}),
 		}
-	}
+	}, nil
 }
 
 // Init implements sim.Process.

@@ -72,6 +72,10 @@ type detKey struct {
 
 // newBV4Factory builds indirect-report protocol processes.
 func newBV4Factory(p Params) (sim.ProcessFactory, error) {
+	net, err := p.torus(BV4)
+	if err != nil {
+		return nil, err
+	}
 	mode := p.Mode
 	if mode == 0 {
 		mode = Designated
@@ -79,13 +83,13 @@ func newBV4Factory(p Params) (sim.ProcessFactory, error) {
 	if mode != Designated && mode != Exact {
 		return nil, fmt.Errorf("protocol: invalid evidence mode %d", int(mode))
 	}
-	if p.Net.Metric() != grid.Linf && mode == Designated {
+	if net.Metric() != grid.Linf && mode == Designated {
 		return nil, fmt.Errorf("protocol: designated mode requires the L∞ metric (constructive families are L∞)")
 	}
 	var ft *evidence.FamilyTable
 	if mode == Designated {
 		var err error
-		ft, err = familyTableFor(p.Net.Radius())
+		ft, err = familyTableFor(net.Radius())
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +99,7 @@ func newBV4Factory(p Params) (sim.ProcessFactory, error) {
 			self:        id,
 			source:      p.Source,
 			t:           p.T,
-			net:         p.Net,
+			net:         net,
 			mode:        mode,
 			ft:          ft,
 			spoof:       p.SpoofingPossible,

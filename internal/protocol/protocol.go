@@ -69,8 +69,11 @@ func (m EvidenceMode) String() string {
 
 // Params configures a protocol instance.
 type Params struct {
-	// Net is the radio network (required).
-	Net *topology.Network
+	// Net is the radio network (required). Flood and CPA run on any
+	// topology.Graph family; BV4 and BV2 need the torus geometry (grid
+	// neighborhood centers, designated path families) and reject every
+	// other family at construction.
+	Net topology.Graph
 	// Source is the designated broadcast source.
 	Source topology.NodeID
 	// Value is the source's binary input.
@@ -110,6 +113,19 @@ func attributedSender(spoofingPossible bool, from topology.NodeID, m sim.Message
 	return from
 }
 
+// torus returns the network as the grid family, or an error naming the
+// protocol when the run was configured on a non-torus graph. The BV4/BV2
+// chain machinery is inherently geometric — candidate neighborhood centers
+// and designated families are grid constructions — so those protocols are
+// torus-only.
+func (p Params) torus(kind Kind) (*topology.Network, error) {
+	net, ok := p.Net.(*topology.Network)
+	if !ok {
+		return nil, fmt.Errorf("protocol: %s requires the torus topology, got family %q", kind, p.Net.Family())
+	}
+	return net, nil
+}
+
 // validate checks common parameter constraints.
 func (p Params) validate() error {
 	if p.Net == nil {
@@ -141,7 +157,7 @@ func NewFactory(kind Kind, p Params) (sim.ProcessFactory, error) {
 	case BV4:
 		return newBV4Factory(p)
 	case BV2:
-		return newBV2Factory(p), nil
+		return newBV2Factory(p)
 	default:
 		return nil, fmt.Errorf("protocol: unknown protocol kind %d", int(kind))
 	}

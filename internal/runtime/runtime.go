@@ -14,8 +14,8 @@ import (
 
 // Config mirrors sim.Config for the concurrent engine.
 type Config struct {
-	// Net is the radio network (required).
-	Net *topology.Network
+	// Net is the radio network (required) — any topology.Graph family.
+	Net topology.Graph
 	// Schedule fixes the deterministic delivery order; defaults to
 	// topology.BestSchedule(Net).
 	Schedule topology.Schedule

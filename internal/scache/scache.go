@@ -97,12 +97,18 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (val V, err error, cache
 }
 
 // settle retires a flight: removes it from the in-flight table, optionally
-// caches its value, and releases the waiters.
+// caches its value, and releases the waiters. A value that became resident
+// while the flight was executing — a direct Put, or a newer flight for the
+// same key that both started and settled after this one missed — is fresher
+// than the flight's result, so settle must not clobber it; the flight's
+// value still goes to its own waiters.
 func (c *Cache[V]) settle(key string, f *flight[V], store bool) {
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if store {
-		c.putLocked(key, f.val)
+		if _, resident := c.items[key]; !resident {
+			c.putLocked(key, f.val)
+		}
 	}
 	c.mu.Unlock()
 	close(f.done)

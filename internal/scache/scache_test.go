@@ -190,3 +190,52 @@ func TestConcurrentMixedOperations(t *testing.T) {
 		t.Errorf("capacity exceeded: %d", n)
 	}
 }
+
+// TestSettleDoesNotClobberFresherValue pins the settle/Put race: a Put (or
+// a newer completed flight) that lands while a flight is still executing is
+// fresher than the flight's result, so the flight settling must not
+// overwrite it. The flight's own caller still receives the flight's value —
+// only the cache content is at stake.
+func TestSettleDoesNotClobberFresherValue(t *testing.T) {
+	c := New[string](4)
+	executing := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var flightVal string
+	go func() {
+		defer close(done)
+		v, err, cached := c.Do("k", func() (string, error) {
+			close(executing)
+			<-release
+			return "stale", nil
+		})
+		if err != nil || cached {
+			t.Errorf("Do = (%q, %v, %t), want fresh execution", v, err, cached)
+		}
+		flightVal = v
+	}()
+	<-executing
+	// The flight is mid-execution: a direct Put makes a fresher value
+	// resident for the same key.
+	c.Put("k", "fresh")
+	close(release)
+	<-done
+	if flightVal != "stale" {
+		t.Errorf("flight caller got %q, want its own result \"stale\"", flightVal)
+	}
+	if v, ok := c.Get("k"); !ok || v != "fresh" {
+		t.Errorf("cache holds (%q, %t) after settle, want the fresher \"fresh\" — settle clobbered a resident entry", v, ok)
+	}
+}
+
+// TestSettleStoresWhenNothingFresherExists is the non-racy complement: with
+// no competing write, the settling flight's value becomes resident.
+func TestSettleStoresWhenNothingFresherExists(t *testing.T) {
+	c := New[int](4)
+	if v, err, _ := c.Do("k", func() (int, error) { return 7, nil }); v != 7 || err != nil {
+		t.Fatalf("Do = (%d, %v)", v, err)
+	}
+	if v, ok := c.Get("k"); !ok || v != 7 {
+		t.Errorf("cache holds (%d, %t), want the settled 7", v, ok)
+	}
+}

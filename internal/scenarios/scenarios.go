@@ -118,7 +118,41 @@ func Matrix() []Scenario {
 			Config: rbcast.Config{Width: 16, Height: 10, Radius: rBV, Protocol: rbcast.ProtocolBV2, T: tBV, Value: 1},
 			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyLiar},
 		},
+		// Non-torus families end to end: the rgg "noisy torus" bridge and
+		// an explicit chord-ring adjacency list, on the family-agnostic
+		// protocols. These exercise the Graph interface through the same
+		// run/cache/fingerprint surface as the torus scenarios.
+		{
+			Name:   "flood/rgg/n64",
+			Config: rbcast.Config{Topology: rbcast.TopologyRGG, Nodes: 64, RGGRadius: 0.22, TopologySeed: 1, Protocol: rbcast.ProtocolFlood, Value: 1},
+		},
+		{
+			Name:   "cpa/rgg-random/n64",
+			Config: rbcast.Config{Topology: rbcast.TopologyRGG, Nodes: 64, RGGRadius: 0.22, TopologySeed: 1, Protocol: rbcast.ProtocolCPA, T: 1, Value: 1, MaxRounds: 64},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 4, Seed: 11},
+		},
+		{
+			Name:   "flood/custom/ring16",
+			Config: rbcast.Config{Topology: rbcast.TopologyCustom, Graph: chordRing(16, 4), Protocol: rbcast.ProtocolFlood, Value: 1},
+		},
+		{
+			Name:   "cpa/custom/ring16",
+			Config: rbcast.Config{Topology: rbcast.TopologyCustom, Graph: chordRing(16, 4), Protocol: rbcast.ProtocolCPA, T: 1, Value: 1, MaxRounds: 64},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategyLiar, Count: 2, Seed: 5},
+		},
 	}
+}
+
+// chordRing builds the custom-family benchmark graph: an n-cycle with a
+// chord from every node to the one `chord` steps ahead — a planar,
+// loosely-connected instance in the spirit of the Maurer–Tixeuil examples.
+func chordRing(n, chord int) *rbcast.GraphSpec {
+	spec := &rbcast.GraphSpec{Nodes: n}
+	for i := 0; i < n; i++ {
+		spec.Edges = append(spec.Edges, [2]int{i, (i + 1) % n})
+		spec.Edges = append(spec.Edges, [2]int{i, (i + chord) % n})
+	}
+	return spec
 }
 
 // ResultHash returns the canonical SHA-256 of a Result's lossless JSON

@@ -413,3 +413,69 @@ func TestFinishedJobEviction(t *testing.T) {
 		t.Errorf("newest job must survive eviction, got status %d", resp.StatusCode)
 	}
 }
+
+// TestRunEndpointServesNonTorusFamilies is the tentpole's serving-surface
+// acceptance check: rgg and custom scenarios submit, execute, cache, and
+// replay through /v1/run exactly like torus ones, and a torus-only protocol
+// on a non-torus family is a 400, not a crash or a cached error.
+func TestRunEndpointServesNonTorusFamilies(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ring := &rbcast.GraphSpec{Nodes: 8, Edges: [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0},
+	}}
+	cases := []struct {
+		name string
+		req  RunRequest
+	}{
+		{"rgg", RunRequest{
+			Config: rbcast.Config{Topology: rbcast.TopologyRGG, Nodes: 64, RGGRadius: 0.22, TopologySeed: 1, Protocol: rbcast.ProtocolFlood, Value: 1},
+		}},
+		{"custom", RunRequest{
+			Config: rbcast.Config{Topology: rbcast.TopologyCustom, Graph: ring, Protocol: rbcast.ProtocolCPA, T: 1, MaxRounds: 64, Value: 1},
+		}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts, "/v1/run", tt.req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			if got := resp.Header.Get("X-Rbcast-Cache"); got != "miss" {
+				t.Errorf("first request cache header = %q, want miss", got)
+			}
+			var rr RunResponse
+			if err := json.Unmarshal(body, &rr); err != nil {
+				t.Fatal(err)
+			}
+			want := (rbcast.Job{Config: tt.req.Config, Plan: tt.req.Plan}).Fingerprint()
+			if rr.Fingerprint != want {
+				t.Errorf("fingerprint %s, want %s", rr.Fingerprint, want)
+			}
+			if len(rr.Result.Decisions) == 0 || !rr.Result.Safe() {
+				t.Errorf("served non-torus result is empty or unsafe: %+v", rr.Result)
+			}
+			resp2, body2 := postJSON(t, ts, "/v1/run", tt.req)
+			if got := resp2.Header.Get("X-Rbcast-Cache"); got != "hit" {
+				t.Errorf("second request cache header = %q, want hit", got)
+			}
+			if !bytes.Equal(body, body2) {
+				t.Error("cached non-torus body differs from the original")
+			}
+		})
+	}
+
+	// A torus-only protocol on an rgg graph must be rejected up front.
+	bad := cases[0].req
+	bad.Config.Protocol = rbcast.ProtocolBV4
+	bad.Config.T = 1
+	resp, body := postJSON(t, ts, "/v1/run", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bv4-on-rgg: status %d (%s), want 400", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "torus") {
+		t.Errorf("bv4-on-rgg error %s does not name the required family", body)
+	}
+}

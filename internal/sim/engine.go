@@ -48,8 +48,8 @@ const (
 
 // Config configures an engine run.
 type Config struct {
-	// Net is the radio network (required).
-	Net *topology.Network
+	// Net is the radio network (required) — any topology.Graph family.
+	Net topology.Graph
 	// Schedule fixes transmission order; defaults to BestSchedule(Net).
 	Schedule topology.Schedule
 	// Mode selects frame or lock-step delivery; defaults to ModeFrame.
@@ -146,7 +146,7 @@ const noCrash = int(^uint(0) >> 1) // max int
 // Context), and drained outbox buffers are recycled through a free list
 // instead of being reallocated every frame.
 type Engine struct {
-	net    *topology.Network
+	net    topology.Graph
 	sched  topology.Schedule
 	mode   DeliveryMode
 	procs  []Process

@@ -1,0 +1,69 @@
+package topology
+
+import "fmt"
+
+// Custom is an explicit adjacency-list graph: n nodes identified by dense
+// ids and an undirected edge list. It makes arbitrary instances — the
+// planar and loosely-connected graphs of the Maurer–Tixeuil papers —
+// expressible as plain data (JSON fixtures, request payloads) while
+// presenting the same precomputed-row surface as the torus Network.
+type Custom struct {
+	n   int
+	adj adjacency
+}
+
+// NewCustom validates and builds the graph. Edges are undirected; each
+// must connect two distinct in-range nodes and appear once (in either
+// orientation). Disconnected graphs are legal — unreachable honest nodes
+// simply never decide.
+func NewCustom(n int, edges [][2]int) (*Custom, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: custom: node count must be ≥ 1, got %d", n)
+	}
+	seen := make(map[[2]int]struct{}, len(edges))
+	pairs := make([][2]NodeID, 0, len(edges))
+	for i, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("topology: custom: edge %d (%d,%d) out of range [0,%d)", i, a, b, n)
+		}
+		if a == b {
+			return nil, fmt.Errorf("topology: custom: edge %d is a self-loop at node %d", i, a)
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("topology: custom: duplicate edge %d (%d,%d)", i, a, b)
+		}
+		seen[key] = struct{}{}
+		pairs = append(pairs, [2]NodeID{NodeID(a), NodeID(b)})
+	}
+	return &Custom{n: n, adj: buildAdjacency(n, pairs)}, nil
+}
+
+// Family implements Graph.
+func (g *Custom) Family() string { return "custom" }
+
+// Size implements Graph.
+func (g *Custom) Size() int { return g.n }
+
+// Neighbors implements Graph.
+func (g *Custom) Neighbors(id NodeID) []NodeID { return g.adj.neighbors[id] }
+
+// Closed implements Graph.
+func (g *Custom) Closed(id NodeID) []NodeID { return g.adj.closed[id] }
+
+// AreNeighbors implements Graph.
+func (g *Custom) AreNeighbors(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	return g.adj.hasNeighbor(a, b)
+}
+
+// Label implements Graph: non-grid families label node i as (i, 0).
+func (g *Custom) Label(id NodeID) (x, y int) { return int(id), 0 }
+
+var _ Graph = (*Custom)(nil)

@@ -1,7 +1,12 @@
-// Package topology materializes the paper's radio network on a finite torus:
-// dense node indexing, per-node neighbor lists under a chosen metric and
-// radius, and the collision-free TDMA schedule that the model assumes
+// Package topology materializes radio networks behind the Graph interface:
+// dense node indexing, sorted per-node neighbor rows and precomputed closed
+// neighborhoods, plus the collision-free TDMA schedule the model assumes
 // ("there exists a pre-determined TDMA schedule that all nodes follow",
-// §II). It also provides translation-invariant offset canonicalization used
-// to cache per-offset structures such as designated path families.
+// §II). Three families implement Graph: the paper's torus Network (per-node
+// neighbor balls under a chosen metric and radius, with translation-
+// invariant offset canonicalization used to cache per-offset structures
+// such as designated path families), Geometric (seeded random geometric
+// graphs on the unit torus — the "noisy torus" bridge), and Custom
+// (explicit adjacency lists for the planar / loosely-connected instances of
+// the Maurer–Tixeuil papers).
 package topology

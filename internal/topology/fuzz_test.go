@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// FuzzGeometricInvariants fuzzes the RGG constructor over its whole
+// parameter space: every graph it accepts must satisfy the Graph contract
+// (symmetric, irreflexive, deduplicated, ascending rows; closed rows of the
+// form [center, neighbors...]), and construction must be deterministic in
+// (n, radius, seed).
+func FuzzGeometricInvariants(f *testing.F) {
+	f.Add(8, 0.3, int64(1))
+	f.Add(1, 1.0, int64(0))
+	f.Add(32, 0.05, int64(-7))
+	f.Fuzz(func(t *testing.T, n int, radius float64, seed int64) {
+		if n < 1 || n > 128 {
+			t.Skip()
+		}
+		g, err := NewGeometric(n, radius, seed)
+		if err != nil {
+			if radius > 0 && radius <= 1 {
+				t.Fatalf("valid parameters rejected: %v", err)
+			}
+			return
+		}
+		again, err := NewGeometric(n, radius, seed)
+		if err != nil {
+			t.Fatalf("second construction failed: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			id := NodeID(i)
+			row := g.Neighbors(id)
+			if len(row) != len(again.Neighbors(id)) {
+				t.Fatal("construction is not deterministic")
+			}
+			closed := g.Closed(id)
+			if len(closed) != len(row)+1 || closed[0] != id {
+				t.Fatalf("closed row of %d is not [center, neighbors...]", i)
+			}
+			prev := NodeID(-1)
+			for k, nb := range row {
+				if nb == id || nb < 0 || int(nb) >= n {
+					t.Fatalf("node %d: bad neighbor %d", i, nb)
+				}
+				if nb <= prev {
+					t.Fatalf("node %d: row not strictly ascending: %v", i, row)
+				}
+				prev = nb
+				if closed[k+1] != nb {
+					t.Fatalf("node %d: closed row diverges from neighbor row", i)
+				}
+				if !g.AreNeighbors(id, nb) || !g.AreNeighbors(nb, id) {
+					t.Fatalf("AreNeighbors(%d, %d) inconsistent", id, nb)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCustomConstructor fuzzes NewCustom with an arbitrary edge soup: it
+// must either reject (out-of-range endpoints, self-loops, duplicates) or
+// produce a graph satisfying the contract; it must never panic or accept
+// an edge it should reject.
+func FuzzCustomConstructor(f *testing.F) {
+	f.Add(4, 0, 1, 1, 2, 2, 3)
+	f.Add(3, 0, 1, 1, 0, 2, 2)
+	f.Add(1, 0, 0, 0, 0, 0, 0)
+	f.Fuzz(func(t *testing.T, n, a0, b0, a1, b1, a2, b2 int) {
+		if n < 1 || n > 64 {
+			t.Skip()
+		}
+		edges := [][2]int{{a0, b0}, {a1, b1}, {a2, b2}}
+		wantErr := false
+		seen := map[[2]int]bool{}
+		for _, e := range edges {
+			a, b := e[0], e[1]
+			if a < 0 || a >= n || b < 0 || b >= n || a == b {
+				wantErr = true
+				break
+			}
+			key := [2]int{a, b}
+			if a > b {
+				key = [2]int{b, a}
+			}
+			if seen[key] {
+				wantErr = true
+				break
+			}
+			seen[key] = true
+		}
+		g, err := NewCustom(n, edges)
+		if wantErr {
+			if err == nil {
+				t.Fatalf("invalid edges %v accepted", edges)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid edges %v rejected: %v", edges, err)
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			id := NodeID(i)
+			row := g.Neighbors(id)
+			total += len(row)
+			for _, nb := range row {
+				if !g.AreNeighbors(nb, id) {
+					t.Fatalf("adjacency not symmetric at (%d, %d)", id, nb)
+				}
+			}
+		}
+		if total != 2*len(edges) {
+			t.Fatalf("row population %d, want %d (each edge twice)", total, 2*len(edges))
+		}
+	})
+}
+
+// FuzzTorusGraphConsistency fuzzes the torus against its own geometric
+// predicate: every row membership must agree with AreNeighbors, which
+// computes from coordinates rather than rows.
+func FuzzTorusGraphConsistency(f *testing.F) {
+	f.Add(8, 6, 1, 3)
+	f.Add(10, 10, 2, 0)
+	f.Fuzz(func(t *testing.T, w, h, r, probe int) {
+		if w < 3 || h < 3 || w > 24 || h > 24 || r < 1 || r > 3 {
+			t.Skip()
+		}
+		net, err := New(grid.Torus{W: w, H: h}, grid.Linf, r)
+		if err != nil {
+			return // undersized for the radius — its own validation
+		}
+		id := NodeID(((probe % net.Size()) + net.Size()) % net.Size())
+		row := net.Neighbors(id)
+		inRow := make(map[NodeID]bool, len(row))
+		for _, nb := range row {
+			inRow[nb] = true
+			if !net.AreNeighbors(id, nb) {
+				t.Fatalf("row member %d fails AreNeighbors(%d, ·)", nb, id)
+			}
+		}
+		for i := 0; i < net.Size(); i++ {
+			other := NodeID(i)
+			if net.AreNeighbors(id, other) != inRow[other] {
+				t.Fatalf("AreNeighbors(%d, %d) disagrees with the row", id, other)
+			}
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package topology
+
+import "sort"
+
+// Graph is the radio-network surface the engines and fault machinery
+// consume: dense NodeID indexing over [0, Size), precomputed open-neighbor
+// rows in a fixed deterministic per-family order, and precomputed closed
+// neighborhoods. The neighbor relation is symmetric and irreflexive (radio
+// links are bidirectional; a node does not hear its own broadcasts as
+// deliveries). The torus keeps its historical ball-offset row order —
+// engine delivery order follows the rows, so reordering them would change
+// every pinned torus Result; rgg and custom rows are ascending.
+//
+// The torus Network is the paper's instance; Geometric (random geometric
+// graphs on the unit torus) and Custom (explicit adjacency lists) extend
+// the same locally-bounded fault discipline to the general graphs of the
+// Maurer–Tixeuil line of work. Protocols that need torus geometry (the
+// BV4/BV2 chain machinery) type-assert *Network and reject other families.
+type Graph interface {
+	// Family names the graph family ("torus", "rgg", "custom") for error
+	// messages, cache keys and logs.
+	Family() string
+	// Size returns the number of nodes; ids are dense in [0, Size).
+	Size() int
+	// Neighbors returns id's open neighborhood in the family's fixed
+	// deterministic order (ball-offset order on the torus, ascending id
+	// order elsewhere). The returned slice is shared; callers must not
+	// mutate it.
+	Neighbors(id NodeID) []NodeID
+	// Closed returns id's closed neighborhood: center first, then the open
+	// neighbors in the same order as Neighbors. The returned slice is
+	// shared; callers must not mutate it.
+	Closed(id NodeID) []NodeID
+	// AreNeighbors reports whether a and b are distinct radio neighbors.
+	AreNeighbors(a, b NodeID) bool
+	// Label returns a stable display label for id. The torus returns the
+	// grid coordinate; non-geometric families return (id, 0).
+	Label(id NodeID) (x, y int)
+}
+
+// adjacency is the shared neighbor-row representation behind the
+// non-torus families: contiguous backing arrays for the sorted open rows
+// and the center-first closed rows, mirroring the torus layout.
+type adjacency struct {
+	neighbors [][]NodeID
+	closed    [][]NodeID
+}
+
+// buildAdjacency assembles sorted neighbor and closed rows for size nodes
+// from undirected edges. Edges must be valid (endpoints in range, no self
+// loops, no duplicates) — constructors validate before calling.
+func buildAdjacency(size int, edges [][2]NodeID) adjacency {
+	deg := make([]int, size)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	backing := make([]NodeID, 2*len(edges))
+	closedBacking := make([]NodeID, 2*len(edges)+size)
+	a := adjacency{
+		neighbors: make([][]NodeID, size),
+		closed:    make([][]NodeID, size),
+	}
+	off, coff := 0, 0
+	for id := 0; id < size; id++ {
+		a.neighbors[id] = backing[off : off : off+deg[id]]
+		a.closed[id] = closedBacking[coff : coff : coff+deg[id]+1]
+		a.closed[id] = append(a.closed[id], NodeID(id))
+		off += deg[id]
+		coff += deg[id] + 1
+	}
+	for _, e := range edges {
+		a.neighbors[e[0]] = append(a.neighbors[e[0]], e[1])
+		a.neighbors[e[1]] = append(a.neighbors[e[1]], e[0])
+	}
+	for id := 0; id < size; id++ {
+		row := a.neighbors[id]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		a.closed[id] = append(a.closed[id], row...)
+	}
+	return a
+}
+
+// hasNeighbor reports membership of b in a sorted neighbor row.
+func (a adjacency) hasNeighbor(id, b NodeID) bool {
+	row := a.neighbors[id]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= b })
+	return i < len(row) && row[i] == b
+}

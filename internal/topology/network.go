@@ -23,15 +23,17 @@ type Network struct {
 	closed    [][]NodeID   // per-point closed neighborhoods: [center, neighbors...]
 }
 
-// New constructs the network. The torus must be at least (2r+1) wide and
-// tall so that distinct ball offsets reach distinct nodes, and the metric
-// must be valid.
+// New constructs the network, validating the torus family's own
+// preconditions: a valid metric, a positive radius, and a torus at least
+// (2r+1) wide and tall so that distinct ball offsets reach distinct nodes.
+// (The size bound is torus-specific — other Graph families validate their
+// own constructor inputs.)
 func New(t grid.Torus, m grid.Metric, r int) (*Network, error) {
 	if !m.Valid() {
-		return nil, fmt.Errorf("topology: invalid metric %d", int(m))
+		return nil, fmt.Errorf("topology: torus: invalid metric %d", int(m))
 	}
 	if r < 1 {
-		return nil, fmt.Errorf("topology: radius must be ≥ 1, got %d", r)
+		return nil, fmt.Errorf("topology: torus: radius must be ≥ 1, got %d", r)
 	}
 	if t.W < 2*r+1 || t.H < 2*r+1 {
 		return nil, fmt.Errorf("topology: torus %dx%d too small for radius %d (need ≥ %d)",
@@ -77,6 +79,9 @@ func MustNew(t grid.Torus, m grid.Metric, r int) *Network {
 	}
 	return n
 }
+
+// Family implements Graph.
+func (n *Network) Family() string { return "torus" }
 
 // Torus returns the underlying torus.
 func (n *Network) Torus() grid.Torus { return n.torus }
@@ -135,9 +140,22 @@ func (n *Network) ClosedNbdIDs(c grid.Coord) []NodeID {
 	return n.closed[n.torus.Index(c)]
 }
 
+// Closed implements Graph: the closed neighborhood of node id, center
+// first. On the torus every grid point is a node, so this is ClosedNbdIDs
+// of id's own coordinate.
+func (n *Network) Closed(id NodeID) []NodeID { return n.closed[id] }
+
+// Label implements Graph: the torus labels nodes by grid coordinate.
+func (n *Network) Label(id NodeID) (x, y int) {
+	c := n.CoordOf(id)
+	return c.X, c.Y
+}
+
 // ForEach invokes fn for every node id in ascending order.
 func (n *Network) ForEach(fn func(NodeID)) {
 	for id := 0; id < n.Size(); id++ {
 		fn(NodeID(id))
 	}
 }
+
+var _ Graph = (*Network)(nil)

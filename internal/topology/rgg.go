@@ -1,0 +1,121 @@
+package topology
+
+import "fmt"
+
+// Geometric is a random geometric graph on the unit torus [0,1)² — the
+// "noisy torus" bridge between the paper's regular grid and general graphs:
+// n points placed uniformly at random, an edge wherever the toroidal
+// Euclidean distance is at most the connection radius. Like the grid
+// Network it is immutable, with sorted neighbor rows and precomputed
+// closed neighborhoods.
+//
+// Placement is seeded and reproducible forever: node i's coordinates are
+// draws 2i and 2i+1 of a splitmix64 stream initialized with the seed (see
+// rggUniform), so the same (n, radius, seed) triple yields a byte-identical
+// graph on every platform and release. Changing n reshuffles every
+// position; radius only re-thresholds the same point set.
+type Geometric struct {
+	n      int
+	radius float64
+	seed   int64
+	xs, ys []float64
+	adj    adjacency
+}
+
+// NewGeometric constructs the seeded random geometric graph.
+func NewGeometric(n int, radius float64, seed int64) (*Geometric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: rgg: node count must be ≥ 1, got %d", n)
+	}
+	if radius <= 0 || radius > 1 {
+		return nil, fmt.Errorf("topology: rgg: connection radius %v outside (0, 1]", radius)
+	}
+	g := &Geometric{
+		n:      n,
+		radius: radius,
+		seed:   seed,
+		xs:     make([]float64, n),
+		ys:     make([]float64, n),
+	}
+	state := uint64(seed)
+	for i := 0; i < n; i++ {
+		g.xs[i] = rggUniform(&state)
+		g.ys[i] = rggUniform(&state)
+	}
+	r2 := radius * radius
+	var edges [][2]NodeID
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := torusDist1(g.xs[i], g.xs[j])
+			dy := torusDist1(g.ys[i], g.ys[j])
+			if dx*dx+dy*dy <= r2 {
+				edges = append(edges, [2]NodeID{NodeID(i), NodeID(j)})
+			}
+		}
+	}
+	g.adj = buildAdjacency(n, edges)
+	return g, nil
+}
+
+// splitmix64 advances the generator state and returns the next output.
+// The constants are Vigna's reference parameters; the sequence is part of
+// the RGG seed contract and must never change.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rggUniform draws the next coordinate in [0, 1): the top 53 bits of a
+// splitmix64 output scaled by 2⁻⁵³, the standard exact-dyadic construction.
+func rggUniform(state *uint64) float64 {
+	return float64(splitmix64(state)>>11) / (1 << 53)
+}
+
+// torusDist1 is the 1-dimensional toroidal distance on [0, 1).
+func torusDist1(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// Family implements Graph.
+func (g *Geometric) Family() string { return "rgg" }
+
+// Size implements Graph.
+func (g *Geometric) Size() int { return g.n }
+
+// Radius returns the connection radius.
+func (g *Geometric) Radius() float64 { return g.radius }
+
+// Seed returns the placement seed.
+func (g *Geometric) Seed() int64 { return g.seed }
+
+// Position returns node id's point on the unit torus.
+func (g *Geometric) Position(id NodeID) (x, y float64) { return g.xs[id], g.ys[id] }
+
+// Neighbors implements Graph.
+func (g *Geometric) Neighbors(id NodeID) []NodeID { return g.adj.neighbors[id] }
+
+// Closed implements Graph.
+func (g *Geometric) Closed(id NodeID) []NodeID { return g.adj.closed[id] }
+
+// AreNeighbors implements Graph.
+func (g *Geometric) AreNeighbors(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	return g.adj.hasNeighbor(a, b)
+}
+
+// Label implements Graph: non-grid families label node i as (i, 0).
+func (g *Geometric) Label(id NodeID) (x, y int) { return int(id), 0 }
+
+var _ Graph = (*Geometric)(nil)

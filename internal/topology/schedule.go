@@ -45,15 +45,15 @@ func (cs *CellSchedule) SlotOf(id NodeID) int {
 func (cs *CellSchedule) NumSlots() int { return cs.s * cs.s }
 
 // SequentialSchedule gives every node its own slot (period = network size).
-// Trivially collision-free on any torus; used when the cell schedule does
-// not divide the torus.
+// Trivially collision-free on any graph; used when the cell schedule does
+// not divide the torus, and for every non-torus family.
 type SequentialSchedule struct {
 	size int
 }
 
 // NewSequentialSchedule builds the one-node-per-slot schedule.
-func NewSequentialSchedule(net *Network) *SequentialSchedule {
-	return &SequentialSchedule{size: net.Size()}
+func NewSequentialSchedule(g Graph) *SequentialSchedule {
+	return &SequentialSchedule{size: g.Size()}
 }
 
 // SlotOf implements Schedule.
@@ -62,33 +62,36 @@ func (ss *SequentialSchedule) SlotOf(id NodeID) int { return int(id) }
 // NumSlots implements Schedule.
 func (ss *SequentialSchedule) NumSlots() int { return ss.size }
 
-// BestSchedule returns the cell schedule when the torus admits it and the
-// sequential schedule otherwise.
-func BestSchedule(net *Network) Schedule {
-	if cs, err := NewCellSchedule(net); err == nil {
-		return cs
+// BestSchedule returns the cell schedule when the graph is a torus that
+// admits it and the sequential schedule otherwise.
+func BestSchedule(g Graph) Schedule {
+	if net, ok := g.(*Network); ok {
+		if cs, err := NewCellSchedule(net); err == nil {
+			return cs
+		}
 	}
-	return NewSequentialSchedule(net)
+	return NewSequentialSchedule(g)
 }
 
 // CollisionFree verifies that no two distinct nodes sharing a slot have a
-// common listener (a node within radius of both). It is O(n²·deg) and
+// common listener (a common neighbor of both). It is O(n²·deg) and
 // intended for tests and validation tooling, not hot paths.
-func CollisionFree(net *Network, sched Schedule) bool {
+func CollisionFree(g Graph, sched Schedule) bool {
 	// Group nodes by slot.
 	groups := make(map[int][]NodeID)
-	net.ForEach(func(id NodeID) {
+	for i := 0; i < g.Size(); i++ {
+		id := NodeID(i)
 		slot := sched.SlotOf(id)
 		groups[slot] = append(groups[slot], id)
-	})
+	}
 	for _, nodes := range groups {
 		for i := 0; i < len(nodes); i++ {
-			listeners := make(map[NodeID]struct{}, net.Degree())
-			for _, l := range net.Neighbors(nodes[i]) {
+			listeners := make(map[NodeID]struct{}, len(g.Neighbors(nodes[i])))
+			for _, l := range g.Neighbors(nodes[i]) {
 				listeners[l] = struct{}{}
 			}
 			for j := i + 1; j < len(nodes); j++ {
-				for _, l := range net.Neighbors(nodes[j]) {
+				for _, l := range g.Neighbors(nodes[j]) {
 					if _, ok := listeners[l]; ok {
 						return false
 					}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/bounds"
@@ -77,6 +76,13 @@ func (p Protocol) String() string {
 // uses snake_case keys and stable enum names, omits zero-valued fields, and
 // round-trips losslessly.
 type Config struct {
+	// Topology selects the network family; the zero value is the torus.
+	// Each family has its own parameter fields (torus: Width, Height,
+	// Radius, Metric, SourceX, SourceY; rgg: Nodes, RGGRadius,
+	// TopologySeed, Source; custom: Graph, Source) and validation rejects
+	// fields belonging to another family. BV4/BV2 and the band placements
+	// are torus-only; Flood and CPA run on every family.
+	Topology Topology `json:"topology,omitempty"`
 	// Width and Height are the torus dimensions (≥ 2·Radius+1 each).
 	Width  int `json:"width,omitempty"`
 	Height int `json:"height,omitempty"`
@@ -84,6 +90,20 @@ type Config struct {
 	Radius int `json:"radius,omitempty"`
 	// Metric defaults to MetricLinf.
 	Metric Metric `json:"metric,omitempty"`
+	// Nodes is the TopologyRGG node count (≥ 1).
+	Nodes int `json:"nodes,omitempty"`
+	// RGGRadius is the TopologyRGG connection radius on the unit torus,
+	// in (0, 1].
+	RGGRadius float64 `json:"rgg_radius,omitempty"`
+	// TopologySeed keys the TopologyRGG placement stream. Identical
+	// (Nodes, RGGRadius, TopologySeed) build identical graphs on every
+	// platform; see EXPERIMENTS.md for the reproducibility contract.
+	TopologySeed int64 `json:"topology_seed,omitempty"`
+	// Graph is the TopologyCustom adjacency list.
+	Graph *GraphSpec `json:"graph,omitempty"`
+	// Source is the source node id for non-torus families (torus configs
+	// locate the source with SourceX/SourceY instead).
+	Source int `json:"source,omitempty"`
 	// Protocol selects the broadcast protocol (required).
 	Protocol Protocol `json:"protocol,omitempty"`
 	// T is the assumed per-neighborhood fault bound (ignored by flooding).
@@ -136,6 +156,9 @@ type Config struct {
 // misconfiguration surfaces as an rbcast error instead of one from an
 // internal layer — or, worse, silently skewed results.
 func (c Config) validate() error {
+	if err := c.validateTopology(); err != nil {
+		return err
+	}
 	if c.Value > 1 {
 		return fmt.Errorf("rbcast: value must be 0 or 1, got %d", c.Value)
 	}
@@ -168,40 +191,6 @@ func (c Config) validate() error {
 		}
 	}
 	return nil
-}
-
-// networkKey identifies a topology by its constructor parameters.
-type networkKey struct {
-	w, h, r int
-	metric  grid.Metric
-}
-
-// networkCache shares immutable *topology.Network values across runs: the
-// adjacency and closed-neighborhood rows are precomputed once per distinct
-// (size, metric, radius) and reused by every subsequent Run/RunBatch call —
-// including rbcastd cache misses, which repeatedly rebuild the same grids.
-var networkCache sync.Map // networkKey -> *topology.Network
-
-// network builds (or fetches the shared precomputed) topology for the config.
-func (c Config) network() (*topology.Network, error) {
-	m := grid.Linf
-	switch c.Metric {
-	case 0, MetricLinf:
-	case MetricL2:
-		m = grid.L2
-	default:
-		return nil, fmt.Errorf("rbcast: invalid metric %d", int(c.Metric))
-	}
-	key := networkKey{w: c.Width, h: c.Height, r: c.Radius, metric: m}
-	if v, ok := networkCache.Load(key); ok {
-		return v.(*topology.Network), nil
-	}
-	net, err := topology.New(grid.Torus{W: c.Width, H: c.Height}, m, c.Radius)
-	if err != nil {
-		return nil, err
-	}
-	actual, _ := networkCache.LoadOrStore(key, net)
-	return actual.(*topology.Network), nil
 }
 
 // kind maps the public protocol enum to the internal one.
@@ -245,7 +234,10 @@ func RunContext(ctx context.Context, cfg Config, plan FaultPlan) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
-	source := net.IDOf(grid.C(cfg.SourceX, cfg.SourceY))
+	source, err := cfg.sourceID(net)
+	if err != nil {
+		return Result{}, err
+	}
 	plan.budgetForPlan = cfg.T
 	faulty, err := plan.materialize(net, source)
 	if err != nil {
@@ -342,12 +334,13 @@ func runConcurrent(ctx context.Context, kind protocol.Kind, params protocol.Para
 		return protocol.Outcome{}, err
 	}
 	out := protocol.Outcome{Result: res}
-	params.Net.ForEach(func(id topology.NodeID) {
+	for i := 0; i < params.Net.Size(); i++ {
+		id := topology.NodeID(i)
 		if _, byz := faulty.byzantine[id]; byz {
-			return
+			continue
 		}
 		if _, crashed := faulty.crash[id]; crashed {
-			return
+			continue
 		}
 		out.Honest++
 		v, ok := res.Decided[id]
@@ -359,7 +352,7 @@ func runConcurrent(ctx context.Context, kind protocol.Kind, params protocol.Para
 		default:
 			out.Wrong++
 		}
-	})
+	}
 	return out, err
 }
 

@@ -141,8 +141,11 @@ func (r Result) AllCorrect() bool { return r.Wrong == 0 && r.Undecided == 0 }
 // guarantee, which holds even when liveness fails).
 func (r Result) Safe() bool { return r.Wrong == 0 }
 
-// newResult converts an internal outcome.
-func newResult(net *topology.Network, out protocol.Outcome, m materialized) Result {
+// newResult converts an internal outcome. Nodes are labeled through
+// topology.Graph.Label: grid coordinates on the torus, (id, 0) elsewhere —
+// so torus results keep their historical "x,y" keys and non-torus results
+// read as "id,0".
+func newResult(g topology.Graph, out protocol.Outcome, m materialized) Result {
 	res := Result{
 		Honest:     out.Honest,
 		Correct:    out.Correct,
@@ -153,28 +156,29 @@ func newResult(net *topology.Network, out protocol.Outcome, m materialized) Resu
 		Broadcasts: out.Result.Stats.Broadcasts,
 		Deliveries: out.Result.Stats.Deliveries,
 		Quiesced:   out.Result.Stats.Quiesced,
-		Decisions:  make(map[Node]Decision, net.Size()),
+		Decisions:  make(map[Node]Decision, g.Size()),
 	}
 	if len(m.faulty) > 0 {
-		res.MaxFaultsPerNbd = maxPerNbd(net, m.faulty)
+		res.MaxFaultsPerNbd = maxPerNbd(g, m.faulty)
 		res.Faulty = make([]Node, len(m.faulty))
 		for i, id := range m.faulty {
-			c := net.CoordOf(id)
-			res.Faulty[i] = Node{X: c.X, Y: c.Y}
+			x, y := g.Label(id)
+			res.Faulty[i] = Node{X: x, Y: y}
 		}
 	}
-	net.ForEach(func(id topology.NodeID) {
-		c := net.CoordOf(id)
+	for i := 0; i < g.Size(); i++ {
+		id := topology.NodeID(i)
+		x, y := g.Label(id)
 		d := Decision{}
 		if v, ok := out.Result.Decided[id]; ok {
 			d = Decision{Value: v, Decided: true, Round: out.Result.DecidedRound[id]}
 		}
-		res.Decisions[Node{X: c.X, Y: c.Y}] = d
-	})
+		res.Decisions[Node{X: x, Y: y}] = d
+	}
 	return res
 }
 
 // maxPerNbd delegates to the fault package's exhaustive validator.
-func maxPerNbd(net *topology.Network, faulty []topology.NodeID) int {
-	return faultMaxPerNeighborhood(net, faulty)
+func maxPerNbd(g topology.Graph, faulty []topology.NodeID) int {
+	return faultMaxPerNeighborhood(g, faulty)
 }

@@ -67,6 +67,18 @@ curl -fsS -D "$TMP/h2" -H 'Content-Type: application/json' \
 grep -qi '^X-Rbcast-Cache: hit' "$TMP/h2" || fail "second run was not a cache hit"
 cmp -s "$TMP/r1" "$TMP/r2" || fail "cached body differs from the original"
 
+# Non-torus family: an rgg scenario must submit, execute, and cache through
+# the same surface as the torus ones.
+RGG='{"config":{"topology":"rgg","nodes":64,"rgg_radius":0.22,"topology_seed":1,"protocol":"flood","value":1},"plan":{}}'
+curl -fsS -D "$TMP/hr1" -H 'Content-Type: application/json' \
+    -d "$RGG" "$BASE/v1/run" >"$TMP/rgg1" || fail "rgg /v1/run failed"
+grep -qi '^X-Rbcast-Cache: miss' "$TMP/hr1" || fail "rgg run was not a cache miss"
+grep -q '"fingerprint"' "$TMP/rgg1" || fail "rgg response carries no fingerprint"
+curl -fsS -D "$TMP/hr2" -H 'Content-Type: application/json' \
+    -d "$RGG" "$BASE/v1/run" >"$TMP/rgg2" || fail "second rgg /v1/run failed"
+grep -qi '^X-Rbcast-Cache: hit' "$TMP/hr2" || fail "second rgg run was not a cache hit"
+cmp -s "$TMP/rgg1" "$TMP/rgg2" || fail "cached rgg body differs from the original"
+
 # Batch round trip: submit, poll to completion, check the results.
 BATCH="{\"jobs\":[$SCENARIO,{\"config\":{\"width\":16,\"height\":10,\"radius\":1,\"protocol\":\"flood\",\"value\":1},\"plan\":{}}]}"
 curl -fsS -H 'Content-Type: application/json' -d "$BATCH" "$BASE/v1/batch" >"$TMP/ack" \
@@ -97,8 +109,8 @@ RUNS=$(awk '$1 == "rbcastd_sim_runs_total" {print $2}' "$TMP/metrics")
 [ "${HITS:-0}" -ge 1 ] 2>/dev/null || fail "cache_hits_total = ${HITS:-unset}, want >= 1"
 [ "${MISSES:-0}" -ge 1 ] 2>/dev/null || fail "cache_misses_total = ${MISSES:-unset}, want >= 1"
 [ "${RUNS:-0}" -ge 2 ] 2>/dev/null || fail "sim_runs_total = ${RUNS:-unset}, want >= 2"
-grep -q 'rbcastd_requests_total{path="/v1/run"} 2' "$TMP/metrics" \
-    || fail "request counter for /v1/run is not 2"
+grep -q 'rbcastd_requests_total{path="/v1/run"} 4' "$TMP/metrics" \
+    || fail "request counter for /v1/run is not 4"
 
 # Graceful shutdown: SIGTERM must drain and exit cleanly.
 kill "$PID"

@@ -162,14 +162,16 @@ type TraceEvent struct {
 	Certificate *Certificate `json:"certificate,omitempty"`
 }
 
-// newTraceEvents converts recorded internal events to the public form.
-func newTraceEvents(net *topology.Network, events []etrace.Event) []TraceEvent {
+// newTraceEvents converts recorded internal events to the public form,
+// labeling nodes through topology.Graph.Label (grid coordinates on the
+// torus, (id, 0) elsewhere).
+func newTraceEvents(g topology.Graph, events []etrace.Event) []TraceEvent {
 	if len(events) == 0 {
 		return nil
 	}
 	nodeOf := func(id topology.NodeID) Node {
-		c := net.CoordOf(id)
-		return Node{X: c.X, Y: c.Y}
+		x, y := g.Label(id)
+		return Node{X: x, Y: y}
 	}
 	nodePtr := func(id topology.NodeID) *Node {
 		n := nodeOf(id)
@@ -209,7 +211,7 @@ func newTraceEvents(net *topology.Network, events []etrace.Event) []TraceEvent {
 		case etrace.KindCommit:
 			pe.Kind = EventCommit
 			pe.Value = ev.Value
-			pe.Certificate = newCertificate(net, ev.Cert)
+			pe.Certificate = newCertificate(g, ev.Cert)
 		}
 		out[i] = pe
 	}
@@ -217,13 +219,13 @@ func newTraceEvents(net *topology.Network, events []etrace.Event) []TraceEvent {
 }
 
 // newCertificate converts an internal certificate.
-func newCertificate(net *topology.Network, c *etrace.Certificate) *Certificate {
+func newCertificate(g topology.Graph, c *etrace.Certificate) *Certificate {
 	if c == nil {
 		return nil
 	}
 	nodeOf := func(id topology.NodeID) Node {
-		coord := net.CoordOf(id)
-		return Node{X: coord.X, Y: coord.Y}
+		x, y := g.Label(id)
+		return Node{X: x, Y: y}
 	}
 	cert := &Certificate{Rule: CommitRule(c.Rule), Value: c.Value}
 	if c.HasCenter {
