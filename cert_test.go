@@ -19,6 +19,9 @@ import (
 //   - disjoint-chains (BV2, §VI-B): at least t+1 report chains inside one
 //     closed neighborhood, collectively node-disjoint including the
 //     committing endpoints.
+//   - ready-quorum (Bracha family): at least 2T+1 distinct READY
+//     announcers; when the node's own READY came from the ECHO path, an
+//     N−T distinct ECHO endorsement quorum.
 //
 // Every certificate must carry the node's committed value. The scenarios
 // run both engines (the conc-at variant) and both evidence modes (the
@@ -176,6 +179,45 @@ func verifyCert(t *testing.T, cfg rbcast.Config, source, n rbcast.Node, cert *rb
 		for node, uses := range used {
 			if uses > 1 {
 				t.Errorf("node %v: chain family reuses node %v", n, node)
+			}
+		}
+	case rbcast.RuleReadyQuorum:
+		if cfg.Protocol != rbcast.ProtocolBracha && cfg.Protocol != rbcast.ProtocolBrachaAuth {
+			t.Errorf("node %v: ready-quorum rule under protocol %v", n, cfg.Protocol)
+		}
+		// The quorum family's thresholds are global, so the checks need N.
+		size := cfg.Width * cfg.Height
+		if cfg.Nodes > 0 {
+			size = cfg.Nodes
+		}
+		if cfg.Graph != nil {
+			size = cfg.Graph.Nodes
+		}
+		if len(cert.Voters) < 2*cfg.T+1 {
+			t.Errorf("node %v ready-quorum certificate has %d READY announcers, need 2T+1 = %d",
+				n, len(cert.Voters), 2*cfg.T+1)
+		}
+		seen := make(map[rbcast.Node]bool, len(cert.Voters))
+		for _, v := range cert.Voters {
+			if seen[v] {
+				t.Errorf("node %v ready-quorum certificate repeats READY announcer %v", n, v)
+			}
+			seen[v] = true
+		}
+		// Echoes is present exactly when this node's own READY came from
+		// the ECHO-quorum path (rather than f+1 READY amplification); when
+		// it is, it must be a full N−T endorsement quorum.
+		if len(cert.Echoes) > 0 {
+			if len(cert.Echoes) < size-cfg.T {
+				t.Errorf("node %v echo quorum has %d endorsers, need N−T = %d",
+					n, len(cert.Echoes), size-cfg.T)
+			}
+			seenEcho := make(map[rbcast.Node]bool, len(cert.Echoes))
+			for _, e := range cert.Echoes {
+				if seenEcho[e] {
+					t.Errorf("node %v echo quorum repeats endorser %v", n, e)
+				}
+				seenEcho[e] = true
 			}
 		}
 	default:

@@ -28,8 +28,8 @@ import (
 	"strings"
 )
 
-// MarshalText encodes the protocol name ("flood", "cpa", "bv4", "bv2").
-// The zero value encodes as "".
+// MarshalText encodes the protocol name ("flood", "cpa", "bv4", "bv2",
+// "bracha", "bracha-auth"). The zero value encodes as "".
 func (p Protocol) MarshalText() ([]byte, error) {
 	return enumText("protocol", int(p), p.String())
 }
@@ -47,6 +47,10 @@ func (p *Protocol) UnmarshalText(text []byte) error {
 		*p = ProtocolBV4
 	case "bv2":
 		*p = ProtocolBV2
+	case "bracha":
+		*p = ProtocolBracha
+	case "bracha-auth":
+		*p = ProtocolBrachaAuth
 	default:
 		return fmt.Errorf("rbcast: unknown protocol %q", text)
 	}
@@ -128,7 +132,7 @@ func (p *Placement) UnmarshalText(text []byte) error {
 }
 
 // MarshalText encodes the strategy name ("crash", "silent", "liar",
-// "forger", "spoofer"). The zero value encodes as "".
+// "forger", "spoofer", "equivocator"). The zero value encodes as "".
 func (s Strategy) MarshalText() ([]byte, error) {
 	return enumText("strategy", int(s), s.String())
 }
@@ -148,6 +152,8 @@ func (s *Strategy) UnmarshalText(text []byte) error {
 		*s = StrategyForger
 	case "spoofer":
 		*s = StrategySpoofer
+	case "equivocator":
+		*s = StrategyEquivocator
 	default:
 		return fmt.Errorf("rbcast: unknown strategy %q", text)
 	}
@@ -185,7 +191,8 @@ func (k *EventKind) UnmarshalText(text []byte) error {
 }
 
 // MarshalText encodes the commit rule name ("source", "direct", "quorum",
-// "disjoint-chains", "votes", "flood"). The zero value encodes as "".
+// "disjoint-chains", "votes", "flood", "ready-quorum"). The zero value
+// encodes as "".
 func (r CommitRule) MarshalText() ([]byte, error) {
 	return enumText("commit rule", int(r), r.String())
 }
@@ -207,6 +214,8 @@ func (r *CommitRule) UnmarshalText(text []byte) error {
 		*r = RuleVotes
 	case "flood":
 		*r = RuleFlood
+	case "ready-quorum":
+		*r = RuleReadyQuorum
 	default:
 		return fmt.Errorf("rbcast: unknown commit rule %q", text)
 	}

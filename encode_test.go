@@ -14,7 +14,7 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func TestEnumTextRoundTrip(t *testing.T) {
-	protocols := []Protocol{0, ProtocolFlood, ProtocolCPA, ProtocolBV4, ProtocolBV2}
+	protocols := []Protocol{0, ProtocolFlood, ProtocolCPA, ProtocolBV4, ProtocolBV2, ProtocolBracha, ProtocolBrachaAuth}
 	for _, v := range protocols {
 		text, err := v.MarshalText()
 		if err != nil {
@@ -58,7 +58,7 @@ func TestEnumTextRoundTrip(t *testing.T) {
 			t.Errorf("Placement %d round-trips to %d (err %v)", v, back, err)
 		}
 	}
-	strategies := []Strategy{0, StrategyCrash, StrategySilent, StrategyLiar, StrategyForger, StrategySpoofer}
+	strategies := []Strategy{0, StrategyCrash, StrategySilent, StrategyLiar, StrategyForger, StrategySpoofer, StrategyEquivocator}
 	for _, v := range strategies {
 		text, err := v.MarshalText()
 		if err != nil {
@@ -68,6 +68,128 @@ func TestEnumTextRoundTrip(t *testing.T) {
 		if err := back.UnmarshalText(text); err != nil || back != v {
 			t.Errorf("Strategy %d round-trips to %d (err %v)", v, back, err)
 		}
+	}
+}
+
+// TestEnumTextRoundTripExhaustive walks every enum's full range — raw
+// values upward until String() falls back to the "Kind(%d)" placeholder —
+// and round-trips each through MarshalText/UnmarshalText. Unlike the
+// explicit lists above, this discovers new enum values automatically: a
+// future constant whose author extends String() but forgets the encoders
+// fails here without this test needing an edit. The atLeast floors guard
+// the discovery itself — if String() stops covering known values, the
+// walk would end early and the floor trips.
+func TestEnumTextRoundTripExhaustive(t *testing.T) {
+	type enum struct {
+		name      string
+		atLeast   int
+		str       func(int) string
+		roundTrip func(int) (int, error)
+	}
+	enums := []enum{
+		{"Protocol", 6,
+			func(i int) string { return Protocol(i).String() },
+			func(i int) (int, error) {
+				text, err := Protocol(i).MarshalText()
+				if err != nil {
+					return 0, err
+				}
+				var back Protocol
+				err = back.UnmarshalText(text)
+				return int(back), err
+			}},
+		{"Topology", 3,
+			func(i int) string { return Topology(i).String() },
+			func(i int) (int, error) {
+				text, err := Topology(i).MarshalText()
+				if err != nil {
+					return 0, err
+				}
+				var back Topology
+				err = back.UnmarshalText(text)
+				return int(back), err
+			}},
+		{"Metric", 2,
+			func(i int) string { return Metric(i).String() },
+			func(i int) (int, error) {
+				text, err := Metric(i).MarshalText()
+				if err != nil {
+					return 0, err
+				}
+				var back Metric
+				err = back.UnmarshalText(text)
+				return int(back), err
+			}},
+		{"Placement", 6,
+			func(i int) string { return Placement(i).String() },
+			func(i int) (int, error) {
+				text, err := Placement(i).MarshalText()
+				if err != nil {
+					return 0, err
+				}
+				var back Placement
+				err = back.UnmarshalText(text)
+				return int(back), err
+			}},
+		{"Strategy", 6,
+			func(i int) string { return Strategy(i).String() },
+			func(i int) (int, error) {
+				text, err := Strategy(i).MarshalText()
+				if err != nil {
+					return 0, err
+				}
+				var back Strategy
+				err = back.UnmarshalText(text)
+				return int(back), err
+			}},
+		{"EventKind", 6,
+			func(i int) string { return EventKind(i).String() },
+			func(i int) (int, error) {
+				text, err := EventKind(i).MarshalText()
+				if err != nil {
+					return 0, err
+				}
+				var back EventKind
+				err = back.UnmarshalText(text)
+				return int(back), err
+			}},
+		{"CommitRule", 7,
+			func(i int) string { return CommitRule(i).String() },
+			func(i int) (int, error) {
+				text, err := CommitRule(i).MarshalText()
+				if err != nil {
+					return 0, err
+				}
+				var back CommitRule
+				err = back.UnmarshalText(text)
+				return int(back), err
+			}},
+	}
+	for _, e := range enums {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			count := 0
+			for raw := 1; ; raw++ {
+				if strings.Contains(e.str(raw), "(") {
+					break
+				}
+				count++
+				back, err := e.roundTrip(raw)
+				if err != nil {
+					t.Errorf("%s value %d (%s) does not round-trip: %v", e.name, raw, e.str(raw), err)
+					continue
+				}
+				if back != raw {
+					t.Errorf("%s value %d (%s) round-trips to %d", e.name, raw, e.str(raw), back)
+				}
+			}
+			if count < e.atLeast {
+				t.Errorf("discovered only %d %s values, expected at least %d — String() lost coverage", count, e.name, e.atLeast)
+			}
+			if back, err := e.roundTrip(0); err != nil || back != 0 {
+				t.Errorf("%s zero value round-trips to %d (err %v)", e.name, back, err)
+			}
+		})
 	}
 }
 
@@ -334,6 +456,16 @@ func TestFingerprintGolden(t *testing.T) {
 		}},
 		{"custom-cycle", Job{
 			Config: Config{Topology: TopologyCustom, Graph: &GraphSpec{Nodes: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}, Protocol: ProtocolCPA, T: 1, Value: 1},
+		}},
+		// Append-only: new jobs go at the end so earlier golden lines
+		// stay byte-identical across regenerations.
+		{"bracha-torus-equivocator", Job{
+			Config: Config{Width: 5, Height: 5, Radius: 2, Protocol: ProtocolBracha, T: 8, Value: 1},
+			Plan:   FaultPlan{Placement: PlaceRandomBounded, Strategy: StrategyEquivocator, Count: 6, Seed: 9},
+		}},
+		{"bracha-auth-rgg", Job{
+			Config: Config{Topology: TopologyRGG, Nodes: 32, RGGRadius: 0.3, TopologySeed: 2, Protocol: ProtocolBrachaAuth, T: 2, Value: 1, MaxRounds: 128},
+			Plan:   FaultPlan{Placement: PlaceRandomBounded, Strategy: StrategySilent, Count: 2, Seed: 4},
 		}},
 	}
 	var b strings.Builder

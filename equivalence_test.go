@@ -82,6 +82,16 @@ func TestEngineEquivalenceSweep(t *testing.T) {
 	add("bv2/silent", bv2, rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent})
 	add("bv2/liar", bv2, rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyLiar})
 
+	bracha := rbcast.Config{Width: 5, Height: 5, Radius: 2, Protocol: rbcast.ProtocolBracha, T: 8, Value: 1}
+	add("bracha/clean", bracha, rbcast.FaultPlan{})
+	add("bracha/silent", bracha, rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 8, Seed: 3})
+	add("bracha/equivocator", bracha, rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategyEquivocator, Count: 6, Seed: 9})
+
+	brachaAuth := bracha
+	brachaAuth.Protocol = rbcast.ProtocolBrachaAuth
+	add("bracha-auth/silent", brachaAuth, rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 8, Seed: 3})
+	add("bracha-auth/equivocator", brachaAuth, rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategyEquivocator, Count: 6, Seed: 9})
+
 	for _, v := range sweep {
 		v := v
 		t.Run(v.name, func(t *testing.T) {

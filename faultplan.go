@@ -73,10 +73,16 @@ const (
 	// StrategySpoofer nodes impersonate honest neighbors (§X what-if);
 	// only effective when Config.SpoofingPossible is set.
 	StrategySpoofer
+	// StrategyEquivocator nodes endorse one value toward even-id receivers
+	// and the flipped value toward odd-id ones, in every quorum dialect at
+	// once — a directional-transmission what-if the quorum protocols
+	// (ProtocolBracha family) are sensitive to and the paper's
+	// locally-bounded protocols shrug off.
+	StrategyEquivocator
 )
 
 // String names the strategy ("crash", "silent", "liar", "forger",
-// "spoofer").
+// "spoofer", "equivocator").
 func (s Strategy) String() string {
 	switch s {
 	case StrategyCrash:
@@ -89,6 +95,8 @@ func (s Strategy) String() string {
 		return "forger"
 	case StrategySpoofer:
 		return "spoofer"
+	case StrategyEquivocator:
+		return "equivocator"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -141,7 +149,7 @@ func (p FaultPlan) materialize(g topology.Graph, source topology.NodeID) (materi
 	torus := func() (*topology.Network, error) {
 		net, ok := g.(*topology.Network)
 		if !ok {
-			return nil, fmt.Errorf("rbcast: placement %q requires the torus topology, got family %q",
+			return nil, fmt.Errorf("rbcast: placement %s requires the torus topology, got family %q",
 				placement, g.Family())
 		}
 		return net, nil
@@ -214,7 +222,7 @@ func (p FaultPlan) materialize(g topology.Graph, source topology.NodeID) (materi
 		for _, id := range ids {
 			out.crash[id] = p.CrashRound
 		}
-	case StrategySilent, StrategyLiar, StrategyForger, StrategySpoofer:
+	case StrategySilent, StrategyLiar, StrategyForger, StrategySpoofer, StrategyEquivocator:
 		var fs fault.Strategy
 		switch strategy {
 		case StrategySilent:
@@ -223,6 +231,8 @@ func (p FaultPlan) materialize(g topology.Graph, source topology.NodeID) (materi
 			fs = fault.Liar
 		case StrategyForger:
 			fs = fault.Forger
+		case StrategyEquivocator:
+			fs = fault.Equivocator
 		default:
 			fs = fault.Spoofer
 		}

@@ -12,8 +12,10 @@ import (
 
 // Config describes an agreement run.
 type Config struct {
-	// Net is the radio network (required).
-	Net *topology.Network
+	// Net is the radio network (required) — any topology.Graph family.
+	// Kinds that need the torus geometry (BV4, BV2) reject other families
+	// at factory construction with the canonical torus-only error.
+	Net topology.Graph
 	// Committee lists the broadcast sources, one instance each. Inputs
 	// holds their binary inputs (same length).
 	Committee []topology.NodeID

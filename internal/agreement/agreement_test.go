@@ -37,6 +37,26 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestRunRejectsNonTorusForGridKinds pins the canonical torus-only message
+// at the agreement layer: Config.Net accepts any topology.Graph, but grid
+// kinds must surface the factory's exact rejection text, matching the
+// public rbcast format (requesting protocol, then offending family).
+func TestRunRejectsNonTorusForGridKinds(t *testing.T) {
+	g, err := topology.NewCustom(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatalf("NewCustom: %v", err)
+	}
+	cfg := Config{Net: g, Committee: []topology.NodeID{0}, Inputs: []byte{1}, Kind: protocol.BV4, T: 1}
+	_, err = Run(cfg)
+	if err == nil {
+		t.Fatal("expected the torus-only rejection, got nil")
+	}
+	want := `protocol: bv4 requires the torus topology, got family "custom"`
+	if err.Error() != want {
+		t.Errorf("error drifted from the canonical format:\n got:  %s\n want: %s", err, want)
+	}
+}
+
 func TestAgreementFaultFree(t *testing.T) {
 	net := testNet(t, 12, 12, 1)
 	committee := []topology.NodeID{

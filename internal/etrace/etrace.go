@@ -47,6 +47,10 @@ const (
 	RuleVotes
 	// RuleFlood: crash-stop flooding — commit on any reception (§VII).
 	RuleFlood
+	// RuleReadyQuorum: Bracha's delivery rule — 2f+1 distinct READY
+	// endorsements of one value, optionally backed by the N−f ECHO quorum
+	// that triggered the node's own READY.
+	RuleReadyQuorum
 )
 
 // Evidence is one origin's contribution to a certificate: either a direct
@@ -75,10 +79,14 @@ type Certificate struct {
 	Center    topology.NodeID
 	HasCenter bool
 	// Voters lists the distinct attributed senders whose messages the
-	// rule counted.
+	// rule counted (for RuleReadyQuorum: the READY endorsers).
 	Voters []topology.NodeID
 	// Evidence lists the per-origin chain evidence, in origin-id order.
 	Evidence []Evidence
+	// Echoes lists the N−f distinct ECHO endorsers whose quorum triggered
+	// the committing node's own READY (RuleReadyQuorum only; empty when
+	// the READY came from f+1 READY amplification instead).
+	Echoes []topology.NodeID
 }
 
 // Event is one recorded engine or protocol event. Which fields are

@@ -7,10 +7,11 @@ import (
 
 // Strategy names a Byzantine node behaviour. Strategies are sim.Process
 // factories: the engine runs them in place of the honest protocol. Except
-// for Spoofer (the §X what-if), strategies respect the medium's physical
-// guarantees — no identity spoofing, no collisions, no showing different
-// values to different neighbors; everything else (lying, forging reports,
-// staying silent) is fair game.
+// for the explicit what-ifs — Spoofer (§X identity spoofing) and
+// Equivocator (directional transmission) — strategies respect the medium's
+// physical guarantees: no identity spoofing, no collisions, no showing
+// different values to different neighbors; everything else (lying, forging
+// reports, staying silent) is fair game.
 type Strategy int
 
 const (
@@ -31,6 +32,16 @@ const (
 	// only bites when the protocol runs with SpoofingPossible — the §X
 	// sensitivity study.
 	Spoofer
+	// Equivocator nodes are two-faced: they endorse one value toward
+	// even-id receivers and the flipped value toward odd-id receivers, in
+	// every quorum dialect (VALUE, ECHO, READY) at once. This violates the
+	// radio medium's local-broadcast guarantee (every neighbor hears the
+	// same transmission) via directional transmission — a physical-layer
+	// what-if in the spirit of §X. Quorum protocols are sensitive to it
+	// (split ECHO/READY tallies stall Bracha at f ≥ N/3) while the paper's
+	// locally-bounded protocols shrug it off: the split endorsements are
+	// just one more Byzantine vote per partition.
+	Equivocator
 )
 
 // String names the strategy.
@@ -44,6 +55,8 @@ func (s Strategy) String() string {
 		return "forger"
 	case Spoofer:
 		return "spoofer"
+	case Equivocator:
+		return "equivocator"
 	default:
 		return "unknown"
 	}
@@ -60,6 +73,8 @@ func (s Strategy) NewProcess(id topology.NodeID) sim.Process {
 		return &forgerProc{seen: make(map[string]struct{})}
 	case Spoofer:
 		return &spooferProc{victims: make(map[topology.NodeID]struct{})}
+	case Equivocator:
+		return &equivocatorProc{}
 	default:
 		return sim.NopProcess{}
 	}
@@ -209,3 +224,53 @@ func (p *spooferProc) Deliver(ctx sim.Context, from topology.NodeID, m sim.Messa
 func (p *spooferProc) Decided() (byte, bool) { return 0, false }
 
 var _ sim.Process = (*spooferProc)(nil)
+
+// equivocatorProc attacks quorum assembly: on the first value-bearing
+// message it hears, it emits one two-faced volley — the heard value in every
+// quorum dialect (VALUE, ECHO, READY) toward even-id receivers, the flipped
+// value toward odd-id ones — then goes quiet. Origin is its own (genuine)
+// identity, so the volley cannot masquerade as the source's signed VAL under
+// the authenticated Bracha variant; the attack is pure equivocation, not
+// forgery. The split audiences violate the radio medium's local-broadcast
+// guarantee (see sim.Audience) — the point of the what-if.
+type equivocatorProc struct {
+	sent bool
+}
+
+// Init implements sim.Process.
+func (p *equivocatorProc) Init(sim.Context) {}
+
+// Deliver implements sim.Process.
+func (p *equivocatorProc) Deliver(ctx sim.Context, _ topology.NodeID, m sim.Message) {
+	if p.sent || m.Value > 1 {
+		return
+	}
+	switch m.Kind {
+	case sim.KindValue, sim.KindCommitted, sim.KindEcho, sim.KindReady:
+	default:
+		return
+	}
+	p.sent = true
+	for _, face := range []struct {
+		audience sim.Audience
+		value    byte
+	}{
+		{sim.AudienceEven, m.Value},
+		{sim.AudienceOdd, flip(m.Value)},
+	} {
+		for _, kind := range []sim.Kind{sim.KindValue, sim.KindEcho, sim.KindReady} {
+			ctx.Broadcast(sim.Message{
+				Kind:     kind,
+				Value:    face.value,
+				Origin:   ctx.Self(),
+				Audience: face.audience,
+				Instance: m.Instance,
+			})
+		}
+	}
+}
+
+// Decided implements sim.Process.
+func (p *equivocatorProc) Decided() (byte, bool) { return 0, false }
+
+var _ sim.Process = (*equivocatorProc)(nil)

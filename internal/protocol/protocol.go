@@ -21,6 +21,17 @@ const (
 	BV4
 	// BV2 is the 2-hop simplified protocol of §VI-B.
 	BV2
+	// Bracha is Bracha's ECHO/READY reliable broadcast — the
+	// message-passing literature's quorum protocol (N ≥ 3f+1), run under
+	// the radio harness for head-to-head comparison with the paper's
+	// locally-bounded protocols. Endorsements are counted by attributed
+	// physical sender, so quorums need single-hop reach.
+	Bracha
+	// BrachaAuth is the authenticated variant: simulated signatures pin
+	// VAL provenance and name ECHO/READY endorsers, and honest nodes relay
+	// each distinct signed message once, so quorums assemble across
+	// multi-hop relays on any connected graph.
+	BrachaAuth
 )
 
 // String names the protocol.
@@ -34,6 +45,10 @@ func (k Kind) String() string {
 		return "bv4"
 	case BV2:
 		return "bv2"
+	case Bracha:
+		return "bracha"
+	case BrachaAuth:
+		return "bracha-auth"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -69,16 +84,18 @@ func (m EvidenceMode) String() string {
 
 // Params configures a protocol instance.
 type Params struct {
-	// Net is the radio network (required). Flood and CPA run on any
-	// topology.Graph family; BV4 and BV2 need the torus geometry (grid
-	// neighborhood centers, designated path families) and reject every
-	// other family at construction.
+	// Net is the radio network (required). Flood, CPA and the Bracha
+	// family run on any topology.Graph family; BV4 and BV2 need the torus
+	// geometry (grid neighborhood centers, designated path families) and
+	// reject every other family at construction.
 	Net topology.Graph
 	// Source is the designated broadcast source.
 	Source topology.NodeID
 	// Value is the source's binary input.
 	Value byte
-	// T is the assumed per-neighborhood fault bound (ignored by Flood).
+	// T is the assumed fault bound (ignored by Flood): per closed
+	// neighborhood for the paper's locally-bounded protocols, global (the
+	// quorum f of N ≥ 3f+1) for the Bracha family.
 	T int
 	// Mode selects BV4 evidence handling; defaults to Designated.
 	Mode EvidenceMode
@@ -158,6 +175,8 @@ func NewFactory(kind Kind, p Params) (sim.ProcessFactory, error) {
 		return newBV4Factory(p)
 	case BV2:
 		return newBV2Factory(p)
+	case Bracha, BrachaAuth:
+		return newBrachaFactory(p, kind)
 	default:
 		return nil, fmt.Errorf("protocol: unknown protocol kind %d", int(kind))
 	}

@@ -192,6 +192,9 @@ func Run(cfg Config) (sim.Result, error) {
 				if crashAt[nb] <= round {
 					continue
 				}
+				if !tx.msg.Audience.Includes(nb) {
+					continue // directional transmission (adversarial; see sim.Message.Audience)
+				}
 				stats.Deliveries++
 				roundDeliveries++
 				if cfg.Trace != nil {

@@ -140,7 +140,65 @@ func Matrix() []Scenario {
 			Config: rbcast.Config{Topology: rbcast.TopologyCustom, Graph: chordRing(16, 4), Protocol: rbcast.ProtocolCPA, T: 1, Value: 1, MaxRounds: 64},
 			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategyLiar, Count: 2, Seed: 5},
 		},
+		// The Bracha quorum family (N ≥ 3T+1) under the radio harness, on
+		// all three topology families. The plain variant counts
+		// endorsements by physical sender, so its graphs are effectively
+		// complete (the 5×5 r2 torus and the radius-0.75 rgg are complete
+		// under their metrics; K13 explicitly so); the authenticated
+		// variant assembles quorums across multi-hop relays on a sparse
+		// rgg. The at-threshold runs place exactly T silent faults, making
+		// the N−T ECHO and 2T+1 READY quorums exact.
+		{
+			Name:   "bracha/at/5x5r2",
+			Config: rbcast.Config{Width: 5, Height: 5, Radius: 2, Protocol: rbcast.ProtocolBracha, T: 8, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 8, Seed: 3},
+		},
+		{
+			Name:   "bracha/conc-at/5x5r2",
+			Config: rbcast.Config{Width: 5, Height: 5, Radius: 2, Protocol: rbcast.ProtocolBracha, T: 8, Value: 1, Concurrent: true},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 8, Seed: 3},
+		},
+		{
+			Name:   "bracha-auth/at/5x5r2",
+			Config: rbcast.Config{Width: 5, Height: 5, Radius: 2, Protocol: rbcast.ProtocolBrachaAuth, T: 8, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 8, Seed: 3},
+		},
+		{
+			Name:   "bracha/rgg-at/n48",
+			Config: rbcast.Config{Topology: rbcast.TopologyRGG, Nodes: 48, RGGRadius: 0.75, TopologySeed: 5, Protocol: rbcast.ProtocolBracha, T: 5, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 5, Seed: 7},
+		},
+		{
+			Name:   "bracha/custom-at/k13",
+			Config: rbcast.Config{Topology: rbcast.TopologyCustom, Graph: complete(13), Protocol: rbcast.ProtocolBracha, T: 4, Value: 1},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 4, Seed: 3},
+		},
+		// Equivocation below the quorum bound: 3 two-faced nodes against
+		// T = 4 are absorbed — the run must stay AllCorrect. (The breach
+		// at f ≥ N/3 lives in the what-if test, not the golden matrix.)
+		{
+			Name:   "bracha/equivocator/k13",
+			Config: rbcast.Config{Topology: rbcast.TopologyCustom, Graph: complete(13), Protocol: rbcast.ProtocolBracha, T: 4, Value: 1, MaxRounds: 64},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategyEquivocator, Count: 3, Seed: 3},
+		},
+		{
+			Name:   "bracha-auth/rgg/n32",
+			Config: rbcast.Config{Topology: rbcast.TopologyRGG, Nodes: 32, RGGRadius: 0.3, TopologySeed: 2, Protocol: rbcast.ProtocolBrachaAuth, T: 2, Value: 1, MaxRounds: 128},
+			Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceRandomBounded, Strategy: rbcast.StrategySilent, Count: 2, Seed: 4},
+		},
 	}
+}
+
+// complete builds K_n — the quorum family's home turf, where every
+// endorsement is heard by every node in one hop.
+func complete(n int) *rbcast.GraphSpec {
+	spec := &rbcast.GraphSpec{Nodes: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			spec.Edges = append(spec.Edges, [2]int{i, j})
+		}
+	}
+	return spec
 }
 
 // chordRing builds the custom-family benchmark graph: an n-cycle with a

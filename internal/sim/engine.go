@@ -347,6 +347,9 @@ func (e *Engine) Step() bool {
 					if e.isCrashed(nb, round) {
 						continue
 					}
+					if !m.Audience.Includes(nb) {
+						continue // directional transmission (adversarial; see Message.Audience)
+					}
 					if !e.survives() {
 						continue // lost to an accidental collision / channel error
 					}

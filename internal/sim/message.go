@@ -22,6 +22,15 @@ const (
 	// relayer affixes its identifier so the full relay path is carried in
 	// the message (§VI).
 	KindHeard
+	// KindEcho is the ECHO(v) endorsement of Bracha's reliable broadcast:
+	// a node's one-time attestation that it accepted the source's VAL.
+	// Origin names the endorsing node (the "signer" of the authenticated
+	// variant).
+	KindEcho
+	// KindReady is the READY(v) endorsement of Bracha's reliable
+	// broadcast, sent on an N−f ECHO quorum or f+1 READY amplification.
+	// Origin names the endorsing node.
+	KindReady
 )
 
 // String names the kind.
@@ -33,8 +42,42 @@ func (k Kind) String() string {
 		return "COMMITTED"
 	case KindHeard:
 		return "HEARD"
+	case KindEcho:
+		return "ECHO"
+	case KindReady:
+		return "READY"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Audience restricts which neighbors a broadcast reaches. The radio medium
+// guarantees every neighbor hears every local broadcast; a restricted
+// audience is therefore a deliberate physical-layer violation (directional
+// transmission), available only to adversarial processes in the spirit of
+// the §X what-ifs — the Equivocator strategy shows different values to
+// different receiver partitions with it. Honest processes never set it; the
+// zero value (AudienceAll) preserves the medium's guarantee exactly.
+type Audience uint8
+
+const (
+	// AudienceAll delivers to every neighbor — the radio guarantee.
+	AudienceAll Audience = iota
+	// AudienceEven delivers only to even-id neighbors.
+	AudienceEven
+	// AudienceOdd delivers only to odd-id neighbors.
+	AudienceOdd
+)
+
+// Includes reports whether a receiver is inside the audience.
+func (a Audience) Includes(id topology.NodeID) bool {
+	switch a {
+	case AudienceEven:
+		return id%2 == 0
+	case AudienceOdd:
+		return id%2 != 0
+	default:
+		return true
 	}
 }
 
@@ -68,6 +111,10 @@ type Message struct {
 	// are ignored entirely.
 	Spoofed bool
 	Claimed topology.NodeID
+	// Audience restricts delivery to a receiver partition — a directional-
+	// transmission violation of the radio medium used by the Equivocator
+	// strategy. Honest processes leave it zero (AudienceAll).
+	Audience Audience
 }
 
 // ExtendPath returns a copy of m with relay appended to the path. The

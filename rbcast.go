@@ -54,6 +54,19 @@ const (
 	ProtocolBV4
 	// ProtocolBV2 is the simplified 2-hop protocol (§VI-B).
 	ProtocolBV2
+	// ProtocolBracha is Bracha's ECHO/READY reliable broadcast — the
+	// message-passing literature's quorum protocol, run under the radio
+	// harness for head-to-head comparison with the paper's locally-bounded
+	// protocols. T is the global quorum bound f (N ≥ 3T+1 is required):
+	// echo on VAL, ready on N−T ECHOs or T+1 READYs, deliver on 2T+1
+	// READYs. Endorsements are counted by attributed physical sender, so
+	// quorums need an effectively complete graph.
+	ProtocolBracha
+	// ProtocolBrachaAuth is the authenticated Bracha variant: simulated
+	// signatures pin VAL provenance and name ECHO/READY endorsers, and
+	// honest nodes relay each distinct signed message once, so quorums
+	// assemble across multi-hop relays on any connected graph.
+	ProtocolBrachaAuth
 )
 
 // String names the protocol.
@@ -67,6 +80,10 @@ func (p Protocol) String() string {
 		return "bv4"
 	case ProtocolBV2:
 		return "bv2"
+	case ProtocolBracha:
+		return "bracha"
+	case ProtocolBrachaAuth:
+		return "bracha-auth"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
 	}
@@ -81,7 +98,8 @@ type Config struct {
 	// Radius, Metric, SourceX, SourceY; rgg: Nodes, RGGRadius,
 	// TopologySeed, Source; custom: Graph, Source) and validation rejects
 	// fields belonging to another family. BV4/BV2 and the band placements
-	// are torus-only; Flood and CPA run on every family.
+	// are torus-only; Flood, CPA and the Bracha family run on every
+	// family.
 	Topology Topology `json:"topology,omitempty"`
 	// Width and Height are the torus dimensions (≥ 2·Radius+1 each).
 	Width  int `json:"width,omitempty"`
@@ -204,9 +222,19 @@ func (c Config) kind() (protocol.Kind, error) {
 		return protocol.BV4, nil
 	case ProtocolBV2:
 		return protocol.BV2, nil
+	case ProtocolBracha:
+		return protocol.Bracha, nil
+	case ProtocolBrachaAuth:
+		return protocol.BrachaAuth, nil
 	default:
 		return 0, fmt.Errorf("rbcast: invalid protocol %d", int(c.Protocol))
 	}
+}
+
+// quorum reports whether the protocol is of the global-quorum family, whose
+// thresholds require N ≥ 3T+1 on the materialized network.
+func (c Config) quorum() bool {
+	return c.Protocol == ProtocolBracha || c.Protocol == ProtocolBrachaAuth
 }
 
 // Run executes the scenario against the fault plan and reports the outcome.
@@ -233,6 +261,15 @@ func RunContext(ctx context.Context, cfg Config, plan FaultPlan) (Result, error)
 	kind, err := cfg.kind()
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.quorum() {
+		// The quorum thresholds only intersect when N ≥ 3T+1; the check
+		// needs the materialized network's size, so it lives here rather
+		// than in validate.
+		if n := net.Size(); n < 3*cfg.T+1 {
+			return Result{}, fmt.Errorf("rbcast: protocol %s needs N ≥ 3T+1 for quorum intersection, got N = %d, T = %d",
+				cfg.Protocol, n, cfg.T)
+		}
 	}
 	source, err := cfg.sourceID(net)
 	if err != nil {

@@ -99,7 +99,7 @@ func TestNonTorusScenariosEndToEnd(t *testing.T) {
 				}
 			}
 			if !res.Safe() {
-				t.Errorf("flood/cpa under these plans must stay safe; got %d wrong", res.Wrong)
+				t.Errorf("flood/cpa/bracha under these plans must stay safe; got %d wrong", res.Wrong)
 			}
 		})
 	}

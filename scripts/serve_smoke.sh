@@ -79,6 +79,18 @@ curl -fsS -D "$TMP/hr2" -H 'Content-Type: application/json' \
 grep -qi '^X-Rbcast-Cache: hit' "$TMP/hr2" || fail "second rgg run was not a cache hit"
 cmp -s "$TMP/rgg1" "$TMP/rgg2" || fail "cached rgg body differs from the original"
 
+# Quorum family: a Bracha run under an equivocating adversary on a complete
+# rgg must serve, decode its strategy/protocol enums, and cache like the rest.
+BRACHA='{"config":{"topology":"rgg","nodes":16,"rgg_radius":0.75,"topology_seed":3,"protocol":"bracha","t":5,"value":1,"max_rounds":64},"plan":{"placement":"random-bounded","strategy":"equivocator","count":3,"seed":2}}'
+curl -fsS -D "$TMP/hb1" -H 'Content-Type: application/json' \
+    -d "$BRACHA" "$BASE/v1/run" >"$TMP/bracha1" || fail "bracha /v1/run failed"
+grep -qi '^X-Rbcast-Cache: miss' "$TMP/hb1" || fail "bracha run was not a cache miss"
+grep -q '"fingerprint"' "$TMP/bracha1" || fail "bracha response carries no fingerprint"
+curl -fsS -D "$TMP/hb2" -H 'Content-Type: application/json' \
+    -d "$BRACHA" "$BASE/v1/run" >"$TMP/bracha2" || fail "second bracha /v1/run failed"
+grep -qi '^X-Rbcast-Cache: hit' "$TMP/hb2" || fail "second bracha run was not a cache hit"
+cmp -s "$TMP/bracha1" "$TMP/bracha2" || fail "cached bracha body differs from the original"
+
 # Batch round trip: submit, poll to completion, check the results.
 BATCH="{\"jobs\":[$SCENARIO,{\"config\":{\"width\":16,\"height\":10,\"radius\":1,\"protocol\":\"flood\",\"value\":1},\"plan\":{}}]}"
 curl -fsS -H 'Content-Type: application/json' -d "$BATCH" "$BASE/v1/batch" >"$TMP/ack" \
@@ -108,9 +120,9 @@ MISSES=$(awk '$1 == "rbcastd_cache_misses_total" {print $2}' "$TMP/metrics")
 RUNS=$(awk '$1 == "rbcastd_sim_runs_total" {print $2}' "$TMP/metrics")
 [ "${HITS:-0}" -ge 1 ] 2>/dev/null || fail "cache_hits_total = ${HITS:-unset}, want >= 1"
 [ "${MISSES:-0}" -ge 1 ] 2>/dev/null || fail "cache_misses_total = ${MISSES:-unset}, want >= 1"
-[ "${RUNS:-0}" -ge 2 ] 2>/dev/null || fail "sim_runs_total = ${RUNS:-unset}, want >= 2"
-grep -q 'rbcastd_requests_total{path="/v1/run"} 4' "$TMP/metrics" \
-    || fail "request counter for /v1/run is not 4"
+[ "${RUNS:-0}" -ge 3 ] 2>/dev/null || fail "sim_runs_total = ${RUNS:-unset}, want >= 3"
+grep -q 'rbcastd_requests_total{path="/v1/run"} 6' "$TMP/metrics" \
+    || fail "request counter for /v1/run is not 6"
 
 # Graceful shutdown: SIGTERM must drain and exit cleanly.
 kill "$PID"

@@ -119,7 +119,10 @@ func (c Config) validateTopology() error {
 	if c.family() != TopologyTorus {
 		switch c.Protocol {
 		case ProtocolBV4, ProtocolBV2:
-			return fmt.Errorf("rbcast: protocol %s requires the torus topology (its commit rules are grid constructions), got %s",
+			// One format across every torus-only rejection (here, the
+			// placement gate, and internal/protocol): the requesting
+			// protocol or placement, then the offending family.
+			return fmt.Errorf("rbcast: protocol %s requires the torus topology, got family %q",
 				c.Protocol, c.family())
 		}
 		if c.ExactEvidence {

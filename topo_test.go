@@ -119,6 +119,70 @@ func TestNonTorusSourceResolution(t *testing.T) {
 	}
 }
 
+// TestTorusOnlyRejectionFormat pins the one canonical message format shared
+// by every torus-only gate — the Config protocol gate, the placement gate,
+// and the internal protocol factory — as exact strings: the requesting
+// protocol or placement first, then the offending family. A drifted copy
+// of the message in any layer fails here by its full text.
+func TestTorusOnlyRejectionFormat(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{
+			name: "bv4 on rgg",
+			run: func() error {
+				cfg := rggConfig()
+				cfg.Protocol = ProtocolBV4
+				cfg.T = 1
+				_, err := Run(cfg, FaultPlan{})
+				return err
+			},
+			want: `rbcast: protocol bv4 requires the torus topology, got family "rgg"`,
+		},
+		{
+			name: "bv2 on custom",
+			run: func() error {
+				cfg := customConfig()
+				cfg.Protocol = ProtocolBV2
+				cfg.T = 1
+				_, err := Run(cfg, FaultPlan{})
+				return err
+			},
+			want: `rbcast: protocol bv2 requires the torus topology, got family "custom"`,
+		},
+		{
+			name: "band placement on rgg",
+			run: func() error {
+				_, err := Run(rggConfig(), FaultPlan{Placement: PlaceBand, Strategy: StrategySilent})
+				return err
+			},
+			want: `rbcast: placement band requires the torus topology, got family "rgg"`,
+		},
+		{
+			name: "greedy-band placement on custom",
+			run: func() error {
+				_, err := Run(customConfig(), FaultPlan{Placement: PlaceGreedyBand, Strategy: StrategySilent})
+				return err
+			},
+			want: `rbcast: placement greedy-band requires the torus topology, got family "custom"`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("expected the torus-only rejection, got nil")
+			}
+			if err.Error() != tc.want {
+				t.Errorf("error drifted from the canonical format:\n got:  %s\n want: %s", err, tc.want)
+			}
+		})
+	}
+}
+
 // TestBandPlacementRequiresTorus pins the placement gate: band-style
 // placements are torus geometry and must reject other families by name.
 func TestBandPlacementRequiresTorus(t *testing.T) {

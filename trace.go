@@ -74,10 +74,14 @@ const (
 	RuleVotes
 	// RuleFlood: crash-stop flooding — commit on any reception (§VII).
 	RuleFlood
+	// RuleReadyQuorum: the Bracha family's delivery rule — 2T+1 distinct
+	// READY endorsements of one value, optionally backed by the N−T ECHO
+	// quorum that triggered the node's own READY.
+	RuleReadyQuorum
 )
 
 // String names the rule ("source", "direct", "quorum", "disjoint-chains",
-// "votes", "flood").
+// "votes", "flood", "ready-quorum").
 func (r CommitRule) String() string {
 	switch r {
 	case RuleSource:
@@ -92,6 +96,8 @@ func (r CommitRule) String() string {
 		return "votes"
 	case RuleFlood:
 		return "flood"
+	case RuleReadyQuorum:
+		return "ready-quorum"
 	default:
 		return fmt.Sprintf("CommitRule(%d)", int(r))
 	}
@@ -132,10 +138,15 @@ type Certificate struct {
 	Value byte `json:"value,omitempty"`
 	// Center is the closed-neighborhood center the rule fired at.
 	Center *Node `json:"center,omitempty"`
-	// Voters lists the distinct attributed senders the rule counted.
+	// Voters lists the distinct attributed senders the rule counted (for
+	// ready-quorum: the READY endorsers).
 	Voters []Node `json:"voters,omitempty"`
 	// Evidence lists per-origin chain evidence, in origin-id order.
 	Evidence []TraceEvidence `json:"evidence,omitempty"`
+	// Echoes lists the N−T distinct ECHO endorsers whose quorum triggered
+	// the committing node's own READY (ready-quorum only; empty when that
+	// READY came from T+1 READY amplification instead).
+	Echoes []Node `json:"echoes,omitempty"`
 }
 
 // TraceEvent is one recorded execution event. Round and Kind are always
@@ -238,6 +249,12 @@ func newCertificate(g topology.Graph, c *etrace.Certificate) *Certificate {
 			cert.Voters[i] = nodeOf(id)
 		}
 	}
+	if len(c.Echoes) > 0 {
+		cert.Echoes = make([]Node, len(c.Echoes))
+		for i, id := range c.Echoes {
+			cert.Echoes[i] = nodeOf(id)
+		}
+	}
 	if len(c.Evidence) > 0 {
 		cert.Evidence = make([]TraceEvidence, len(c.Evidence))
 		for i, e := range c.Evidence {
@@ -335,6 +352,21 @@ func explainCommit(ev *TraceEvent) string {
 		fmt.Fprintf(&b, "  %d collectively node-disjoint report chains for value %d lie inside the closed neighborhood centered at %v (§VI-B):\n",
 			len(cert.Evidence), cert.Value, centerName(cert.Center))
 		writeEvidence(&b, cert.Evidence)
+	case RuleReadyQuorum:
+		fmt.Fprintf(&b, "  %d distinct nodes announced READY for value %d — a 2f+1 delivery quorum (Bracha):\n",
+			len(cert.Voters), cert.Value)
+		for _, v := range cert.Voters {
+			fmt.Fprintf(&b, "    ready %v\n", v)
+		}
+		if len(cert.Echoes) > 0 {
+			fmt.Fprintf(&b, "  its own READY was triggered by an N−f ECHO quorum of %d distinct endorsers:\n",
+				len(cert.Echoes))
+			for _, e := range cert.Echoes {
+				fmt.Fprintf(&b, "    echo %v\n", e)
+			}
+		} else {
+			b.WriteString("  its own READY (if any) came from f+1 READY amplification, not an ECHO quorum.\n")
+		}
 	default:
 		b.WriteString("  (unknown rule.)\n")
 	}
