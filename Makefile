@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: verify ci build vet test race experiments serve-smoke trace-smoke load-smoke cover bench bench-smoke bench-diff
+.PHONY: verify ci build vet test race experiments serve-smoke trace-smoke load-smoke sweep-smoke cover bench bench-smoke bench-sweep bench-diff
 
 # ci is the gate .github/workflows/ci.yml runs on every push and pull
 # request: tier-1 (build + test) plus vet, the race detector across every
 # package, the rbcastd serving smoke test, the execution-trace smoke test,
-# the saturation/backpressure smoke test, and the benchmark-scenario
-# golden-hash smoke. The full benchmark suite and bench-diff stay out —
-# they need a quiet machine and run in the nightly workflow instead.
-ci: build vet test race serve-smoke trace-smoke load-smoke bench-smoke
+# the saturation/backpressure smoke test, the /v1/sweep planner smoke test,
+# and the benchmark-scenario golden-hash smoke. The full benchmark suite,
+# bench-sweep, and bench-diff stay out — they need a quiet machine and run
+# in the nightly workflow instead.
+ci: build vet test race serve-smoke trace-smoke load-smoke sweep-smoke bench-smoke
 
 # verify is the full pre-merge gate; it is exactly what CI runs.
 verify: ci
@@ -49,6 +50,14 @@ trace-smoke:
 load-smoke:
 	GO="$(GO)" sh scripts/load_smoke.sh
 
+# sweep-smoke boots rbcastd and exercises /v1/sweep against the scalar
+# surface: a pre-run element must come back cached and byte-identical, a
+# sweep-computed element must be a /v1/run cache hit under the same
+# fingerprint, repeats are pure cache reads, oversized grids 400, and the
+# sweep counters show on /metrics.
+sweep-smoke:
+	GO="$(GO)" sh scripts/sweep_smoke.sh
+
 # cover runs the test suite with coverage and prints a per-package summary
 # plus the total; the profile lands in cover.out for `go tool cover -html`.
 cover:
@@ -64,6 +73,13 @@ bench:
 # against testdata/results.golden — the fast correctness gate in `verify`.
 bench-smoke:
 	$(GO) run ./cmd/bench -smoke
+
+# bench-sweep times the incremental sweep engine against element-by-element
+# RunBatch on the canonical sweep workloads, checks every element hash for
+# byte-identity, and fails below a 2x node-round (or wall) speedup. See
+# PERFORMANCE.md for the current numbers.
+bench-sweep:
+	$(GO) run ./cmd/bench -sweep
 
 # bench-diff runs the full suite and fails on a >10% allocation regression
 # against the committed baseline (testdata/bench_baseline.json).

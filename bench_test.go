@@ -1,4 +1,4 @@
-package rbcast
+package rbcast_test
 
 // The benchmark harness regenerates every reproduced paper artifact (one
 // benchmark per experiment id from DESIGN.md) and additionally measures the
@@ -9,6 +9,7 @@ package rbcast
 import (
 	"testing"
 
+	rbcast "repro"
 	"repro/internal/experiments"
 )
 
@@ -53,14 +54,16 @@ func BenchmarkE23LossyMedium(b *testing.B)     { benchExperiment(b, "E23") }
 func BenchmarkE24Analyzer(b *testing.B)        { benchExperiment(b, "E24") }
 func BenchmarkE25MsgComplexity(b *testing.B)   { benchExperiment(b, "E25") }
 func BenchmarkE26Agreement(b *testing.B)       { benchExperiment(b, "E26") }
+func BenchmarkE27QuorumSweep(b *testing.B)     { benchExperiment(b, "E27") }
+func BenchmarkE28QuorumAuth(b *testing.B)      { benchExperiment(b, "E28") }
 
 // BenchmarkFloodSequential measures the deterministic engine on a fault-free
 // flood: the raw cost of one full broadcast wave.
 func BenchmarkFloodSequential(b *testing.B) {
-	cfg := Config{Width: 32, Height: 32, Radius: 2, Protocol: ProtocolFlood, Value: 1}
+	cfg := rbcast.Config{Width: 32, Height: 32, Radius: 2, Protocol: rbcast.ProtocolFlood, Value: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg, FaultPlan{})
+		res, err := rbcast.Run(cfg, rbcast.FaultPlan{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,10 +76,10 @@ func BenchmarkFloodSequential(b *testing.B) {
 // BenchmarkFloodConcurrent measures the goroutine-per-node engine on the
 // same workload.
 func BenchmarkFloodConcurrent(b *testing.B) {
-	cfg := Config{Width: 32, Height: 32, Radius: 2, Protocol: ProtocolFlood, Value: 1, Concurrent: true}
+	cfg := rbcast.Config{Width: 32, Height: 32, Radius: 2, Protocol: rbcast.ProtocolFlood, Value: 1, Concurrent: true}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg, FaultPlan{})
+		res, err := rbcast.Run(cfg, rbcast.FaultPlan{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,14 +92,14 @@ func BenchmarkFloodConcurrent(b *testing.B) {
 // BenchmarkCPAThreshold measures the simple protocol at its Theorem 6 bound.
 func BenchmarkCPAThreshold(b *testing.B) {
 	r := 2
-	cfg := Config{
+	cfg := rbcast.Config{
 		Width: 24, Height: 14, Radius: r,
-		Protocol: ProtocolCPA, T: MaxCPALinf(r), Value: 1,
+		Protocol: rbcast.ProtocolCPA, T: rbcast.MaxCPALinf(r), Value: 1,
 	}
-	plan := FaultPlan{Placement: PlaceGreedyBand, Strategy: StrategySilent}
+	plan := rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg, plan)
+		res, err := rbcast.Run(cfg, plan)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,14 +113,14 @@ func BenchmarkCPAThreshold(b *testing.B) {
 // exact threshold with forger adversaries (designated evidence mode).
 func BenchmarkBV4Threshold(b *testing.B) {
 	r := 1
-	cfg := Config{
+	cfg := rbcast.Config{
 		Width: 16, Height: 10, Radius: r,
-		Protocol: ProtocolBV4, T: MaxByzantineLinf(r), Value: 1,
+		Protocol: rbcast.ProtocolBV4, T: rbcast.MaxByzantineLinf(r), Value: 1,
 	}
-	plan := FaultPlan{Placement: PlaceGreedyBand, Strategy: StrategyForger}
+	plan := rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyForger}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg, plan)
+		res, err := rbcast.Run(cfg, plan)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,14 +133,14 @@ func BenchmarkBV4Threshold(b *testing.B) {
 // BenchmarkBV2Threshold measures the two-hop protocol at the threshold.
 func BenchmarkBV2Threshold(b *testing.B) {
 	r := 1
-	cfg := Config{
+	cfg := rbcast.Config{
 		Width: 16, Height: 10, Radius: r,
-		Protocol: ProtocolBV2, T: MaxByzantineLinf(r), Value: 1,
+		Protocol: rbcast.ProtocolBV2, T: rbcast.MaxByzantineLinf(r), Value: 1,
 	}
-	plan := FaultPlan{Placement: PlaceGreedyBand, Strategy: StrategySilent}
+	plan := rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg, plan)
+		res, err := rbcast.Run(cfg, plan)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -156,6 +156,39 @@ type batchRequest struct {
 	Workers int          `json:"workers,omitempty"`
 }
 
+// sweepRequest is the POST /v1/sweep payload.
+type sweepRequest struct {
+	Base    rbcast.Job       `json:"base"`
+	Axes    rbcast.SweepAxes `json:"axes"`
+	Workers int              `json:"workers,omitempty"`
+}
+
+// SweepResult is a completed /v1/sweep call: per-element outcomes in grid
+// order plus the daemon's sweep-engine statistics for the executed
+// elements.
+type SweepResult struct {
+	// Elements are the per-element outcomes, index-aligned with
+	// SweepSpec.Elements expansion order (placements outermost, crash
+	// rounds innermost).
+	Elements []SweepElement
+	// Stats reports the incremental engine's sharing for this sweep's
+	// cache misses.
+	Stats rbcast.SweepStats
+}
+
+// SweepElement is one sweep element's outcome.
+type SweepElement struct {
+	Index       int            `json:"index"`
+	Fingerprint string         `json:"fingerprint"`
+	Result      *rbcast.Result `json:"result,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	// Cached reports the daemon served the element from its result cache
+	// without simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Partial marks an element the daemon's job deadline cut short.
+	Partial bool `json:"partial,omitempty"`
+}
+
 // Run executes one scenario synchronously, retrying shed requests.
 func (c *Client) Run(ctx context.Context, cfg rbcast.Config, plan rbcast.FaultPlan) (RunResult, error) {
 	body, err := json.Marshal(rbcast.Job{Config: cfg, Plan: plan})
@@ -190,6 +223,51 @@ func (c *Client) Submit(ctx context.Context, jobs []rbcast.Job, workers int) (Ba
 		return BatchAck{}, fmt.Errorf("client: decoding batch ack: %w", err)
 	}
 	return ack, nil
+}
+
+// Sweep plans and executes a parameter grid on the daemon, retrying shed
+// requests. The daemon expands base × axes server-side, serves cached
+// elements without simulating, and shares work across the rest through the
+// incremental sweep engine; every element is byte-identical to an
+// independent Run. workers ≤ 0 leaves the pool size to the daemon.
+func (c *Client) Sweep(ctx context.Context, base rbcast.Job, axes rbcast.SweepAxes, workers int) (SweepResult, error) {
+	body, err := json.Marshal(sweepRequest{Base: base, Axes: axes, Workers: workers})
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("client: encoding sweep: %w", err)
+	}
+	_, data, err := c.do(ctx, http.MethodPost, "/v1/sweep", body)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return parseSweepStream(data)
+}
+
+// parseSweepStream decodes the /v1/sweep NDJSON body: a header line with
+// the planned element count, one line per element, and a stats trailer.
+func parseSweepStream(data []byte) (SweepResult, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var header struct {
+		Elements int `json:"elements"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return SweepResult{}, fmt.Errorf("client: decoding sweep header: %w", err)
+	}
+	out := SweepResult{Elements: make([]SweepElement, 0, header.Elements)}
+	for i := 0; i < header.Elements; i++ {
+		var el SweepElement
+		if err := dec.Decode(&el); err != nil {
+			return SweepResult{}, fmt.Errorf("client: decoding sweep element %d: %w", i, err)
+		}
+		out.Elements = append(out.Elements, el)
+	}
+	var trailer struct {
+		Stats rbcast.SweepStats `json:"stats"`
+	}
+	if err := dec.Decode(&trailer); err != nil {
+		return SweepResult{}, fmt.Errorf("client: decoding sweep stats: %w", err)
+	}
+	out.Stats = trailer.Stats
+	return out, nil
 }
 
 // Job fetches a batch job's status.

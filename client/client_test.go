@@ -231,3 +231,57 @@ func TestParseRetryAfter(t *testing.T) {
 		})
 	}
 }
+
+func TestSweepAgainstRealDaemon(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+	c := New(ts.URL, Options{})
+
+	base := rbcast.Job{
+		Config: rbcast.Config{Width: 14, Height: 10, Radius: 1, Protocol: rbcast.ProtocolFlood, Value: 1},
+		Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceBand, Strategy: rbcast.StrategyCrash},
+	}
+	axes := rbcast.SweepAxes{CrashRounds: []int{1, 2, 3}}
+	got, err := c.Sweep(context.Background(), base, axes, 0)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(got.Elements) != 3 {
+		t.Fatalf("got %d elements, want 3", len(got.Elements))
+	}
+	spec := rbcast.SweepSpec{Base: base, Axes: axes}
+	jobs, err := spec.Elements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, el := range got.Elements {
+		if el.Error != "" || el.Result == nil {
+			t.Fatalf("element %d failed: %s", i, el.Error)
+		}
+		want, err := rbcast.Run(jobs[i].Config, jobs[i].Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if el.Result.Rounds != want.Rounds || el.Result.Correct != want.Correct {
+			t.Errorf("element %d diverges: rounds %d correct %d, want %d/%d",
+				i, el.Result.Rounds, el.Result.Correct, want.Rounds, want.Correct)
+		}
+		if el.Fingerprint != jobs[i].Fingerprint() {
+			t.Errorf("element %d fingerprint %q", i, el.Fingerprint)
+		}
+	}
+	if got.Stats.Forks == 0 {
+		t.Errorf("stats %+v: expected prefix forks", got.Stats)
+	}
+
+	// A repeat sweep is a pure cache read.
+	again, err := c.Sweep(context.Background(), base, axes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, el := range again.Elements {
+		if !el.Cached {
+			t.Errorf("repeat element %d not cached", i)
+		}
+	}
+}

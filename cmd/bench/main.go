@@ -9,6 +9,7 @@
 //	bench                       # full run → BENCH_3.json
 //	bench -smoke                # one run per scenario, golden-hash check only
 //	bench -against FILE         # full run, fail on >threshold% alloc regression
+//	bench -sweep                # sweep workload: RunSweep vs RunBatch, gated ≥2x
 //
 // The -smoke mode is wired into `make verify`; scripts/benchdiff.sh wraps
 // -against with the committed baseline. Timing (ns_op) is machine-dependent
@@ -25,6 +26,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	rbcast "repro"
 	"repro/internal/scenarios"
@@ -67,10 +69,19 @@ func main() {
 	golden := flag.String("golden", "testdata/results.golden", "golden hash file for -smoke")
 	against := flag.String("against", "", "baseline JSON report to compare allocations against")
 	threshold := flag.Float64("threshold", 10, "allowed allocs_op regression vs -against, in percent")
+	sweep := flag.Bool("sweep", false, "run the sweep workload: RunSweep vs RunBatch on a crash-round grid")
+	minSpeedup := flag.Float64("min-speedup", 2, "minimum node-round (or wall-clock) ratio the sweep workload must achieve")
 	flag.Parse()
 
 	if *smoke {
 		if err := runSmoke(*golden); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sweep {
+		if err := runSweepBench(*minSpeedup); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -125,6 +136,84 @@ func runSmoke(goldenPath string) error {
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d scenario(s) diverge from testdata/results.golden", bad)
+	}
+	return nil
+}
+
+// sweepWorkloads are the grids the -sweep mode measures: crash-round
+// sweeps with a dead threshold axis, the shape the incremental engine is
+// built for, across both cloneable protocols.
+func sweepWorkloads() []struct {
+	name string
+	spec rbcast.SweepSpec
+} {
+	crashRounds := make([]int, 24)
+	for i := range crashRounds {
+		crashRounds[i] = i + 1
+	}
+	return []struct {
+		name string
+		spec rbcast.SweepSpec
+	}{
+		{"flood/40x30", rbcast.SweepSpec{
+			Base: rbcast.Job{
+				Config: rbcast.Config{Width: 40, Height: 30, Radius: 1, Protocol: rbcast.ProtocolFlood, Value: 1},
+				Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceBand, Strategy: rbcast.StrategyCrash},
+			},
+			Axes: rbcast.SweepAxes{Ts: []int{0, 1, 2}, CrashRounds: crashRounds},
+		}},
+		{"cpa/32x24", rbcast.SweepSpec{
+			Base: rbcast.Job{
+				Config: rbcast.Config{Width: 32, Height: 24, Radius: 2, Protocol: rbcast.ProtocolCPA, T: 2, Value: 1},
+				Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategyCrash},
+			},
+			Axes: rbcast.SweepAxes{Seeds: []int64{1, 2}, CrashRounds: crashRounds[:16]},
+		}},
+	}
+}
+
+// runSweepBench measures the incremental sweep engine against scalar
+// RunBatch on the same grids: per-element results must match exactly, and
+// the simulated node-round reduction (or, failing that, wall clock) must
+// reach minSpeedup. This is the performance gate for the sweep engine.
+func runSweepBench(minSpeedup float64) error {
+	for _, wl := range sweepWorkloads() {
+		jobs, err := wl.spec.Elements()
+		if err != nil {
+			return fmt.Errorf("%s: %v", wl.name, err)
+		}
+		batchStart := time.Now()
+		batch := rbcast.RunBatch(jobs, rbcast.BatchOptions{})
+		batchWall := time.Since(batchStart)
+		sweepStart := time.Now()
+		swept, stats := rbcast.RunSweepJobs(jobs, rbcast.BatchOptions{})
+		sweepWall := time.Since(sweepStart)
+		for i := range jobs {
+			if batch[i].Err != nil || swept[i].Err != nil {
+				return fmt.Errorf("%s[%d]: batch err %v, sweep err %v", wl.name, i, batch[i].Err, swept[i].Err)
+			}
+			bh, err := scenarios.ResultHash(batch[i].Result)
+			if err != nil {
+				return fmt.Errorf("%s[%d]: %v", wl.name, i, err)
+			}
+			sh, err := scenarios.ResultHash(swept[i].Result)
+			if err != nil {
+				return fmt.Errorf("%s[%d]: %v", wl.name, i, err)
+			}
+			if bh != sh {
+				return fmt.Errorf("%s[%d]: sweep result %s diverges from scalar %s", wl.name, i, sh[:12], bh[:12])
+			}
+		}
+		nodeRatio := float64(stats.ScalarNodeRounds) / float64(max(stats.NodeRounds, 1))
+		wallRatio := float64(batchWall) / float64(max(int64(sweepWall), 1))
+		fmt.Printf("%-14s %3d elements  %4d sims  %3d forks  node-rounds %d vs %d (%.2fx)  wall %v vs %v (%.2fx)\n",
+			wl.name, stats.Elements, stats.Simulations, stats.Forks,
+			stats.NodeRounds, stats.ScalarNodeRounds, nodeRatio,
+			sweepWall.Round(time.Millisecond), batchWall.Round(time.Millisecond), wallRatio)
+		if nodeRatio < minSpeedup && wallRatio < minSpeedup {
+			return fmt.Errorf("%s: node-round ratio %.2fx and wall ratio %.2fx both below the %.1fx gate",
+				wl.name, nodeRatio, wallRatio, minSpeedup)
+		}
 	}
 	return nil
 }

@@ -86,9 +86,48 @@ func main() {
 
 	phaseBusyShed(ctx, noRetry, retrying)
 	phaseQueueBackpressure(ctx, noRetry, retrying)
+	phaseSweep(ctx, retrying)
 	phaseFinalState(ctx, noRetry)
 
 	log.Print("ok: daemon shed under saturation, isolated the over-deadline job, and stayed healthy")
+}
+
+// phaseSweep drives /v1/sweep through the shedding machinery: the retrying
+// client must ride any 429 to a complete grid, the sweep engine must share
+// work across the dead threshold axis, and a repeat sweep must be a pure
+// cache read.
+func phaseSweep(ctx context.Context, retrying *client.Client) {
+	base := rbcast.Job{
+		Config: rbcast.Config{Width: 16, Height: 12, Radius: 1, Protocol: rbcast.ProtocolFlood, Value: 1},
+		Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceBand, Strategy: rbcast.StrategyCrash},
+	}
+	axes := rbcast.SweepAxes{Ts: []int{0, 1}, CrashRounds: []int{1, 2, 3, 4}}
+	sw, err := retrying.Sweep(ctx, base, axes, 0)
+	if err != nil {
+		log.Fatalf("FAIL: sweep did not survive the saturated daemon: %v", err)
+	}
+	if len(sw.Elements) != 8 {
+		log.Fatalf("FAIL: sweep planned %d elements, want 8", len(sw.Elements))
+	}
+	for i, el := range sw.Elements {
+		if el.Error != "" || el.Result == nil {
+			log.Fatalf("FAIL: sweep element %d did not complete: %+v", i, el)
+		}
+	}
+	if sw.Stats.SharedResults == 0 {
+		log.Fatalf("FAIL: sweep engine shared nothing across the dead T axis: %+v", sw.Stats)
+	}
+	again, err := retrying.Sweep(ctx, base, axes, 0)
+	if err != nil {
+		log.Fatalf("FAIL: repeat sweep: %v", err)
+	}
+	for i, el := range again.Elements {
+		if !el.Cached {
+			log.Fatalf("FAIL: repeat sweep element %d was not served from cache", i)
+		}
+	}
+	log.Printf("sweep: 8 elements complete (%d shared, %d simulated), repeat fully cached",
+		sw.Stats.SharedResults, sw.Stats.Simulations)
 }
 
 // phaseBusyShed saturates the single execution slot with a slow sync run

@@ -378,6 +378,80 @@ func (j Job) canonical() []byte {
 	return []byte(b.String())
 }
 
+// executionKeyVersion prefixes execution keys; bump it whenever the
+// normalization rules below change.
+const executionKeyVersion = "rbcast/exec/v1"
+
+// executionKey returns the canonical *execution* identity of a job: two
+// valid jobs with equal keys produce byte-identical Results (Metrics.Wall
+// aside), because they differ only in parameters the execution provably
+// never consumes. The sweep engine (sweep.go) groups grid elements by this
+// key so each distinct execution is simulated once.
+//
+// The key is strictly coarser than Fingerprint: beyond the fingerprint's
+// zero-value aliases it erases parameters that are dead for the specific
+// scenario. Every normalization below is justified against the actual data
+// flow (faultplan.go materialize, sim.Engine, the protocol factories); when
+// in doubt a parameter is kept, which only costs sharing, never correctness.
+// Keys of invalid jobs may collide across differently-invalid spellings;
+// that is fine because grouped elements share the representative's
+// validation error too.
+func (j Job) executionKey() string {
+	c, p := j.Config, j.Plan
+	placement := p.Placement
+	if placement == 0 {
+		placement = PlaceNone
+	}
+	strategy := p.Strategy
+	if strategy == 0 {
+		strategy = StrategyCrash
+	}
+	validStrategy := strategy >= StrategyCrash && strategy <= StrategyEquivocator
+	// Placement-dead knobs. Seed only feeds the randomized placements
+	// (random-bounded, percolation); Count only random-bounded;
+	// Probability only percolation; Budget only the budgeted placements
+	// (greedy-band, random-bounded).
+	if placement != PlaceRandomBounded && placement != PlacePercolation {
+		p.Seed = 0
+	}
+	if placement != PlaceRandomBounded {
+		p.Count = 0
+	}
+	if placement != PlacePercolation {
+		p.Probability = 0
+	}
+	budgeted := placement == PlaceGreedyBand || placement == PlaceRandomBounded
+	if !budgeted {
+		p.Budget = 0
+	}
+	// With no faults placed, the strategy and crash schedule act on an
+	// empty set: any *valid* strategy behaves identically (an invalid one
+	// still errors, so it must keep its own key).
+	if placement == PlaceNone && validStrategy {
+		p.Strategy = StrategyCrash
+		p.CrashRound = 0
+	}
+	// CrashRound is consumed only by StrategyCrash (materialize builds the
+	// crash map from it); the Byzantine strategies ignore it.
+	if validStrategy && strategy != StrategyCrash {
+		p.CrashRound = 0
+	}
+	// Flood ignores T in the protocol (§VII: reachability is the sole
+	// criterion) and Result never echoes it — but T still resolves the
+	// fault budget when a budgeted placement runs with Budget 0, and
+	// validation rejects T < 0, so only the provably-dead case collapses.
+	if c.Protocol == ProtocolFlood && c.T > 0 && !(budgeted && p.Budget == 0) {
+		c.T = 0
+	}
+	// The medium's rng exists only when LossRate > 0, so MediumSeed is dead
+	// on the ideal medium — except under Concurrent, where validation
+	// rejects a nonzero MediumSeed outright.
+	if c.LossRate == 0 && !c.Concurrent {
+		c.MediumSeed = 0
+	}
+	return executionKeyVersion + "\n" + string(Job{Config: c, Plan: p}.canonical())
+}
+
 // canonicalEdges renders an undirected edge list canonically: each edge
 // low-endpoint-first, the list sorted, rendered "a-b,c-d".
 func canonicalEdges(edges [][2]int) string {

@@ -1,0 +1,22 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/evidence"
+	"repro/internal/topology"
+)
+
+// BV4ClosureMemo is BV4Closure evaluated through an evidence.PatternMemo:
+// per-center honest-path counts are cached by local fault pattern and folded
+// under the eight grid symmetries, which is what makes fault-placement
+// sweeps over one torus O(distinct patterns) instead of O(elements × paths).
+// The prediction is identical to BV4Closure for every input — the memo is an
+// exact cache, never an approximation — and the differential experiments
+// pin that equality.
+func BV4ClosureMemo(net *topology.Network, memo *evidence.PatternMemo, source topology.NodeID, byzantine []topology.NodeID, t int) (Prediction, error) {
+	if memo == nil {
+		return Prediction{}, fmt.Errorf("analysis: pattern memo is required")
+	}
+	return bv4ClosureWith(net, memo.HonestPathCount, source, byzantine, t)
+}

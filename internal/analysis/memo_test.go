@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/evidence"
+	"repro/internal/topology"
+)
+
+// TestBV4ClosureMemoMatches differentially validates the memoized closure
+// against the direct one over a randomized fault-placement sweep: every
+// prediction must be identical node-for-node, and the shared memo must
+// actually hit across sweep elements.
+func TestBV4ClosureMemoMatches(t *testing.T) {
+	for _, r := range []int{1, 2} {
+		net := testNet(t, 4*r+8, 4*r+6, r)
+		ft, err := evidence.NewFamilyTable(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo := evidence.NewPatternMemo(ft)
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		tBound := r * (2*r + 1) / 2
+		for trial := 0; trial < 25; trial++ {
+			source := topology.NodeID(rng.Intn(net.Size()))
+			var byz []topology.NodeID
+			seen := map[topology.NodeID]bool{source: true}
+			for i := 0; i < rng.Intn(2*tBound+2); i++ {
+				id := topology.NodeID(rng.Intn(net.Size()))
+				if !seen[id] {
+					seen[id] = true
+					byz = append(byz, id)
+				}
+			}
+			want, werr := BV4Closure(net, ft, source, byz, tBound)
+			got, gerr := BV4ClosureMemo(net, memo, source, byz, tBound)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("r=%d trial=%d: memo err %v, direct err %v", r, trial, gerr, werr)
+			}
+			if werr != nil {
+				continue
+			}
+			if got.Count != want.Count || got.Rounds != want.Rounds {
+				t.Fatalf("r=%d trial=%d: memo (count %d, rounds %d), direct (count %d, rounds %d)",
+					r, trial, got.Count, got.Rounds, want.Count, want.Rounds)
+			}
+			for id := range want.Committed {
+				if got.Committed[id] != want.Committed[id] {
+					t.Fatalf("r=%d trial=%d node %d: memo %v, direct %v",
+						r, trial, id, got.Committed[id], want.Committed[id])
+				}
+			}
+		}
+		if st := memo.Stats(); st.Hits == 0 {
+			t.Errorf("r=%d: memo never hit across the sweep (stats %+v)", r, st)
+		}
+	}
+	if _, err := BV4ClosureMemo(testNet(t, 10, 10, 1), nil, 0, nil, 1); err == nil {
+		t.Error("nil memo must be rejected")
+	}
+}

@@ -1,0 +1,260 @@
+package evidence
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+// PatternMemo caches HonestPathCount evaluations keyed by the *local fault
+// pattern*: the honest/faulty bitmask over an offset's relay support. Two
+// evaluations at different receivers (or in different fault placements, as a
+// parameter sweep produces) that expose the same local pattern share one
+// path-counting pass — the per-center evidence memoization of the sweep
+// engine.
+//
+// Offsets are additionally folded under the eight grid symmetries: when the
+// family stored at offset σ(d₀) is exactly the σ-image of the family at the
+// orbit representative d₀, a lookup at σ(d₀) transports its fault pattern
+// through σ and reads the representative's cache. The transport is VERIFIED
+// per offset at construction — FamilyTable builds its families first-wins
+// over overlapping symmetry orbits, so σ-equivariance is checked, never
+// assumed. Offsets that fail verification (or whose relay support exceeds
+// the 64-bit pattern capacity, radius ≥ 4) simply keep their own cache or
+// fall back to direct counting; the memo is exact in every case, only its
+// sharing degree varies.
+//
+// A PatternMemo is safe for concurrent use; results are always identical to
+// FamilyTable.HonestPathCount.
+type PatternMemo struct {
+	ft      *FamilyTable
+	offsets map[grid.Coord]*memoOffset
+	folded  int // offsets sharing a symmetry representative's cache
+}
+
+// memoRep is one orbit representative's shared cache.
+type memoRep struct {
+	// pathMasks[p] is the bitmask of support indices relayed by path p.
+	pathMasks []uint64
+	// direct disables caching: the support does not fit a 64-bit pattern.
+	direct bool
+
+	mu     sync.Mutex
+	counts map[uint64]int
+	hits   int
+	misses int
+}
+
+// memoOffset is one offset's view: the shared representative cache plus this
+// offset's own relay positions, pre-transported into the representative's
+// support order (supportHere[i] = σ(repSupport[i])).
+type memoOffset struct {
+	rep         *memoRep
+	supportHere []grid.Coord
+}
+
+// NewPatternMemo builds the memo for a family table.
+func NewPatternMemo(ft *FamilyTable) *PatternMemo {
+	m := &PatternMemo{ft: ft, offsets: make(map[grid.Coord]*memoOffset, len(ft.fams))}
+	reps := make(map[grid.Coord]*memoRep)
+	repSupport := make(map[grid.Coord][]grid.Coord)
+	// Deterministic construction order (map iteration is not).
+	offs := make([]grid.Coord, 0, len(ft.fams))
+	for d := range ft.fams {
+		offs = append(offs, d)
+	}
+	sort.Slice(offs, func(i, j int) bool {
+		if offs[i].X != offs[j].X {
+			return offs[i].X < offs[j].X
+		}
+		return offs[i].Y < offs[j].Y
+	})
+	for _, d := range offs {
+		canon, sym := m.canonicalize(d)
+		if rep, ok := reps[canon]; ok && sym != nil {
+			// Transport this offset's relay positions into the
+			// representative's support order.
+			sup := repSupport[canon]
+			here := make([]grid.Coord, len(sup))
+			for i, off := range sup {
+				here[i] = sym(off)
+			}
+			m.offsets[d] = &memoOffset{rep: rep, supportHere: here}
+			m.folded++
+			continue
+		}
+		// This offset is its own representative (first of its orbit, or
+		// transport verification failed — canonicalize then returns d).
+		sup, masks, fits := supportOf(ft.fams[d])
+		rep := &memoRep{pathMasks: masks, direct: !fits, counts: make(map[uint64]int)}
+		reps[d] = rep
+		repSupport[d] = sup
+		m.offsets[d] = &memoOffset{rep: rep, supportHere: sup}
+	}
+	return m
+}
+
+// canonicalize finds the lexicographically smallest orbit member whose
+// stored family is a verified σ-image of d's... in the useful direction: it
+// returns (canon, σ) with σ(canonSupport) positioned for d, i.e. fams[d] ==
+// σ(fams[canon]) as relay-sequence sets. When no smaller orbit member
+// verifies, it returns (d, nil) and d becomes its own representative.
+func (m *PatternMemo) canonicalize(d grid.Coord) (grid.Coord, func(grid.Coord) grid.Coord) {
+	best := d
+	var bestSym func(grid.Coord) grid.Coord
+	for _, sym := range symmetries {
+		// Candidate representative c with σ(c) = d: iterate σ over the
+		// group and use c = σ(d) together with the inverse transport —
+		// every group element's inverse is in the group, so trying all
+		// eight σ as "c = σ(d), verify fams[d] == σ⁻¹(fams[c])" is
+		// equivalent to trying all inverses directly. To avoid inverting,
+		// verify in the forward direction: fams[σ(c)] == σ(fams[c]).
+		c := sym(d)
+		if c.X > best.X || (c.X == best.X && c.Y >= best.Y) {
+			continue
+		}
+		// Find the transport τ with τ(c) = d and fams[d] == τ(fams[c]).
+		if τ := verifiedTransport(m.ft, c, d); τ != nil {
+			best, bestSym = c, τ
+		}
+	}
+	if bestSym == nil {
+		return d, nil
+	}
+	return best, bestSym
+}
+
+// verifiedTransport searches the symmetry group for τ with τ(from) = to and
+// fams[to] exactly equal to τ(fams[from]) as a set of relay sequences. It
+// returns nil when no group element verifies — then the two offsets' stored
+// families are genuinely different plans (first-wins construction over
+// overlapping orbits allows this) and must not share a cache.
+func verifiedTransport(ft *FamilyTable, from, to grid.Coord) func(grid.Coord) grid.Coord {
+	fe, ok := ft.fams[from]
+	if !ok {
+		return nil
+	}
+	te, ok := ft.fams[to]
+	if !ok || len(fe.paths) != len(te.paths) {
+		return nil
+	}
+	toKeys := append([]uint64(nil), te.keys...)
+	sort.Slice(toKeys, func(i, j int) bool { return toKeys[i] < toKeys[j] })
+	for _, τ := range symmetries {
+		if τ(from) != to {
+			continue
+		}
+		img := make([]uint64, len(fe.paths))
+		for i, rels := range fe.paths {
+			var buf [8]grid.Coord
+			t := buf[:0]
+			for _, x := range rels {
+				t = append(t, τ(x))
+			}
+			img[i] = packOffsets(t)
+		}
+		sort.Slice(img, func(i, j int) bool { return img[i] < img[j] })
+		match := true
+		for i := range img {
+			if img[i] != toKeys[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return τ
+		}
+	}
+	return nil
+}
+
+// supportOf extracts a family's distinct relay offsets (designated paths are
+// internally node-disjoint, so these are simply all relays in path order)
+// and each path's bitmask over them. fits is false when the support exceeds
+// 64 offsets — patterns then cannot be packed and the offset counts directly.
+func supportOf(fe famEntry) (support []grid.Coord, pathMasks []uint64, fits bool) {
+	index := make(map[grid.Coord]int)
+	pathMasks = make([]uint64, len(fe.paths))
+	for p, rels := range fe.paths {
+		for _, off := range rels {
+			i, ok := index[off]
+			if !ok {
+				i = len(support)
+				index[off] = i
+				support = append(support, off)
+			}
+			if i < 64 {
+				pathMasks[p] |= 1 << uint(i)
+			}
+		}
+	}
+	return support, pathMasks, len(support) <= 64
+}
+
+// HonestPathCount is FamilyTable.HonestPathCount with pattern memoization:
+// identical inputs produce identical outputs, sharing counting work across
+// receivers, placements and symmetric offsets.
+func (m *PatternMemo) HonestPathCount(net *topology.Network, receiver, origin topology.NodeID, honest func(topology.NodeID) bool) int {
+	d := net.Delta(receiver, origin)
+	mo, ok := m.offsets[d]
+	if !ok {
+		return 0
+	}
+	if mo.rep.direct {
+		return m.ft.HonestPathCount(net, receiver, origin, honest)
+	}
+	recvC := net.CoordOf(receiver)
+	var pattern uint64
+	for i, off := range mo.supportHere {
+		if !honest(net.IDOf(recvC.Add(off))) {
+			pattern |= 1 << uint(i)
+		}
+	}
+	rep := mo.rep
+	rep.mu.Lock()
+	if n, cached := rep.counts[pattern]; cached {
+		rep.hits++
+		rep.mu.Unlock()
+		return n
+	}
+	rep.mu.Unlock()
+	n := 0
+	for _, mask := range rep.pathMasks {
+		if mask&pattern == 0 {
+			n++
+		}
+	}
+	rep.mu.Lock()
+	rep.misses++
+	rep.counts[pattern] = n
+	rep.mu.Unlock()
+	return n
+}
+
+// MemoStats reports the memo's effectiveness.
+type MemoStats struct {
+	// Offsets is the number of covered origin offsets; Folded of them share
+	// a symmetry representative's cache.
+	Offsets, Folded int
+	// Hits and Misses count cache lookups across all representatives.
+	Hits, Misses int
+}
+
+// Stats snapshots the counters.
+func (m *PatternMemo) Stats() MemoStats {
+	st := MemoStats{Offsets: len(m.offsets), Folded: m.folded}
+	seen := make(map[*memoRep]bool)
+	for _, mo := range m.offsets {
+		if seen[mo.rep] {
+			continue
+		}
+		seen[mo.rep] = true
+		mo.rep.mu.Lock()
+		st.Hits += mo.rep.hits
+		st.Misses += mo.rep.misses
+		mo.rep.mu.Unlock()
+	}
+	return st
+}

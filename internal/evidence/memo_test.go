@@ -1,0 +1,144 @@
+package evidence
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+// TestPatternMemoMatchesDirect cross-checks memoized honest-path counts
+// against FamilyTable.HonestPathCount for every (receiver, origin) pair over
+// many random fault sets — the memo must be an exact cache at every radius,
+// including radius 1 where overlapping symmetry orbits make the table
+// non-equivariant.
+func TestPatternMemoMatchesDirect(t *testing.T) {
+	cases := []struct{ w, h, r int }{
+		{10, 8, 1},
+		{14, 12, 2},
+		{16, 15, 3},
+	}
+	for _, tc := range cases {
+		net := testNet(t, tc.w, tc.h, tc.r)
+		ft, err := NewFamilyTable(tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo := NewPatternMemo(ft)
+		rng := rand.New(rand.NewSource(int64(tc.r)))
+		for trial := 0; trial < 20; trial++ {
+			faulty := make(map[topology.NodeID]bool)
+			for i := 0; i < 1+rng.Intn(8); i++ {
+				faulty[topology.NodeID(rng.Intn(net.Size()))] = true
+			}
+			honest := func(id topology.NodeID) bool { return !faulty[id] }
+			for u := 0; u < net.Size(); u += 1 + trial%3 {
+				for o := 0; o < net.Size(); o++ {
+					recv, origin := topology.NodeID(u), topology.NodeID(o)
+					got := memo.HonestPathCount(net, recv, origin, honest)
+					want := ft.HonestPathCount(net, recv, origin, honest)
+					if got != want {
+						t.Fatalf("r=%d recv=%d origin=%d trial=%d: memo %d, direct %d",
+							tc.r, recv, origin, trial, got, want)
+					}
+				}
+			}
+		}
+		st := memo.Stats()
+		if st.Hits == 0 {
+			t.Errorf("r=%d: memo never hit (stats %+v)", tc.r, st)
+		}
+		if tc.r >= 2 && st.Folded == 0 {
+			t.Errorf("r=%d: no offsets folded under symmetry (stats %+v)", tc.r, st)
+		}
+	}
+}
+
+// TestPatternMemoNeverCrossesPatterns is the canonicalization soundness
+// proof required of the symmetry memo: folding an offset onto its orbit
+// representative must never identify two DISTINCT local fault patterns.
+// Structurally that holds iff the transported support positions are a
+// duplicate-free enumeration of exactly the relay offsets of the folded
+// offset's own family — then fault assignments on the local relays and
+// cache bitmasks are in bijection, so equal keys imply equal local
+// patterns. The test checks that invariant for every offset, and then
+// adversarially probes each folded offset with single-relay fault patterns
+// (the patterns a wrong transport would be most likely to conflate).
+func TestPatternMemoNeverCrossesPatterns(t *testing.T) {
+	for _, r := range []int{1, 2, 3} {
+		net := testNet(t, 4*r+6, 4*r+5, r)
+		ft, err := NewFamilyTable(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo := NewPatternMemo(ft)
+		for d, mo := range memo.offsets {
+			relays := make(map[grid.Coord]bool)
+			for _, rels := range ft.fams[d].paths {
+				for _, off := range rels {
+					relays[off] = true
+				}
+			}
+			if mo.rep.direct {
+				continue // falls back to direct counting; nothing shared
+			}
+			seen := make(map[grid.Coord]bool)
+			for _, off := range mo.supportHere {
+				if seen[off] {
+					t.Fatalf("r=%d offset %v: duplicate support position %v — two pattern bits alias one relay", r, d, off)
+				}
+				seen[off] = true
+				if !relays[off] {
+					t.Fatalf("r=%d offset %v: support position %v is not a relay of this offset's family — transport is wrong", r, d, off)
+				}
+			}
+			if len(seen) != len(relays) {
+				t.Fatalf("r=%d offset %v: support covers %d of %d relay positions — a fault outside the support would be invisible", r, d, len(seen), len(relays))
+			}
+		}
+		// Adversarial probe: fail one relay at a time at a folded offset and
+		// require the memoized count to track the direct count exactly. A
+		// canonicalization that crossed patterns would return a stale count
+		// for some single-fault pattern.
+		recv := topology.NodeID(net.Size() / 2)
+		recvC := net.CoordOf(recv)
+		tor := net.Torus()
+		for d, mo := range memo.offsets {
+			if mo.rep.direct {
+				continue
+			}
+			origin := net.IDOf(tor.Wrap(recvC.Add(d)))
+			for _, off := range mo.supportHere {
+				bad := net.IDOf(tor.Wrap(recvC.Add(off)))
+				honest := func(id topology.NodeID) bool { return id != bad }
+				got := memo.HonestPathCount(net, recv, origin, honest)
+				want := ft.HonestPathCount(net, recv, origin, honest)
+				if got != want {
+					t.Fatalf("r=%d offset %v faulting relay %v: memo %d, direct %d", r, d, off, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPatternMemoNilAndMiss pins the degenerate paths: an origin outside the
+// 2r envelope has no family and counts zero, matching the table.
+func TestPatternMemoNilAndMiss(t *testing.T) {
+	r := 2
+	net := testNet(t, 16, 14, r)
+	ft, err := NewFamilyTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := NewPatternMemo(ft)
+	honest := func(topology.NodeID) bool { return true }
+	recv := topology.NodeID(0)
+	far := net.IDOf(grid.C(8, 7)) // L∞ distance 7 > 2r
+	if got := memo.HonestPathCount(net, recv, far, honest); got != 0 {
+		t.Errorf("far origin counted %d paths, want 0", got)
+	}
+	if got, want := memo.HonestPathCount(net, recv, recv, honest), ft.HonestPathCount(net, recv, recv, honest); got != want {
+		t.Errorf("self origin: memo %d, direct %d", got, want)
+	}
+}

@@ -9,7 +9,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09", "E10",
 		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20",
-		"E21", "E22", "E23", "E24", "E25", "E26",
+		"E21", "E22", "E23", "E24", "E25", "E26", "E27", "E28",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -101,7 +101,7 @@ func TestExtensionExperimentsPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("extension experiments are not short")
 	}
-	for _, id := range []string{"E21", "E22", "E23", "E25", "E26"} {
+	for _, id := range []string{"E21", "E22", "E23", "E25", "E26", "E27", "E28"} {
 		rep, err := Run(id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

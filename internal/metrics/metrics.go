@@ -113,6 +113,28 @@ func (c *Collector) ObserveWall(d time.Duration) {
 	c.wall.Store(int64(d))
 }
 
+// Clone returns an independent collector carrying an exact copy of the
+// state: totals, per-round rows and wall observation. A forked engine
+// (sim.Engine.Fork) clones the collector at the fork point so the shared
+// execution prefix is counted once per branch, exactly as if each branch
+// had simulated the prefix itself. Cloning a nil collector returns nil,
+// preserving the "nil discards everything" contract.
+func (c *Collector) Clone() *Collector {
+	if c == nil {
+		return nil
+	}
+	out := New()
+	c.mu.Lock()
+	out.rounds = append([]RoundCounters(nil), c.rounds...)
+	c.mu.Unlock()
+	out.broadcasts.Store(c.broadcasts.Load())
+	out.deliveries.Store(c.deliveries.Load())
+	out.evidence.Store(c.evidence.Load())
+	out.commits.Store(c.commits.Load())
+	out.wall.Store(c.wall.Load())
+	return out
+}
+
 // Snapshot copies the collector's state. It is safe to call while taps are
 // still firing; the copy is internally consistent per counter.
 func (c *Collector) Snapshot() Snapshot {

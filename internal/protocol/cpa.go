@@ -114,4 +114,20 @@ func (c *cpaProc) Decided() (byte, bool) {
 	return c.value, true
 }
 
+// CloneProcess implements sim.CloneableProcess: deep-copies the heard set
+// and the trace-only voter lists so the fork's vote bookkeeping evolves
+// independently of the original's.
+func (c *cpaProc) CloneProcess() sim.Process {
+	g := *c
+	g.heard = make(map[topology.NodeID]struct{}, len(c.heard))
+	for id := range c.heard {
+		g.heard[id] = struct{}{}
+	}
+	for v := range c.voters {
+		g.voters[v] = append([]topology.NodeID(nil), c.voters[v]...)
+	}
+	return &g
+}
+
 var _ sim.Process = (*cpaProc)(nil)
+var _ sim.CloneableProcess = (*cpaProc)(nil)

@@ -63,4 +63,13 @@ func (f *floodProc) Decided() (byte, bool) {
 	return f.value, true
 }
 
+// CloneProcess implements sim.CloneableProcess: flood state is a handful of
+// scalars, so a struct copy is an exact fork. The recorder pointer is shared
+// deliberately — forking is gated to untraced engines, where it is nil.
+func (f *floodProc) CloneProcess() sim.Process {
+	g := *f
+	return &g
+}
+
 var _ sim.Process = (*floodProc)(nil)
+var _ sim.CloneableProcess = (*floodProc)(nil)

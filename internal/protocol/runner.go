@@ -65,16 +65,33 @@ func (o Outcome) Safe() bool { return o.Wrong == 0 }
 // and is returned together with the engine's error wrapping sim.ErrDeadline;
 // undecided honest nodes then mean "not yet", not "never".
 func Run(cfg RunConfig) (Outcome, error) {
-	honest, err := NewFactory(cfg.Kind, cfg.Params)
+	e, err := NewEngine(cfg)
 	if err != nil {
 		return Outcome{}, err
 	}
+	res, err := e.Run()
+	if err != nil && !errors.Is(err, sim.ErrDeadline) {
+		return Outcome{}, err
+	}
+	return score(cfg, res), err
+}
+
+// NewEngine validates the scenario and builds its engine without running it.
+// This is the substrate for incremental sweep execution (rbcast.RunSweep),
+// which steps the engine manually with sim.Engine.RunUntil and forks it at
+// fault-plan divergence points; Run is exactly NewEngine followed by
+// Engine.Run plus Score.
+func NewEngine(cfg RunConfig) (*sim.Engine, error) {
+	honest, err := NewFactory(cfg.Kind, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
 	for id := range cfg.Byzantine {
 		if _, crashed := cfg.Crash[id]; crashed {
-			return Outcome{}, fmt.Errorf("protocol: node %d is both Byzantine and crashed", id)
+			return nil, fmt.Errorf("protocol: node %d is both Byzantine and crashed", id)
 		}
 		if id == cfg.Params.Source {
-			return Outcome{}, fmt.Errorf("protocol: the designated source must be honest")
+			return nil, fmt.Errorf("protocol: the designated source must be honest")
 		}
 	}
 	factory := func(id topology.NodeID) sim.Process {
@@ -83,7 +100,7 @@ func Run(cfg RunConfig) (Outcome, error) {
 		}
 		return honest(id)
 	}
-	res, err := sim.Run(sim.Config{
+	return sim.NewEngine(sim.Config{
 		Net:       cfg.Params.Net,
 		Mode:      cfg.Mode,
 		Factory:   factory,
@@ -95,11 +112,11 @@ func Run(cfg RunConfig) (Outcome, error) {
 		Trace:     cfg.Params.Trace,
 		Context:   cfg.Context,
 	})
-	if err != nil && !errors.Is(err, sim.ErrDeadline) {
-		return Outcome{}, err
-	}
-	return score(cfg, res), err
 }
+
+// Score tallies honest-node outcomes for an engine result obtained outside
+// Run (e.g. from a manually stepped or forked engine).
+func Score(cfg RunConfig, res sim.Result) Outcome { return score(cfg, res) }
 
 // score tallies honest-node outcomes.
 func score(cfg RunConfig, res sim.Result) Outcome {

@@ -95,6 +95,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeGauge(&b, "rbcastd_sim_commits_total", "counter",
 		"First-time decisions across all executed runs.", float64(s.simCommits.Load()))
 
+	writeGauge(&b, "rbcastd_sweeps_total", "counter",
+		"Sweep requests executed.", float64(s.sweepsRun.Load()))
+	writeGauge(&b, "rbcastd_sweep_elements_total", "counter",
+		"Sweep elements planned across all sweeps (cached or executed).",
+		float64(s.sweepElements.Load()))
+	writeGauge(&b, "rbcastd_sweep_shared_results_total", "counter",
+		"Sweep elements resolved by sharing another element's execution.",
+		float64(s.sweepSharedResults.Load()))
+	writeGauge(&b, "rbcastd_sweep_node_rounds_total", "counter",
+		"Node-rounds actually simulated by the sweep engine.",
+		float64(s.sweepNodeRounds.Load()))
+	writeGauge(&b, "rbcastd_sweep_scalar_node_rounds_total", "counter",
+		"Node-rounds equivalent scalar execution would have simulated.",
+		float64(s.sweepScalarNodeRounds.Load()))
+
 	writeGauge(&b, "rbcastd_uptime_seconds", "gauge",
 		"Seconds since the server started.", time.Since(s.start).Seconds())
 

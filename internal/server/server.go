@@ -47,6 +47,9 @@ type Options struct {
 	// BatchRunner executes a batch job's cache misses (nil:
 	// rbcast.RunBatch). The BatchOptions carry the server's JobTimeout.
 	BatchRunner func([]rbcast.Job, rbcast.BatchOptions) []rbcast.BatchResult
+	// SweepRunner executes a sweep's cache misses through the incremental
+	// sweep engine (nil: rbcast.RunSweepJobs).
+	SweepRunner func([]rbcast.Job, rbcast.BatchOptions) ([]rbcast.BatchResult, rbcast.SweepStats)
 	// Logger receives one structured line per request (nil: no request
 	// logging). Metrics and request ids are recorded either way.
 	Logger *slog.Logger
@@ -86,6 +89,12 @@ type Server struct {
 	// run — the internal/metrics counters surfaced fleet-wide.
 	simRuns, simBroadcasts, simDeliveries, simEvidence, simCommits atomic.Int64
 
+	// Sweep-engine totals: sweeps served, elements planned, results shared
+	// without a fresh simulation, and actual vs scalar-equivalent simulated
+	// node-rounds (their ratio is the fleet-wide incremental speedup).
+	sweepsRun, sweepElements, sweepSharedResults atomic.Int64
+	sweepNodeRounds, sweepScalarNodeRounds       atomic.Int64
+
 	mu       sync.Mutex
 	draining bool
 	nextID   uint64
@@ -111,6 +120,9 @@ func New(opts Options) *Server {
 	if opts.BatchRunner == nil {
 		opts.BatchRunner = rbcast.RunBatch
 	}
+	if opts.SweepRunner == nil {
+		opts.SweepRunner = rbcast.RunSweepJobs
+	}
 	s := &Server{
 		opts:           opts,
 		cache:          scache.New[rbcast.Result](opts.CacheSize),
@@ -130,6 +142,7 @@ func New(opts Options) *Server {
 	}{
 		{"POST /v1/run", "/v1/run", s.handleRun},
 		{"POST /v1/batch", "/v1/batch", s.handleBatch},
+		{"POST /v1/sweep", "/v1/sweep", s.handleSweep},
 		{"GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob},
 		{"GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleJobTrace},
 		{"GET /healthz", "/healthz", s.handleHealthz},

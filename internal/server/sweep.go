@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	rbcast "repro"
+)
+
+// SweepRequest is the /v1/sweep payload: a base scenario plus axes. The
+// server plans the grid — expansion order, the element cap, execution-key
+// grouping and wavefront forking all happen daemon-side, so every client
+// sees the same canonical plan for the same request.
+type SweepRequest struct {
+	Base RunRequest       `json:"base"`
+	Axes rbcast.SweepAxes `json:"axes"`
+	// Workers optionally caps the sweep's worker pool below the server
+	// default (≤ 0: server default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// SweepHeader is the first NDJSON line of a /v1/sweep response: the planned
+// element count, before any results.
+type SweepHeader struct {
+	Elements int `json:"elements"`
+}
+
+// SweepElement is one per-element NDJSON line, in grid order (the
+// SweepSpec.Elements expansion: placements outermost, crash rounds
+// innermost).
+type SweepElement struct {
+	Index       int            `json:"index"`
+	Fingerprint string         `json:"fingerprint"`
+	Result      *rbcast.Result `json:"result,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	// Cached reports the element was served from the result cache without
+	// simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Partial marks an element cut by the server's job deadline: Error
+	// carries the deadline error, Result the partial state (never cached).
+	Partial bool `json:"partial,omitempty"`
+}
+
+// SweepTrailer is the final NDJSON line: the sweep engine's sharing
+// statistics for the executed (non-cached) elements.
+type SweepTrailer struct {
+	Stats rbcast.SweepStats `json:"stats"`
+}
+
+// handleSweep plans a parameter grid server-side, serves cache hits without
+// simulating, executes the misses through the incremental sweep engine
+// (rbcast.RunSweepJobs: execution-key sharing plus wavefront-prefix forks),
+// and streams per-element results as NDJSON — header, one line per element
+// in grid order, stats trailer. Failure modes follow /v1/run: invalid grid
+// 400, draining 503, all execution slots taken 429 (Retry-After), deadline
+// elements marked partial inline.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := rbcast.SweepSpec{
+		Base: rbcast.Job{Config: req.Base.Config, Plan: req.Base.Plan},
+		Axes: req.Axes,
+	}
+	elements, err := spec.Elements()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	// Sweeps are synchronous like /v1/run: shed rather than queue when
+	// every execution slot is taken. One slot covers the whole sweep; the
+	// engine's own worker pool paces the per-element parallelism.
+	if s.runSlots != nil {
+		select {
+		case s.runSlots <- struct{}{}:
+			defer func() { <-s.runSlots }()
+		default:
+			s.shedBusy.Add(1)
+			writeShed(w, errBusy)
+			return
+		}
+	}
+
+	results := make([]SweepElement, len(elements))
+	var missJobs []rbcast.Job
+	var missIndex []int
+	for i, job := range elements {
+		fp := job.Fingerprint()
+		results[i] = SweepElement{Index: i, Fingerprint: fp}
+		if res, ok := s.cache.Get(fp); ok {
+			res := res
+			results[i].Result = &res
+			results[i].Cached = true
+			continue
+		}
+		// No within-sweep fingerprint dedup here: the sweep engine's
+		// execution-key grouping subsumes it (identical fingerprints have
+		// identical execution keys) and shares more besides.
+		missJobs = append(missJobs, job)
+		missIndex = append(missIndex, i)
+	}
+
+	var stats rbcast.SweepStats
+	if len(missJobs) > 0 {
+		workers := s.opts.Workers
+		if req.Workers > 0 && (workers <= 0 || req.Workers < workers) {
+			workers = req.Workers
+		}
+		s.inflightRuns.Add(int64(len(missJobs)))
+		var batch []rbcast.BatchResult
+		batch, stats = s.opts.SweepRunner(missJobs, rbcast.BatchOptions{
+			Workers:    workers,
+			JobTimeout: s.opts.JobTimeout,
+		})
+		s.inflightRuns.Add(-int64(len(missJobs)))
+		for k, br := range batch {
+			i := missIndex[k]
+			if br.Err != nil {
+				results[i].Error = br.Err.Error()
+				if errors.Is(br.Err, rbcast.ErrDeadline) {
+					s.deadlineRuns.Add(1)
+					res := br.Result
+					results[i].Result = &res
+					results[i].Partial = true
+				}
+				continue
+			}
+			res := br.Result
+			results[i].Result = &res
+			s.cache.Put(results[i].Fingerprint, res)
+		}
+		// Fold the executed simulations into the fleet-wide totals once per
+		// distinct execution: shared results would double-count counters
+		// that were only incurred once.
+		seen := make(map[string]bool)
+		for k, br := range batch {
+			if br.Err != nil {
+				continue
+			}
+			fp := results[missIndex[k]].Fingerprint
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			s.observe(br.Result)
+		}
+	}
+	s.sweepsRun.Add(1)
+	s.sweepElements.Add(int64(len(elements)))
+	s.sweepSharedResults.Add(int64(stats.SharedResults))
+	s.sweepNodeRounds.Add(stats.NodeRounds)
+	s.sweepScalarNodeRounds.Add(stats.ScalarNodeRounds)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(v any) {
+		if enc.Encode(v) == nil && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeLine(SweepHeader{Elements: len(elements)})
+	for i := range results {
+		writeLine(results[i])
+	}
+	writeLine(SweepTrailer{Stats: stats})
+}

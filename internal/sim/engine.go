@@ -377,16 +377,8 @@ func (e *Engine) Step() bool {
 // expiry it returns the partial result together with an error wrapping both
 // ErrDeadline and the context's error; otherwise the error is nil.
 func (e *Engine) Run() (Result, error) {
-	for e.stats.Rounds < e.maxR {
-		if e.expired() {
-			return e.result(), fmt.Errorf("sim: %w after %d rounds: %w",
-				ErrDeadline, e.stats.Rounds, e.runCtx.Err())
-		}
-		if !e.Step() {
-			e.stats.Rounds-- // final empty frame is bookkeeping, not protocol time
-			e.stats.Quiesced = true
-			break
-		}
+	if _, err := e.runUntil(e.maxR); err != nil {
+		return e.result(), err
 	}
 	return e.result(), nil
 }

@@ -39,6 +39,11 @@ func (s NodeSet) Clear() {
 	}
 }
 
+// Clone returns an independent copy of the set.
+func (s NodeSet) Clone() NodeSet {
+	return append(NodeSet(nil), s...)
+}
+
 // Len returns the number of members.
 func (s NodeSet) Len() int {
 	n := 0

@@ -251,39 +251,11 @@ func Run(cfg Config, plan FaultPlan) (Result, error) {
 // zero Result, so callers distinguish "rejected" from "truncated" with
 // errors.Is(err, ErrDeadline).
 func RunContext(ctx context.Context, cfg Config, plan FaultPlan) (Result, error) {
-	if err := cfg.validate(); err != nil {
-		return Result{}, err
-	}
-	net, err := cfg.network()
+	pr, err := prepare(cfg, plan)
 	if err != nil {
 		return Result{}, err
 	}
-	kind, err := cfg.kind()
-	if err != nil {
-		return Result{}, err
-	}
-	if cfg.quorum() {
-		// The quorum thresholds only intersect when N ≥ 3T+1; the check
-		// needs the materialized network's size, so it lives here rather
-		// than in validate.
-		if n := net.Size(); n < 3*cfg.T+1 {
-			return Result{}, fmt.Errorf("rbcast: protocol %s needs N ≥ 3T+1 for quorum intersection, got N = %d, T = %d",
-				cfg.Protocol, n, cfg.T)
-		}
-	}
-	source, err := cfg.sourceID(net)
-	if err != nil {
-		return Result{}, err
-	}
-	plan.budgetForPlan = cfg.T
-	faulty, err := plan.materialize(net, source)
-	if err != nil {
-		return Result{}, err
-	}
-	mode := protocol.Designated
-	if cfg.ExactEvidence {
-		mode = protocol.Exact
-	}
+	net, faulty := pr.net, pr.faulty
 	collector := metrics.New()
 	var rec *etrace.Recorder
 	if cfg.Trace {
@@ -297,37 +269,14 @@ func RunContext(ctx context.Context, cfg Config, plan FaultPlan) (Result, error)
 			}
 		}
 	}
-	params := protocol.Params{
-		Net:              net,
-		Source:           source,
-		Value:            cfg.Value,
-		T:                cfg.T,
-		Mode:             mode,
-		SpoofingPossible: cfg.SpoofingPossible,
-		Metrics:          collector,
-		Trace:            rec,
-	}
-	medium := sim.Medium{LossRate: cfg.LossRate, Retransmit: cfg.Retransmit, Seed: cfg.MediumSeed}
+	params := pr.params(collector, rec)
 
 	start := time.Now()
 	var out protocol.Outcome
 	if cfg.Concurrent {
-		out, err = runConcurrent(ctx, kind, params, faulty, cfg.MaxRounds)
+		out, err = runConcurrent(ctx, pr.kind, params, faulty, cfg.MaxRounds)
 	} else {
-		mode := sim.ModeFrame
-		if cfg.LockStep {
-			mode = sim.ModeNextRound
-		}
-		out, err = protocol.Run(protocol.RunConfig{
-			Kind:      kind,
-			Params:    params,
-			Byzantine: faulty.byzantine,
-			Crash:     faulty.crash,
-			MaxRounds: cfg.MaxRounds,
-			Medium:    medium,
-			Mode:      mode,
-			Context:   ctx,
-		})
+		out, err = protocol.Run(pr.runConfig(params, ctx))
 	}
 	if err != nil && !errors.Is(err, sim.ErrDeadline) {
 		return Result{}, err
@@ -344,6 +293,100 @@ func RunContext(ctx context.Context, cfg Config, plan FaultPlan) (Result, error)
 		return res, fmt.Errorf("%w: %w", ErrDeadline, err)
 	}
 	return res, nil
+}
+
+// prepared is one validated, materialized scenario: everything RunContext
+// and the sweep driver (sweep.go) need before choosing how to execute it.
+type prepared struct {
+	cfg    Config
+	net    topology.Graph
+	kind   protocol.Kind
+	source topology.NodeID
+	mode   protocol.EvidenceMode
+	faulty materialized
+	medium sim.Medium
+}
+
+// prepare validates the configuration, materializes the network and the
+// fault assignment, and resolves the internal protocol selection. It is the
+// shared front half of every execution path; errors here mean the scenario
+// was rejected (zero Result), never truncated.
+func prepare(cfg Config, plan FaultPlan) (prepared, error) {
+	if err := cfg.validate(); err != nil {
+		return prepared{}, err
+	}
+	net, err := cfg.network()
+	if err != nil {
+		return prepared{}, err
+	}
+	kind, err := cfg.kind()
+	if err != nil {
+		return prepared{}, err
+	}
+	if cfg.quorum() {
+		// The quorum thresholds only intersect when N ≥ 3T+1; the check
+		// needs the materialized network's size, so it lives here rather
+		// than in validate.
+		if n := net.Size(); n < 3*cfg.T+1 {
+			return prepared{}, fmt.Errorf("rbcast: protocol %s needs N ≥ 3T+1 for quorum intersection, got N = %d, T = %d",
+				cfg.Protocol, n, cfg.T)
+		}
+	}
+	source, err := cfg.sourceID(net)
+	if err != nil {
+		return prepared{}, err
+	}
+	plan.budgetForPlan = cfg.T
+	faulty, err := plan.materialize(net, source)
+	if err != nil {
+		return prepared{}, err
+	}
+	mode := protocol.Designated
+	if cfg.ExactEvidence {
+		mode = protocol.Exact
+	}
+	return prepared{
+		cfg:    cfg,
+		net:    net,
+		kind:   kind,
+		source: source,
+		mode:   mode,
+		faulty: faulty,
+		medium: sim.Medium{LossRate: cfg.LossRate, Retransmit: cfg.Retransmit, Seed: cfg.MediumSeed},
+	}, nil
+}
+
+// params assembles the protocol parameters around a run's own collector and
+// recorder (these are per-execution, unlike the scenario itself).
+func (p prepared) params(collector *metrics.Collector, rec *etrace.Recorder) protocol.Params {
+	return protocol.Params{
+		Net:              p.net,
+		Source:           p.source,
+		Value:            p.cfg.Value,
+		T:                p.cfg.T,
+		Mode:             p.mode,
+		SpoofingPossible: p.cfg.SpoofingPossible,
+		Metrics:          collector,
+		Trace:            rec,
+	}
+}
+
+// runConfig assembles the sequential-engine run configuration.
+func (p prepared) runConfig(params protocol.Params, ctx context.Context) protocol.RunConfig {
+	mode := sim.ModeFrame
+	if p.cfg.LockStep {
+		mode = sim.ModeNextRound
+	}
+	return protocol.RunConfig{
+		Kind:      p.kind,
+		Params:    params,
+		Byzantine: p.faulty.byzantine,
+		Crash:     p.faulty.crash,
+		MaxRounds: p.cfg.MaxRounds,
+		Medium:    p.medium,
+		Mode:      mode,
+		Context:   ctx,
+	}
 }
 
 // runConcurrent executes on the goroutine-per-node engine.

@@ -1,0 +1,120 @@
+#!/bin/sh
+# sweep_smoke.sh — end-to-end smoke test for /v1/sweep (`make sweep-smoke`).
+#
+# Builds the daemon, starts it on an ephemeral port, and exercises the sweep
+# planner against the scalar surface it must agree with: a scalar /v1/run is
+# executed first, then a threshold grid containing that element is swept and
+# the matching element must come back cached with a byte-identical result; a
+# sweep-computed element re-requested through /v1/run must be a cache hit
+# under the same fingerprint. Also pins the NDJSON framing, work sharing in
+# the stats trailer, the all-cached repeat sweep, the oversized-grid 400, and
+# the sweep counters on /metrics. Requires curl and sed only.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+trap 'exit 1' INT TERM
+
+fail() {
+    echo "sweep-smoke: FAIL: $*" >&2
+    echo "--- rbcastd log ---" >&2
+    cat "$TMP/log" >&2 || true
+    exit 1
+}
+
+"${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
+
+"$TMP/rbcastd" -addr 127.0.0.1:0 >"$TMP/log" 2>&1 &
+PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || fail "daemon never reported its address"
+BASE="http://$ADDR"
+
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || fail "/healthz not ok"
+
+# The grid: flood on a 16x12 torus, a band of crash faults, T x crash-round.
+# T is dead for flood, so the engine must share results across that axis.
+CONFIG='"config":{"width":16,"height":12,"radius":1,"protocol":"flood","value":1}'
+PLAN_T1_C2='"plan":{"placement":"band","strategy":"crash","crash_round":2}'
+SWEEP="{\"base\":{$CONFIG,\"plan\":{\"placement\":\"band\",\"strategy\":\"crash\"}},\"axes\":{\"ts\":[0,1],\"crash_rounds\":[1,2,3]}}"
+
+# Scalar run first: element (t=1, crash_round=2) executed outside any sweep.
+RUN_T1_C2="{\"config\":{\"width\":16,\"height\":12,\"radius\":1,\"protocol\":\"flood\",\"t\":1,\"value\":1},$PLAN_T1_C2}"
+curl -fsS -D "$TMP/h1" -H 'Content-Type: application/json' \
+    -d "$RUN_T1_C2" "$BASE/v1/run" >"$TMP/run1" || fail "scalar /v1/run failed"
+grep -qi '^X-Rbcast-Cache: miss' "$TMP/h1" || fail "scalar run was not a cache miss"
+FP_RUN=$(sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p' "$TMP/run1")
+[ -n "$FP_RUN" ] || fail "scalar run carries no fingerprint"
+
+# The sweep: 6 elements as NDJSON — header, elements in grid order, trailer.
+curl -fsS -D "$TMP/hs" -H 'Content-Type: application/json' \
+    -d "$SWEEP" "$BASE/v1/sweep" >"$TMP/sweep1" || fail "/v1/sweep failed"
+grep -qi '^Content-Type: application/x-ndjson' "$TMP/hs" || fail "sweep is not NDJSON"
+head -n 1 "$TMP/sweep1" | grep -q '"elements":6' || fail "sweep did not plan 6 elements"
+[ "$(wc -l <"$TMP/sweep1")" -eq 8 ] || fail "sweep stream is not header + 6 elements + trailer"
+grep -q '"error"' "$TMP/sweep1" && fail "sweep reported an element error"
+
+# The pre-run element must be served from the cache the scalar run filled,
+# with the fingerprint the scalar surface computed and a byte-identical
+# result payload.
+grep "\"fingerprint\":\"$FP_RUN\"" "$TMP/sweep1" >"$TMP/el_t1c2" \
+    || fail "sweep grid misses the scalar run's fingerprint"
+grep -q '"cached":true' "$TMP/el_t1c2" || fail "pre-run element was re-simulated"
+sed 's/.*"result"://; s/,"cached":true}$//' "$TMP/el_t1c2" >"$TMP/res_sweep"
+sed 's/.*"result"://; s/}$//' "$TMP/run1" >"$TMP/res_run"
+cmp -s "$TMP/res_sweep" "$TMP/res_run" || fail "sweep element diverges from the scalar run's bytes"
+
+# The dead T axis must have been shared: ≤ 3 simulations for 5 fresh elements.
+SHARED=$(tail -n 1 "$TMP/sweep1" | sed -n 's/.*"shared_results":\([0-9]*\).*/\1/p')
+[ "${SHARED:-0}" -ge 2 ] 2>/dev/null || fail "shared_results = ${SHARED:-unset}, want >= 2"
+
+# A sweep-computed element (t=0, crash_round=1: grid index 0) re-requested
+# through /v1/run must be a cache hit under the fingerprint the sweep streamed.
+FP_EL0=$(sed -n '2p' "$TMP/sweep1" | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p')
+[ -n "$FP_EL0" ] || fail "element 0 carries no fingerprint"
+RUN_T0_C1='{"config":{"width":16,"height":12,"radius":1,"protocol":"flood","value":1},"plan":{"placement":"band","strategy":"crash","crash_round":1}}'
+curl -fsS -D "$TMP/h2" -H 'Content-Type: application/json' \
+    -d "$RUN_T0_C1" "$BASE/v1/run" >"$TMP/run2" || fail "post-sweep /v1/run failed"
+grep -qi '^X-Rbcast-Cache: hit' "$TMP/h2" || fail "sweep did not populate the scalar cache"
+grep -q "\"fingerprint\":\"$FP_EL0\"" "$TMP/run2" \
+    || fail "scalar fingerprint differs from the sweep's element 0"
+
+# A repeated sweep is a pure cache read: every element cached, 0 simulations.
+curl -fsS -H 'Content-Type: application/json' -d "$SWEEP" "$BASE/v1/sweep" >"$TMP/sweep2" \
+    || fail "repeat /v1/sweep failed"
+[ "$(grep -c '"cached":true' "$TMP/sweep2")" -eq 6 ] || fail "repeat sweep re-simulated"
+tail -n 1 "$TMP/sweep2" | grep -q '"simulations":0' || fail "repeat sweep counted simulations"
+
+# An oversized grid must be rejected up front with a 400.
+BIG="{\"base\":{$CONFIG,\"plan\":{}},\"axes\":{\"ts\":[0,1,2,3,4,5,6,7,8,9],\"seeds\":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24,25],\"crash_rounds\":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20]}}"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'Content-Type: application/json' \
+    -d "$BIG" "$BASE/v1/sweep")
+[ "$CODE" = "400" ] || fail "oversized grid got $CODE, want 400"
+
+# Metrics must reflect both sweeps.
+curl -fsS "$BASE/metrics" >"$TMP/metrics" || fail "/metrics failed"
+grep -q 'rbcastd_sweeps_total 2' "$TMP/metrics" || fail "sweeps_total is not 2"
+grep -q 'rbcastd_sweep_elements_total 12' "$TMP/metrics" || fail "sweep_elements_total is not 12"
+SHARED_M=$(awk '$1 == "rbcastd_sweep_shared_results_total" {print $2}' "$TMP/metrics")
+[ "${SHARED_M:-0}" -ge 2 ] 2>/dev/null || fail "sweep_shared_results_total = ${SHARED_M:-unset}, want >= 2"
+
+echo "sweep-smoke: ok ($BASE)"
