@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: verify ci build vet test race experiments serve-smoke trace-smoke load-smoke sweep-smoke cover bench bench-smoke bench-sweep bench-diff
+.PHONY: verify ci build vet test race experiments serve-smoke trace-smoke load-smoke sweep-smoke obs-smoke cover bench bench-smoke bench-sweep bench-diff
 
 # ci is the gate .github/workflows/ci.yml runs on every push and pull
 # request: tier-1 (build + test) plus vet, the race detector across every
 # package, the rbcastd serving smoke test, the execution-trace smoke test,
 # the saturation/backpressure smoke test, the /v1/sweep planner smoke test,
-# and the benchmark-scenario golden-hash smoke. The full benchmark suite,
-# bench-sweep, and bench-diff stay out — they need a quiet machine and run
-# in the nightly workflow instead.
-ci: build vet test race serve-smoke trace-smoke load-smoke sweep-smoke bench-smoke
+# the flight-recorder/live-progress smoke test, and the benchmark-scenario
+# golden-hash smoke. The full benchmark suite, bench-sweep, and bench-diff
+# stay out — they need a quiet machine and run in the nightly workflow
+# instead.
+ci: build vet test race serve-smoke trace-smoke load-smoke sweep-smoke obs-smoke bench-smoke
 
 # verify is the full pre-merge gate; it is exactly what CI runs.
 verify: ci
@@ -49,6 +50,15 @@ trace-smoke:
 # partial result while its siblings complete.
 load-smoke:
 	GO="$(GO)" sh scripts/load_smoke.sh
+
+# obs-smoke boots rbcastd with the flight recorder armed and a 1ms
+# slow-request threshold, then runs loadgen -progress: live, monotone
+# progress events over /v1/jobs/{id}/events to a terminal state, a
+# /debug/requests timeline whose child spans account for the request
+# duration with a nonzero engine phase, and slow-request WARN lines
+# carrying the per-phase breakdown.
+obs-smoke:
+	GO="$(GO)" sh scripts/obs_smoke.sh
 
 # sweep-smoke boots rbcastd and exercises /v1/sweep against the scalar
 # surface: a pre-run element must come back cached and byte-identical, a

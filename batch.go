@@ -3,8 +3,10 @@ package rbcast
 import (
 	"context"
 	"runtime/debug"
+	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -29,6 +31,22 @@ type BatchResult struct {
 	Err error
 }
 
+// ProgressUpdate is one live snapshot of a batch or sweep execution,
+// delivered through BatchOptions.Progress. Snapshots are cumulative and
+// monotone: each reflects all work settled so far.
+type ProgressUpdate struct {
+	// Done counts jobs (sweep: elements) resolved so far; Total is the
+	// batch size.
+	Done, Total int
+	// NodeRounds is the simulated work performed so far: Σ rounds ×
+	// network size over completed executions.
+	NodeRounds int64
+	// SharedResults counts elements resolved by sharing another
+	// element's execution instead of simulating (sweeps only; always 0
+	// for RunBatch, whose callers deduplicate upstream).
+	SharedResults int
+}
+
 // BatchOptions configures RunBatch. The zero value runs with GOMAXPROCS
 // workers, no cancellation and no per-job deadline.
 type BatchOptions struct {
@@ -37,13 +55,57 @@ type BatchOptions struct {
 	// Context optionally cancels the batch: jobs not yet started when it
 	// is done complete immediately with Err = Context.Err(), and jobs in
 	// flight stop at their next round boundary with a partial Result and
-	// an Err wrapping ErrDeadline.
+	// an Err wrapping ErrDeadline. It also carries the optional request
+	// trace (internal/obs): when armed, workers record per-job spans
+	// under the span the context names.
 	Context context.Context
 	// JobTimeout optionally bounds each job's wall-clock time,
 	// independent of Config.MaxRounds. A job that exceeds it stops at the
 	// next round boundary with a partial Result and an Err wrapping
 	// ErrDeadline; its siblings are unaffected. ≤ 0 means no bound.
 	JobTimeout time.Duration
+	// Progress, when non-nil, receives a cumulative ProgressUpdate after
+	// each job (sweep: execution unit) settles. Calls are serialized and
+	// snapshots monotone, so callers can publish them directly; the
+	// callback must be fast — it runs on the worker that finished the
+	// job.
+	Progress func(ProgressUpdate)
+}
+
+// progressTracker serializes Progress callbacks and keeps the cumulative
+// snapshot monotone across concurrently finishing workers.
+type progressTracker struct {
+	mu sync.Mutex
+	up ProgressUpdate
+	fn func(ProgressUpdate)
+}
+
+// newProgressTracker returns nil when no callback is armed — the nil
+// tracker's add is a no-op, mirroring the repo's nil-sink tap pattern.
+func newProgressTracker(fn func(ProgressUpdate), total int) *progressTracker {
+	if fn == nil {
+		return nil
+	}
+	return &progressTracker{up: ProgressUpdate{Total: total}, fn: fn}
+}
+
+// add folds one settled job into the snapshot and delivers it.
+func (p *progressTracker) add(done int, nodeRounds int64, shared int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.up.Done += done
+	p.up.NodeRounds += nodeRounds
+	p.up.SharedResults += shared
+	up := p.up
+	p.mu.Unlock()
+	p.fn(up)
+}
+
+// resultNodeRounds books one completed execution's simulated work.
+func resultNodeRounds(res Result) int64 {
+	return int64(res.Rounds) * int64(len(res.Decisions))
 }
 
 // batchJobDispatched, when non-nil, runs with each job's index after the
@@ -68,11 +130,17 @@ var batchJobDispatched func(i int)
 func RunBatch(jobs []Job, opts BatchOptions) []BatchResult {
 	results := make([]BatchResult, len(jobs))
 	ctx := opts.Context
+	tracker := newProgressTracker(opts.Progress, len(jobs))
+	tr, parent := obs.SpanFromContext(ctx)
 	pool.Run(opts.Workers, len(jobs), func(i int) {
+		// The progress fold sits in a defer so the panic path reports the
+		// job as done too — a watcher must reach Done == Total even when
+		// elements fail.
 		defer func() {
 			if r := recover(); r != nil {
 				results[i] = BatchResult{Err: &PanicError{Index: i, Value: r, Stack: debug.Stack()}}
 			}
+			tracker.add(1, resultNodeRounds(results[i].Result), 0)
 		}()
 		if hook := batchJobDispatched; hook != nil {
 			hook(i)
@@ -98,7 +166,11 @@ func RunBatch(jobs []Job, opts BatchOptions) []BatchResult {
 			jobCtx, cancel = context.WithTimeout(jobCtx, opts.JobTimeout)
 			defer cancel()
 		}
+		sp := tr.Start(parent, "job")
 		res, err := RunContext(jobCtx, jobs[i].Config, jobs[i].Plan)
+		tr.AnnotateInt(sp, "index", int64(i))
+		tr.AnnotateInt(sp, "rounds", int64(res.Rounds))
+		tr.End(sp)
 		results[i] = BatchResult{Result: res, Err: err}
 	})
 	return results

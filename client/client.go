@@ -100,10 +100,19 @@ type StatusError struct {
 	Message string
 	// RetryAfter is the daemon's Retry-After hint (0 when absent).
 	RetryAfter time.Duration
+	// RequestID is the daemon's X-Request-Id for the failed request ("",
+	// when absent). It keys the daemon's request log and flight recorder
+	// (GET /debug/requests), so a client-side failure greps straight to
+	// its server-side timeline.
+	RequestID string
 }
 
 // Error implements error.
 func (e *StatusError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("rbcastd: %d %s: %s (request %s)",
+			e.Code, http.StatusText(e.Code), e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("rbcastd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
 }
 
@@ -283,6 +292,108 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 	return st, nil
 }
 
+// ProgressEvent mirrors one GET /v1/jobs/{id}/events NDJSON line: a
+// cumulative, monotone snapshot of a batch job's execution.
+type ProgressEvent struct {
+	State      string `json:"state"` // "running" or "done"
+	JobsDone   int    `json:"jobs_done"`
+	JobsTotal  int    `json:"jobs_total"`
+	NodeRounds int64  `json:"node_rounds"`
+	DedupHits  int    `json:"dedup_hits"`
+	Errors     int    `json:"errors"`
+}
+
+// Done reports whether this is the terminal event.
+func (e ProgressEvent) Done() bool { return e.State == "done" }
+
+// WatchJob streams a batch job's live progress from
+// GET /v1/jobs/{id}/events, calling onEvent (may be nil) for each advance,
+// and returns the final job status once the stream reports the terminal
+// state. A truncated stream — the daemon's keep-alive cadence outlives the
+// HTTP client's request timeout, proxies drop idle connections — is
+// reconnected transparently; duplicate snapshots straddling a reconnect
+// are suppressed, so onEvent still sees a monotone sequence. The retry
+// budget (Options.MaxRetries) only counts reconnects that yielded no new
+// events; a live, advancing stream can be watched indefinitely under ctx.
+func (c *Client) WatchJob(ctx context.Context, id string, onEvent func(ProgressEvent)) (JobStatus, error) {
+	var last ProgressEvent
+	seen := false
+	stalls := 0
+	for {
+		terminal, progressed, err := c.watchOnce(ctx, id, &last, &seen, onEvent)
+		if terminal {
+			// The terminal event closed the stream; fetch the results.
+			return c.Job(ctx, id)
+		}
+		var se *StatusError
+		if errors.As(err, &se) && !se.Temporary() {
+			return JobStatus{}, err
+		}
+		if ctx.Err() != nil {
+			return JobStatus{}, fmt.Errorf("client: watching job %s: %w (last failure: %v)", id, ctx.Err(), err)
+		}
+		if progressed {
+			stalls = 0
+		} else {
+			stalls++
+			if stalls > c.maxRetries {
+				return JobStatus{}, fmt.Errorf("client: watching job %s: no progress after %d reconnects: %w", id, stalls, err)
+			}
+		}
+		wait := c.backoff(stalls)
+		if se != nil && se.RetryAfter > 0 && se.RetryAfter < c.maxBackoff {
+			wait = se.RetryAfter
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return JobStatus{}, fmt.Errorf("client: watching job %s: %w", id, err)
+		}
+	}
+}
+
+// watchOnce runs one events-stream connection: it emits monotone advances
+// to onEvent and reports whether the terminal event arrived and whether
+// any new event did. Any other return is a truncated or refused stream,
+// with err saying why.
+func (c *Client) watchOnce(ctx context.Context, id string, last *ProgressEvent, seen *bool, onEvent func(ProgressEvent)) (terminal, progressed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, false, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, false, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(resp.Body)
+		return false, false, &StatusError{
+			Code:       resp.StatusCode,
+			Message:    errorMessage(data),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			RequestID:  resp.Header.Get("X-Request-Id"),
+		}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev ProgressEvent
+		if derr := dec.Decode(&ev); derr != nil {
+			return false, progressed, fmt.Errorf("client: job %s event stream: %w", id, derr)
+		}
+		// Heartbeat repeats and the replayed first snapshot after a
+		// reconnect carry nothing new — suppress them.
+		if !*seen || ev != *last {
+			*last, *seen = ev, true
+			progressed = true
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		}
+		if ev.Done() {
+			return true, progressed, nil
+		}
+	}
+}
+
 // WaitJob polls a batch job until it is done or ctx expires. poll ≤ 0
 // defaults to 50ms.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
@@ -313,6 +424,58 @@ func (c *Client) Health(ctx context.Context) error {
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	_, data, err := c.do(ctx, http.MethodGet, "/metrics", nil)
 	return string(data), err
+}
+
+// RequestSpan is one span in a flight-recorder timeline. Parent indexes
+// the enclosing timeline's Spans (-1 for the root span at index 0).
+type RequestSpan struct {
+	Name            string            `json:"name"`
+	Parent          int               `json:"parent"`
+	StartSeconds    float64           `json:"start_seconds"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+}
+
+// RequestTimeline is one recorded request's span timeline. ID matches the
+// X-Request-Id the daemon echoed to the client (or the job id for
+// asynchronous batch executions).
+type RequestTimeline struct {
+	ID              string        `json:"id"`
+	Route           string        `json:"route"`
+	Status          int           `json:"status,omitempty"`
+	Begin           time.Time     `json:"begin"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	Spans           []RequestSpan `json:"spans"`
+	DroppedSpans    int           `json:"dropped_spans,omitempty"`
+}
+
+// DebugRequests mirrors the GET /debug/requests body.
+type DebugRequests struct {
+	Enabled  bool              `json:"enabled"`
+	Capacity int               `json:"capacity"`
+	Stored   int               `json:"stored"`
+	Total    uint64            `json:"total"`
+	Requests []RequestTimeline `json:"requests"`
+}
+
+// DebugRequests fetches the daemon's flight recorder. query is a raw
+// query string ("" for all retained timelines, newest first): "n=K" caps
+// the count, "sort=slowest" orders by duration, "min_ms=D" filters fast
+// requests out.
+func (c *Client) DebugRequests(ctx context.Context, query string) (DebugRequests, error) {
+	path := "/debug/requests"
+	if query != "" {
+		path += "?" + query
+	}
+	var out DebugRequests
+	_, data, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return DebugRequests{}, err
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return DebugRequests{}, fmt.Errorf("client: decoding debug requests: %w", err)
+	}
+	return out, nil
 }
 
 // do issues one request with the retry loop: temporary daemon failures
@@ -377,6 +540,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) (ht
 			Code:       resp.StatusCode,
 			Message:    errorMessage(data),
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			RequestID:  resp.Header.Get("X-Request-Id"),
 		}
 	}
 	return resp.Header, data, nil

@@ -3,8 +3,11 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -283,5 +286,122 @@ func TestSweepAgainstRealDaemon(t *testing.T) {
 		if !el.Cached {
 			t.Errorf("repeat element %d not cached", i)
 		}
+	}
+}
+
+// eventsLine renders one NDJSON progress line for the fake daemons below.
+func eventsLine(state string, done, total int, rounds int64) string {
+	return fmt.Sprintf(`{"state":%q,"jobs_done":%d,"jobs_total":%d,"node_rounds":%d,"dedup_hits":0,"errors":0}`+"\n",
+		state, done, total, rounds)
+}
+
+// TestWatchJobReconnectsTruncatedStream: the first events connection dies
+// mid-stream; WatchJob must reconnect, suppress the replayed snapshot, and
+// deliver a monotone event sequence through the terminal state.
+func TestWatchJobReconnectsTruncatedStream(t *testing.T) {
+	var conns atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/j1/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		switch conns.Add(1) {
+		case 1:
+			// One live snapshot, then the connection drops (idle proxy,
+			// client timeout) — NDJSON has no terminator, so this is a
+			// truncation from the client's point of view.
+			io.WriteString(w, eventsLine("running", 1, 3, 5))
+		default:
+			// Reconnect: the daemon replays the current snapshot, then the
+			// job advances to the terminal state.
+			io.WriteString(w, eventsLine("running", 1, 3, 5))
+			io.WriteString(w, eventsLine("running", 2, 3, 9))
+			io.WriteString(w, eventsLine("done", 3, 3, 12))
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"id":"j1","state":"done","jobs":3,"results":[{},{},{}]}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{}, &sleeps)
+	var events []ProgressEvent
+	st, err := c.WatchJob(context.Background(), "j1", func(ev ProgressEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	if !st.Done() || len(st.Results) != 3 {
+		t.Fatalf("final status = %+v", st)
+	}
+	if got := conns.Load(); got != 2 {
+		t.Errorf("server saw %d events connections, want 2 (one truncated, one reconnect)", got)
+	}
+	if len(sleeps) != 1 {
+		t.Errorf("sleeps = %v, want exactly one reconnect backoff", sleeps)
+	}
+	want := []ProgressEvent{
+		{State: "running", JobsDone: 1, JobsTotal: 3, NodeRounds: 5},
+		{State: "running", JobsDone: 2, JobsTotal: 3, NodeRounds: 9},
+		{State: "done", JobsDone: 3, JobsTotal: 3, NodeRounds: 12},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %+v (replayed snapshot must be suppressed)", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+// TestWatchJobStallBudget: reconnects that never yield a new event burn
+// the retry budget and fail; the watcher must not spin forever on a
+// daemon that keeps replaying the same snapshot and hanging up.
+func TestWatchJobStallBudget(t *testing.T) {
+	var conns atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/j2/events", func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		io.WriteString(w, eventsLine("running", 1, 2, 5))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{MaxRetries: 2}, &sleeps)
+	_, err := c.WatchJob(context.Background(), "j2", nil)
+	if err == nil || !strings.Contains(err.Error(), "no progress") {
+		t.Fatalf("err = %v, want a stalled-watch failure", err)
+	}
+	// Connection 1 progresses (resets the budget); connections 2-4 replay
+	// the same snapshot and exhaust MaxRetries=2.
+	if got := conns.Load(); got != 4 {
+		t.Errorf("server saw %d connections, want 4", got)
+	}
+}
+
+// TestWatchJobStatusErrorCarriesRequestID: a refused stream surfaces the
+// daemon's request id so the failure can be matched to the request log and
+// flight recorder.
+func TestWatchJobStatusErrorCarriesRequestID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-Id", "abc-000042")
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, `{"error":"unknown job"}`)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{}, &sleeps)
+	_, err := c.WatchJob(context.Background(), "nope", nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+	if se.RequestID != "abc-000042" {
+		t.Errorf("RequestID = %q, want abc-000042", se.RequestID)
+	}
+	if !strings.Contains(se.Error(), "abc-000042") {
+		t.Errorf("Error() = %q, want the request id rendered", se.Error())
 	}
 }

@@ -21,6 +21,14 @@
 //
 // It exits 0 only if every phase held and the final /metrics shows the
 // sheds and deadline stops the phases provoked — and no recovered panics.
+//
+// With -progress, loadgen instead runs the observability phase alone
+// against a normally-provisioned daemon (scripts/obs_smoke.sh boots one
+// with the flight recorder armed): it sweeps, watches a batch job live
+// through GET /v1/jobs/{id}/events (client.WatchJob), prints the progress
+// report, and asserts the flight recorder (GET /debug/requests) attributed
+// the sweep's time to a nonzero engine phase with child spans summing to
+// ≈ the request duration.
 package main
 
 import (
@@ -60,8 +68,9 @@ func tinyScenario(n int) rbcast.Job {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", "rbcastd base URL (required), e.g. http://127.0.0.1:8080")
-		timeout = flag.Duration("timeout", 2*time.Minute, "overall wall-clock budget for the whole run")
+		addr     = flag.String("addr", "", "rbcastd base URL (required), e.g. http://127.0.0.1:8080")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "overall wall-clock budget for the whole run")
+		progress = flag.Bool("progress", false, "run only the observability phase: live job progress (/v1/jobs/{id}/events) and flight-recorder attribution (/debug/requests)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -84,12 +93,157 @@ func main() {
 		log.Fatalf("FAIL: daemon not healthy before load: %v", err)
 	}
 
+	if *progress {
+		phaseObservability(ctx, retrying)
+		log.Print("ok: live progress streamed to terminal state and the flight recorder attributed the time")
+		return
+	}
+
 	phaseBusyShed(ctx, noRetry, retrying)
 	phaseQueueBackpressure(ctx, noRetry, retrying)
 	phaseSweep(ctx, retrying)
 	phaseFinalState(ctx, noRetry)
 
 	log.Print("ok: daemon shed under saturation, isolated the over-deadline job, and stayed healthy")
+}
+
+// mediumScenario takes tens of milliseconds — long enough that a batch of
+// them is still running when the events stream connects, short enough to
+// keep the smoke fast. Distinct n values give distinct fingerprints.
+func mediumScenario(n int) rbcast.Job {
+	return rbcast.Job{
+		Config: rbcast.Config{Width: 48, Height: 24 + n, Radius: 1, Protocol: rbcast.ProtocolBV4, T: 2, Value: 1},
+		Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent},
+	}
+}
+
+// phaseObservability exercises the flight-recorder stack end to end: a
+// sweep populates /debug/requests with engine-phase spans, a watched batch
+// streams live progress events to a terminal state, and the recorded
+// timeline's child spans must account for the request's duration.
+func phaseObservability(ctx context.Context, c *client.Client) {
+	// A fresh sweep (uncached fingerprints) forces real engine work into
+	// the flight recorder.
+	base := rbcast.Job{
+		Config: rbcast.Config{Width: 16, Height: 13, Radius: 1, Protocol: rbcast.ProtocolFlood, Value: 1},
+		Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceBand, Strategy: rbcast.StrategyCrash},
+	}
+	axes := rbcast.SweepAxes{Ts: []int{0, 1}, CrashRounds: []int{1, 2, 3, 4}}
+	sw, err := c.Sweep(ctx, base, axes, 0)
+	if err != nil {
+		log.Fatalf("FAIL: sweep: %v", err)
+	}
+	for i, el := range sw.Elements {
+		if el.Error != "" || el.Result == nil {
+			log.Fatalf("FAIL: sweep element %d did not complete: %+v", i, el)
+		}
+	}
+	log.Printf("sweep: %d elements complete (%d simulated, %d shared)",
+		len(sw.Elements), sw.Stats.Simulations, sw.Stats.SharedResults)
+
+	// Live progress: watch a batch with a duplicate element (for a dedup
+	// hit) from submission to the terminal event.
+	jobs := make([]rbcast.Job, 0, 14)
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, mediumScenario(i))
+	}
+	jobs = append(jobs, mediumScenario(0), mediumScenario(1)) // in-batch duplicates
+	ack, err := c.Submit(ctx, jobs, 1)
+	if err != nil {
+		log.Fatalf("FAIL: batch submit: %v", err)
+	}
+	var events []client.ProgressEvent
+	st, err := c.WatchJob(ctx, ack.ID, func(ev client.ProgressEvent) {
+		events = append(events, ev)
+		log.Printf("progress %s: %d/%d jobs, %d node-rounds, %d dedup hits",
+			ev.State, ev.JobsDone, ev.JobsTotal, ev.NodeRounds, ev.DedupHits)
+	})
+	if err != nil {
+		log.Fatalf("FAIL: watching job %s: %v", ack.ID, err)
+	}
+	if !st.Done() || len(st.Results) != len(jobs) {
+		log.Fatalf("FAIL: watched job ended %q with %d results, want done/%d", st.State, len(st.Results), len(jobs))
+	}
+	if len(events) < 2 {
+		log.Fatalf("FAIL: event stream carried %d events, want a running snapshot before the terminal one", len(events))
+	}
+	for i := 0; i < len(events)-1; i++ {
+		if events[i].State != "running" {
+			log.Fatalf("FAIL: non-terminal event %d has state %q", i, events[i].State)
+		}
+	}
+	last := events[len(events)-1]
+	if !last.Done() || last.JobsDone != len(jobs) {
+		log.Fatalf("FAIL: terminal event = %+v", last)
+	}
+	for i := 1; i < len(events); i++ {
+		prev, cur := events[i-1], events[i]
+		if cur.JobsDone < prev.JobsDone || cur.NodeRounds < prev.NodeRounds || cur.DedupHits < prev.DedupHits {
+			log.Fatalf("FAIL: progress regressed between events %d and %d: %+v -> %+v", i-1, i, prev, cur)
+		}
+	}
+	if last.NodeRounds == 0 || last.DedupHits < 2 {
+		log.Fatalf("FAIL: terminal event missing work accounting: %+v", last)
+	}
+	log.Printf("events: %d snapshots, monotone, terminal at %d/%d", len(events), last.JobsDone, last.JobsTotal)
+
+	// The flight recorder must hold the sweep with a nonzero engine phase
+	// whose child spans account for the request's duration.
+	dbg, err := c.DebugRequests(ctx, "sort=slowest")
+	if err != nil {
+		log.Fatalf("FAIL: /debug/requests: %v", err)
+	}
+	if !dbg.Enabled || len(dbg.Requests) == 0 {
+		log.Fatalf("FAIL: flight recorder empty or disabled: enabled=%v stored=%d", dbg.Enabled, dbg.Stored)
+	}
+	var sweepTL *client.RequestTimeline
+	for i := range dbg.Requests {
+		tl := &dbg.Requests[i]
+		if tl.Route != "/v1/sweep" {
+			continue
+		}
+		if engineSeconds(tl) > 0 {
+			sweepTL = tl
+			break
+		}
+	}
+	if sweepTL == nil {
+		log.Fatal("FAIL: no /v1/sweep timeline with a nonzero engine span in /debug/requests")
+	}
+	var childSum float64
+	for _, sp := range sweepTL.Spans[1:] {
+		if sp.Parent == 0 {
+			childSum += sp.DurationSeconds
+		}
+	}
+	total := sweepTL.DurationSeconds
+	if total <= 0 || childSum <= 0.5*total || childSum > 1.1*total {
+		log.Fatalf("FAIL: sweep child spans sum to %.4fs of a %.4fs request — phases do not attribute the time", childSum, total)
+	}
+	jobTL := false
+	for i := range dbg.Requests {
+		tl := &dbg.Requests[i]
+		if tl.Route == "batch-job" && tl.ID == ack.ID && engineSeconds(tl) > 0 {
+			jobTL = true
+			break
+		}
+	}
+	if !jobTL {
+		log.Fatalf("FAIL: no batch-job timeline for %s with a nonzero engine span", ack.ID)
+	}
+	log.Printf("flight recorder: sweep engine=%.1fms, child spans cover %.0f%% of the %.1fms request; job %s recorded",
+		engineSeconds(sweepTL)*1e3, 100*childSum/total, total*1e3, ack.ID)
+}
+
+// engineSeconds returns the summed duration of a timeline's engine spans.
+func engineSeconds(tl *client.RequestTimeline) float64 {
+	var sum float64
+	for _, sp := range tl.Spans {
+		if sp.Name == "engine" {
+			sum += sp.DurationSeconds
+		}
+	}
+	return sum
 }
 
 // phaseSweep drives /v1/sweep through the shedding machinery: the retrying

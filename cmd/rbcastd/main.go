@@ -15,16 +15,25 @@
 // individually with a partial result), and a panicking scenario fails its
 // own job instead of the process.
 //
-// Endpoints: POST /v1/run, POST /v1/batch, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/trace, GET /healthz, GET /metrics. Pass -addr host:0
+// Endpoints: POST /v1/run, POST /v1/batch, POST /v1/sweep,
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/trace, GET /v1/jobs/{id}/events,
+// GET /healthz, GET /metrics, GET /debug/requests. Pass -addr host:0
 // to bind an ephemeral port; the actual address is logged on startup
 // (msg="rbcastd listening" addr=...), which is what scripts/serve_smoke.sh
 // parses. Logs are structured (log/slog); -log-format selects text or
 // JSON, -log-level the threshold. -ops-addr optionally serves
-// net/http/pprof (plus /metrics and /healthz) on a separate operations
-// listener so profiling never shares a port with the public API. On
-// SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
-// requests and queued batch jobs, and exits.
+// net/http/pprof (plus /metrics, /healthz and /debug/requests) on a
+// separate operations listener so profiling never shares a port with the
+// public API.
+//
+// The flight recorder (-flight-recorder, default 256 timelines; 0
+// disables) retains per-request span timelines — cache outcome, queue and
+// slot waits, engine execution, fork structure, response encoding —
+// served by GET /debug/requests and folded into the
+// rbcastd_phase_seconds summaries on /metrics. -slow-request logs one
+// WARN line with the per-phase breakdown for any request at or over the
+// threshold. On SIGINT/SIGTERM the daemon stops accepting work, drains
+// in-flight requests and queued batch jobs, and exits.
 package main
 
 import (
@@ -88,6 +97,7 @@ func serveOps(addr string, srv *server.Server, logger *slog.Logger) (*http.Serve
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/metrics", srv)
 	mux.Handle("/healthz", srv)
+	mux.Handle("/debug/requests", srv)
 	ops := &http.Server{Handler: mux}
 	go func() {
 		if err := ops.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -108,6 +118,8 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 1024, "batch jobs accepted but unfinished before submissions shed with 429")
 		maxInflight = flag.Int("max-inflight", 0, "concurrently executing jobs before sync runs shed with 429 (<=0 means unbounded)")
 		jobTimeout  = flag.Duration("job-timeout", 0, "wall-clock bound per scenario execution; over it a run fails with a partial result (0 disables)")
+		flightRec   = flag.Int("flight-recorder", 256, "request timelines retained for GET /debug/requests (0 disables span tracing)")
+		slowReq     = flag.Duration("slow-request", 0, "log a WARN line with the per-phase span breakdown for requests at or over this duration (0 disables)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight work")
 		logFormat   = flag.String("log-format", "text", "log handler: text or json")
 		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
@@ -129,13 +141,15 @@ func main() {
 		fatal("listen", err)
 	}
 	srv := server.New(server.Options{
-		CacheSize:   *cacheSize,
-		Workers:     *workers,
-		MaxJobs:     *maxJobs,
-		QueueDepth:  *queueDepth,
-		MaxInflight: *maxInflight,
-		JobTimeout:  *jobTimeout,
-		Logger:      logger,
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		MaxJobs:        *maxJobs,
+		QueueDepth:     *queueDepth,
+		MaxInflight:    *maxInflight,
+		JobTimeout:     *jobTimeout,
+		FlightRecorder: *flightRec,
+		SlowRequest:    *slowReq,
+		Logger:         logger,
 	})
 	hs := &http.Server{Handler: srv}
 

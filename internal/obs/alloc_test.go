@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDisarmedTapAllocsZero pins the contract that makes unconditional
+// instrumentation affordable: with no flight recorder armed (nil *Trace,
+// nil *Recorder), the full per-request tap sequence — span open/close,
+// annotation, context propagation, finish, record — allocates nothing.
+func TestDisarmedTapAllocsZero(t *testing.T) {
+	var tr *Trace
+	var rec *Recorder
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start(Root, "cache")
+		tr.SetName(sp, "cache_miss")
+		child := tr.Start(sp, "engine")
+		tr.AnnotateInt(child, "rounds", 42)
+		tr.End(child)
+		tr.End(sp)
+		c2 := ContextWith(ctx, tr, sp)
+		t2, parent := SpanFromContext(c2)
+		t2.End(t2.Start(parent, "fork"))
+		tr.Annotate(Root, "k", "v")
+		tr.Finish(200)
+		tr.Phases(func(string, time.Duration) {})
+		_ = tr.Summary()
+		_ = tr.Duration()
+		rec.Record(tr)
+		_ = rec.Enabled()
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed tap sequence allocated %.1f times per run, want 0", allocs)
+	}
+}

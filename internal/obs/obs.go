@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within its Trace. Root is the span every
+// NewTrace opens; None marks "no span" — it is what operations on a nil
+// or full Trace return, and it is safe to pass anywhere a SpanID is
+// accepted.
+type SpanID int
+
+const (
+	// Root is the root span's id in every trace.
+	Root SpanID = 0
+	// None is the no-op span id.
+	None SpanID = -1
+)
+
+// maxSpans bounds one trace's span count so a 4096-element sweep cannot
+// turn its own timeline into a memory hog: past the bound Start returns
+// None (every operation on which is a no-op) and the trace counts the
+// drop, which Snapshot surfaces as dropped_spans.
+const maxSpans = 512
+
+// annotation is one key=value note on a span.
+type annotation struct{ key, value string }
+
+// span is one timed phase. start is the offset from the trace's begin;
+// dur stays zero until the span is ended.
+type span struct {
+	name   string
+	parent SpanID
+	start  time.Duration
+	dur    time.Duration
+	ended  bool
+	attrs  []annotation
+}
+
+// Trace is one request's span timeline. A nil *Trace is a valid no-op
+// sink: every method checks the receiver, so disarmed callers pay one
+// pointer test and zero allocations. All methods are safe for concurrent
+// use — batch and sweep workers record spans from many goroutines.
+type Trace struct {
+	id    string
+	route string
+	begin time.Time
+
+	mu       sync.Mutex
+	status   int
+	finished bool
+	dur      time.Duration
+	spans    []span
+	dropped  int
+}
+
+// NewTrace opens a timeline whose root span is named route, correlated
+// to the given request (or job) id.
+func NewTrace(route, id string) *Trace {
+	t := &Trace{id: id, route: route, begin: time.Now()}
+	t.spans = make([]span, 1, 8)
+	t.spans[0] = span{name: route, parent: None}
+	return t
+}
+
+// ID returns the trace's correlation id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start opens a child span under parent (out-of-range parents, including
+// None, attach to the root). It returns None on a nil or span-capped
+// trace.
+func (t *Trace) Start(parent SpanID, name string) SpanID {
+	if t == nil {
+		return None
+	}
+	at := time.Since(t.begin)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		return None
+	}
+	if parent < 0 || int(parent) >= len(t.spans) {
+		parent = Root
+	}
+	t.spans = append(t.spans, span{name: name, parent: parent, start: at})
+	return SpanID(len(t.spans) - 1)
+}
+
+// End closes a span, fixing its duration. Ending the root (Finish's job),
+// None, or an already-ended span is a no-op.
+func (t *Trace) End(id SpanID) {
+	if t == nil || id <= Root {
+		return
+	}
+	at := time.Since(t.begin)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.spans) {
+		return
+	}
+	if sp := &t.spans[id]; !sp.ended {
+		sp.dur = at - sp.start
+		sp.ended = true
+	}
+}
+
+// SetName renames a span. Callers use it when a phase's identity is only
+// known after the fact — the cache span becomes cache_hit,
+// singleflight_wait or cache_miss once the lookup resolved.
+func (t *Trace) SetName(id SpanID, name string) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.spans) {
+		return
+	}
+	t.spans[id].name = name
+}
+
+// Annotate attaches a key=value note to a span (Root included).
+func (t *Trace) Annotate(id SpanID, key, value string) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.spans) {
+		return
+	}
+	sp := &t.spans[id]
+	sp.attrs = append(sp.attrs, annotation{key: key, value: value})
+}
+
+// AnnotateInt is Annotate for integer values, formatting only when the
+// trace is live.
+func (t *Trace) AnnotateInt(id SpanID, key string, v int64) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.Annotate(id, key, strconv.FormatInt(v, 10))
+}
+
+// Finish closes the root span with the response status and fixes the
+// trace's total duration. Only the first Finish counts.
+func (t *Trace) Finish(status int) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.begin)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished {
+		return
+	}
+	t.finished = true
+	t.status = status
+	t.dur = at
+	t.spans[0].dur = at
+	t.spans[0].ended = true
+}
+
+// Duration returns the finished trace's total duration (0 until Finish).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dur
+}
+
+// Phases calls fn for every ended non-root span, in start order. The
+// server folds these into the per-phase duration summaries on /metrics;
+// fn must not call back into the trace.
+func (t *Trace) Phases(fn func(name string, d time.Duration)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 1; i < len(t.spans); i++ {
+		if t.spans[i].ended {
+			fn(t.spans[i].name, t.spans[i].dur)
+		}
+	}
+}
+
+// Summary renders the ended child spans compactly for log lines:
+// "cache_miss=12.4ms engine=11.8ms encode=0.2ms", in start order.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	for i := 1; i < len(t.spans); i++ {
+		sp := &t.spans[i]
+		if !sp.ended {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(sp.name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(float64(sp.dur)/float64(time.Millisecond), 'f', 1, 64))
+		b.WriteString("ms")
+	}
+	return b.String()
+}
+
+// SpanSnapshot is one span's JSON form. Parent is the index of the
+// parent span in the enclosing snapshot's Spans (-1 for the root);
+// starts and durations are seconds, matching the /metrics histograms.
+type SpanSnapshot struct {
+	Name            string            `json:"name"`
+	Parent          int               `json:"parent"`
+	StartSeconds    float64           `json:"start_seconds"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is one timeline's JSON form, the element type of
+// GET /debug/requests. Spans[0] is the root; span order is start order.
+type TraceSnapshot struct {
+	ID              string         `json:"id"`
+	Route           string         `json:"route"`
+	Status          int            `json:"status,omitempty"`
+	Begin           time.Time      `json:"begin"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Spans           []SpanSnapshot `json:"spans"`
+	DroppedSpans    int            `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot copies the trace into its JSON form. Unfinished spans appear
+// with a zero duration.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceSnapshot{
+		ID:              t.id,
+		Route:           t.route,
+		Status:          t.status,
+		Begin:           t.begin,
+		DurationSeconds: t.dur.Seconds(),
+		Spans:           make([]SpanSnapshot, len(t.spans)),
+		DroppedSpans:    t.dropped,
+	}
+	for i := range t.spans {
+		sp := &t.spans[i]
+		ss := SpanSnapshot{
+			Name:            sp.name,
+			Parent:          int(sp.parent),
+			StartSeconds:    sp.start.Seconds(),
+			DurationSeconds: sp.dur.Seconds(),
+		}
+		if len(sp.attrs) > 0 {
+			ss.Attrs = make(map[string]string, len(sp.attrs))
+			for _, a := range sp.attrs {
+				ss.Attrs[a.key] = a.value
+			}
+		}
+		out.Spans[i] = ss
+	}
+	return out
+}
+
+// ctxKey keys the (trace, span) pair in a context.
+type ctxKey struct{}
+
+// ctxSpan is the context payload: a trace plus the span new children
+// should attach under.
+type ctxSpan struct {
+	t      *Trace
+	parent SpanID
+}
+
+// ContextWith returns ctx carrying the trace and parent span. A nil
+// trace returns ctx unchanged — the disarmed path allocates nothing.
+func ContextWith(ctx context.Context, t *Trace, parent SpanID) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxSpan{t: t, parent: parent})
+}
+
+// SpanFromContext returns the trace and parent span carried by ctx, or
+// (nil, None). A nil ctx is allowed and yields the no-op pair, so
+// callers holding an optional context need no guard.
+func SpanFromContext(ctx context.Context) (*Trace, SpanID) {
+	if ctx == nil {
+		return nil, None
+	}
+	if cs, ok := ctx.Value(ctxKey{}).(ctxSpan); ok {
+		return cs.t, cs.parent
+	}
+	return nil, None
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("/v1/run", "req-1")
+	if tr.ID() != "req-1" {
+		t.Fatalf("ID = %q, want req-1", tr.ID())
+	}
+	cache := tr.Start(Root, "cache")
+	tr.SetName(cache, "cache_miss")
+	engine := tr.Start(cache, "engine")
+	tr.AnnotateInt(engine, "rounds", 7)
+	tr.End(engine)
+	tr.End(cache)
+	enc := tr.Start(Root, "encode")
+	tr.Annotate(enc, "bytes", "512")
+	tr.End(enc)
+	tr.Finish(200)
+
+	snap := tr.Snapshot()
+	if snap.ID != "req-1" || snap.Route != "/v1/run" || snap.Status != 200 {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	if len(snap.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(snap.Spans))
+	}
+	root := snap.Spans[0]
+	if root.Name != "/v1/run" || root.Parent != -1 {
+		t.Fatalf("root span = %+v", root)
+	}
+	if root.DurationSeconds <= 0 || snap.DurationSeconds != root.DurationSeconds {
+		t.Fatalf("root duration %v vs trace %v", root.DurationSeconds, snap.DurationSeconds)
+	}
+	if got := snap.Spans[1]; got.Name != "cache_miss" || got.Parent != 0 {
+		t.Fatalf("cache span = %+v", got)
+	}
+	if got := snap.Spans[2]; got.Name != "engine" || got.Parent != 1 || got.Attrs["rounds"] != "7" {
+		t.Fatalf("engine span = %+v", got)
+	}
+	if got := snap.Spans[3]; got.Name != "encode" || got.Parent != 0 || got.Attrs["bytes"] != "512" {
+		t.Fatalf("encode span = %+v", got)
+	}
+	for i, sp := range snap.Spans {
+		if sp.DurationSeconds < 0 || sp.StartSeconds < 0 {
+			t.Fatalf("span %d has negative timing: %+v", i, sp)
+		}
+	}
+}
+
+func TestTraceFinishFirstWins(t *testing.T) {
+	tr := NewTrace("/v1/run", "req-2")
+	tr.Finish(504)
+	d := tr.Duration()
+	tr.Finish(200)
+	if snap := tr.Snapshot(); snap.Status != 504 {
+		t.Fatalf("status = %d, want first Finish's 504", snap.Status)
+	}
+	if tr.Duration() != d {
+		t.Fatalf("duration changed on second Finish")
+	}
+}
+
+func TestTraceSpanCapCountsDrops(t *testing.T) {
+	tr := NewTrace("/v1/sweep", "req-3")
+	for i := 0; i < maxSpans+10; i++ {
+		id := tr.Start(Root, "element")
+		if i < maxSpans-1 && id == None {
+			t.Fatalf("span %d unexpectedly dropped", i)
+		}
+		if i >= maxSpans-1 && id != None {
+			t.Fatalf("span %d exceeded the cap but was not dropped", i)
+		}
+		tr.End(id)
+	}
+	tr.Finish(200)
+	snap := tr.Snapshot()
+	if len(snap.Spans) != maxSpans {
+		t.Fatalf("got %d spans, want cap %d", len(snap.Spans), maxSpans)
+	}
+	if snap.DroppedSpans != 11 {
+		t.Fatalf("dropped = %d, want 11", snap.DroppedSpans)
+	}
+}
+
+func TestTraceBadIDsAreSafe(t *testing.T) {
+	tr := NewTrace("/v1/run", "req-4")
+	// Out-of-range parent attaches to the root.
+	child := tr.Start(SpanID(99), "child")
+	tr.End(SpanID(42))    // unknown id
+	tr.End(None)          // no-op id
+	tr.End(Root)          // root is Finish's job
+	tr.SetName(None, "x") // no-op
+	tr.Annotate(None, "k", "v")
+	tr.End(child)
+	tr.Finish(200)
+	snap := tr.Snapshot()
+	if snap.Spans[1].Parent != 0 {
+		t.Fatalf("bad parent should fall back to root, got %d", snap.Spans[1].Parent)
+	}
+}
+
+func TestNilTraceOps(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil ID")
+	}
+	id := tr.Start(Root, "x")
+	if id != None {
+		t.Fatalf("nil Start = %d, want None", id)
+	}
+	tr.End(id)
+	tr.SetName(id, "y")
+	tr.Annotate(id, "k", "v")
+	tr.AnnotateInt(id, "k", 1)
+	tr.Finish(200)
+	if tr.Duration() != 0 {
+		t.Fatal("nil Duration")
+	}
+	tr.Phases(func(string, time.Duration) { t.Fatal("nil Phases called fn") })
+	if tr.Summary() != "" {
+		t.Fatal("nil Summary")
+	}
+	if snap := tr.Snapshot(); len(snap.Spans) != 0 {
+		t.Fatal("nil Snapshot")
+	}
+}
+
+func TestPhasesAndSummary(t *testing.T) {
+	tr := NewTrace("/v1/run", "req-5")
+	a := tr.Start(Root, "cache_hit")
+	tr.End(a)
+	b := tr.Start(Root, "encode")
+	tr.End(b)
+	tr.Start(Root, "unended")
+	tr.Finish(200)
+
+	var names []string
+	tr.Phases(func(name string, d time.Duration) {
+		if d < 0 {
+			t.Fatalf("phase %s has negative duration", name)
+		}
+		names = append(names, name)
+	})
+	if len(names) != 2 || names[0] != "cache_hit" || names[1] != "encode" {
+		t.Fatalf("phases = %v", names)
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "cache_hit=") || !strings.Contains(sum, "encode=") {
+		t.Fatalf("summary = %q", sum)
+	}
+	if strings.Contains(sum, "unended") {
+		t.Fatalf("summary includes unended span: %q", sum)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	base := context.Background()
+	if tr, id := SpanFromContext(base); tr != nil || id != None {
+		t.Fatalf("empty ctx = (%v, %d)", tr, id)
+	}
+	if tr, id := SpanFromContext(nil); tr != nil || id != None {
+		t.Fatalf("nil ctx = (%v, %d)", tr, id)
+	}
+	// nil trace: ctx must come back unchanged (no allocation, no value).
+	if got := ContextWith(base, nil, Root); got != base {
+		t.Fatal("ContextWith(nil trace) should return ctx unchanged")
+	}
+	tr := NewTrace("/v1/run", "req-6")
+	sp := tr.Start(Root, "engine")
+	ctx := ContextWith(base, tr, sp)
+	got, parent := SpanFromContext(ctx)
+	if got != tr || parent != sp {
+		t.Fatalf("round-trip = (%v, %d), want (%v, %d)", got, parent, tr, sp)
+	}
+	child := got.Start(parent, "fork")
+	got.End(child)
+	got.End(sp)
+	tr.Finish(200)
+	snap := tr.Snapshot()
+	if snap.Spans[2].Name != "fork" || snap.Spans[2].Parent != 1 {
+		t.Fatalf("fork span = %+v", snap.Spans[2])
+	}
+}
+
+func TestRecorderRingNewestFirst(t *testing.T) {
+	r := NewRecorder(3)
+	if !r.Enabled() || r.Capacity() != 3 {
+		t.Fatalf("recorder = enabled %v cap %d", r.Enabled(), r.Capacity())
+	}
+	ids := []string{"a", "b", "c", "d", "e"}
+	for _, id := range ids {
+		tr := NewTrace("/v1/run", id)
+		tr.Finish(200)
+		r.Record(tr)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for i, want := range []string{"e", "d", "c"} {
+		if snaps[i].ID != want {
+			t.Fatalf("snapshot %d = %q, want %q (newest first)", i, snaps[i].ID, want)
+		}
+	}
+}
+
+func TestRecorderPartialRing(t *testing.T) {
+	r := NewRecorder(8)
+	tr := NewTrace("/v1/run", "only")
+	tr.Finish(200)
+	r.Record(tr)
+	r.Record(nil) // no-op
+	snaps := r.Snapshots()
+	if len(snaps) != 1 || snaps[0].ID != "only" {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() || r.Capacity() != 0 || r.Total() != 0 {
+		t.Fatal("nil recorder should read as disabled and empty")
+	}
+	r.Record(NewTrace("/v1/run", "x"))
+	if snaps := r.Snapshots(); snaps != nil {
+		t.Fatalf("nil Snapshots = %v", snaps)
+	}
+	if NewRecorder(0) != nil || NewRecorder(-5) != nil {
+		t.Fatal("NewRecorder(n<=0) must return nil")
+	}
+}

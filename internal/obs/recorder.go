@@ -1,0 +1,82 @@
+package obs
+
+import "sync"
+
+// Recorder is the flight recorder: a bounded ring of the most recent
+// finished traces, oldest evicted first. A nil *Recorder is a valid
+// disabled recorder — Record and Snapshots are no-ops, Enabled reports
+// false — which is how the server disarms the whole span stack.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int
+	total uint64
+}
+
+// NewRecorder builds a recorder retaining the last n traces. n ≤ 0
+// returns nil — the disabled recorder.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		return nil
+	}
+	return &Recorder{ring: make([]*Trace, n)}
+}
+
+// Enabled reports whether traces are being retained. The serving layer
+// uses it to skip trace construction entirely when disarmed.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Capacity returns the ring size (0 when disabled).
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Total returns the number of traces ever recorded (0 when disabled).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Record retains a finished trace, evicting the oldest when full. Nil
+// traces and nil recorders are no-ops.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = t
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshots copies the retained timelines, newest first.
+func (r *Recorder) Snapshots() []TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	traces := make([]*Trace, 0, len(r.ring))
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < len(r.ring); i++ {
+		slot := (r.next - 1 - i + 2*len(r.ring)) % len(r.ring)
+		if t := r.ring[slot]; t != nil {
+			traces = append(traces, t)
+		}
+	}
+	r.mu.Unlock()
+	// Snapshot outside r.mu: each trace has its own lock, and holding
+	// the ring lock across per-trace copies would stall recording.
+	out := make([]TraceSnapshot, len(traces))
+	for i, t := range traces {
+		out[i] = t.Snapshot()
+	}
+	return out
+}

@@ -55,6 +55,22 @@ func New[V any](capacity int) *Cache[V] {
 	}
 }
 
+// Outcome classifies how one Do/DoOutcome call was resolved. Request
+// tracing uses it to attribute the cache phase: a resident hit and a
+// single-flight wait both report cached=true but spend time very
+// differently.
+type Outcome int
+
+const (
+	// OutcomeMiss: this call executed fn.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: the value was resident; no wait, no execution.
+	OutcomeHit
+	// OutcomeJoined: the call coalesced onto another caller's in-flight
+	// execution and blocked until it settled.
+	OutcomeJoined
+)
+
 // Do returns the cached value for key, or executes fn exactly once to
 // produce it. Concurrent Do calls with the same key coalesce: one caller
 // executes, the rest block until it finishes and share its value or error.
@@ -62,19 +78,27 @@ func New[V any](capacity int) *Cache[V] {
 // coalesced wait). Successful values are inserted at the LRU front;
 // errors are returned to all coalesced callers but never cached.
 func (c *Cache[V]) Do(key string, fn func() (V, error)) (val V, err error, cached bool) {
+	val, err, outcome := c.DoOutcome(key, fn)
+	return val, err, outcome != OutcomeMiss
+}
+
+// DoOutcome is Do with the resolution classified: OutcomeHit (resident),
+// OutcomeJoined (coalesced onto an in-flight execution), or OutcomeMiss
+// (this call executed fn).
+func (c *Cache[V]) DoOutcome(key string, fn func() (V, error)) (val V, err error, outcome Outcome) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		val = el.Value.(*entry[V]).val
 		c.mu.Unlock()
-		return val, nil, true
+		return val, nil, OutcomeHit
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		<-f.done
-		return f.val, f.err, true
+		return f.val, f.err, OutcomeJoined
 	}
 	f := &flight[V]{done: make(chan struct{})}
 	c.inflight[key] = f
@@ -93,7 +117,7 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (val V, err error, cache
 	f.val, f.err = fn()
 	settled = true
 	c.settle(key, f, f.err == nil)
-	return f.val, f.err, false
+	return f.val, f.err, OutcomeMiss
 }
 
 // settle retires a flight: removes it from the in-flight table, optionally

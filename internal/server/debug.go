@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// DebugRequestsResponse is the GET /debug/requests body: the flight
+// recorder's state plus the retained request timelines.
+type DebugRequestsResponse struct {
+	// Enabled reports whether the flight recorder is armed
+	// (-flight-recorder > 0). When false, Requests is always empty.
+	Enabled bool `json:"enabled"`
+	// Capacity is the ring size; Stored the timelines currently retained;
+	// Total the timelines ever recorded (Total − Stored were evicted).
+	Capacity int    `json:"capacity"`
+	Stored   int    `json:"stored"`
+	Total    uint64 `json:"total"`
+	// Requests holds the selected timelines — newest first, or slowest
+	// first with ?sort=slowest.
+	Requests []obs.TraceSnapshot `json:"requests"`
+}
+
+// handleDebugRequests serves the flight recorder: the last N request
+// timelines as JSON, à la x/net/trace. Query parameters select and order:
+// ?n=K caps the returned count, ?sort=slowest orders by duration
+// descending (default: newest first), ?min_ms=D drops requests faster
+// than D milliseconds. The endpoint itself is never recorded.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	snaps := s.rec.Snapshots()
+	stored := len(snaps)
+	if v := q.Get("min_ms"); v != "" {
+		minMS, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid min_ms %q", v))
+			return
+		}
+		kept := snaps[:0]
+		for _, sn := range snaps {
+			if sn.DurationSeconds*1e3 >= minMS {
+				kept = append(kept, sn)
+			}
+		}
+		snaps = kept
+	}
+	switch q.Get("sort") {
+	case "", "newest":
+		// Snapshots() is already newest first.
+	case "slowest":
+		sort.SliceStable(snaps, func(i, j int) bool {
+			return snaps[i].DurationSeconds > snaps[j].DurationSeconds
+		})
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("invalid sort %q (want newest or slowest)", q.Get("sort")))
+		return
+	}
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", v))
+			return
+		}
+		if n < len(snaps) {
+			snaps = snaps[:n]
+		}
+	}
+	if snaps == nil {
+		snaps = []obs.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, DebugRequestsResponse{
+		Enabled:  s.rec.Enabled(),
+		Capacity: s.rec.Capacity(),
+		Stored:   stored,
+		Total:    s.rec.Total(),
+		Requests: snaps,
+	})
+}

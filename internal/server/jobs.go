@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	rbcast "repro"
+	"repro/internal/obs"
 )
 
 // BatchRequest is the /v1/batch payload.
@@ -50,6 +53,29 @@ type JobResult struct {
 	Partial bool `json:"partial,omitempty"`
 }
 
+// ProgressEvent is one GET /v1/jobs/{id}/events NDJSON line: a cumulative
+// snapshot of a batch job's execution. Snapshots are monotone — each
+// field only grows — and the stream ends with exactly one terminal event
+// (State "done", JobsDone == JobsTotal).
+type ProgressEvent struct {
+	// State is "running" until the job finishes, then "done".
+	State string `json:"state"`
+	// JobsDone counts batch elements resolved so far (cache hits,
+	// executions, failures and within-batch duplicates alike); JobsTotal
+	// is the batch size.
+	JobsDone  int `json:"jobs_done"`
+	JobsTotal int `json:"jobs_total"`
+	// NodeRounds is the simulated work performed so far: Σ rounds ×
+	// network size over this job's fresh executions.
+	NodeRounds int64 `json:"node_rounds"`
+	// DedupHits counts elements resolved without a fresh execution:
+	// result-cache hits plus within-batch duplicate fingerprints.
+	DedupHits int `json:"dedup_hits"`
+	// Errors counts elements that finished with an error (terminal event
+	// only; partial deadline results are included).
+	Errors int `json:"errors"`
+}
+
 // batchJob is one asynchronous batch execution.
 type batchJob struct {
 	id      string
@@ -59,6 +85,81 @@ type batchJob struct {
 	mu      sync.Mutex
 	done    bool
 	results []JobResult
+	// progress is the latest cumulative snapshot; changed is closed and
+	// replaced on every advance, waking /v1/jobs/{id}/events streams.
+	progress ProgressEvent
+	changed  chan struct{}
+}
+
+// newBatchJob opens a running job with a live progress snapshot.
+func newBatchJob(id string, n int) *batchJob {
+	return &batchJob{
+		id:       id,
+		n:        n,
+		created:  time.Now(),
+		progress: ProgressEvent{State: "running", JobsTotal: n},
+		changed:  make(chan struct{}),
+	}
+}
+
+// update advances the live progress snapshot and wakes watchers. Fields
+// only move forward — progress callbacks race with the scan-time seed, so
+// monotonicity is enforced here rather than trusted from callers. A
+// finished job ignores updates.
+func (j *batchJob) update(done int, nodeRounds int64, dedup int) {
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return
+	}
+	advanced := false
+	if done > j.progress.JobsDone {
+		j.progress.JobsDone = done
+		advanced = true
+	}
+	if nodeRounds > j.progress.NodeRounds {
+		j.progress.NodeRounds = nodeRounds
+		advanced = true
+	}
+	if dedup > j.progress.DedupHits {
+		j.progress.DedupHits = dedup
+		advanced = true
+	}
+	if advanced {
+		close(j.changed)
+		j.changed = make(chan struct{})
+	}
+	j.mu.Unlock()
+}
+
+// finish publishes the results and the terminal progress event. The first
+// finish wins (the panic path and the normal path cannot both land).
+func (j *batchJob) finish(results []JobResult) {
+	j.mu.Lock()
+	if !j.done {
+		j.results = results
+		j.done = true
+		j.progress.State = "done"
+		j.progress.JobsDone = j.n
+		errs := 0
+		for i := range results {
+			if results[i].Error != "" {
+				errs++
+			}
+		}
+		j.progress.Errors = errs
+		close(j.changed)
+		j.changed = make(chan struct{})
+	}
+	j.mu.Unlock()
+}
+
+// snapshot returns the current progress event, the channel that closes on
+// the next advance, and whether the job is terminal.
+func (j *batchJob) snapshot() (ProgressEvent, chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.progress, j.changed, j.done
 }
 
 // handleBatch accepts a job list and executes it asynchronously on the
@@ -93,7 +194,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queueDepth.Add(1)
 	s.nextID++
-	job := &batchJob{id: fmt.Sprintf("job-%d", s.nextID), n: len(req.Jobs), created: time.Now()}
+	job := newBatchJob(fmt.Sprintf("job-%d", s.nextID), len(req.Jobs))
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
 	s.evictJobsLocked()
@@ -103,6 +204,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	workers := s.opts.Workers
 	if req.Workers > 0 && (workers <= 0 || req.Workers < workers) {
 		workers = req.Workers
+	}
+	// Async jobs get their own timeline in the flight recorder, keyed by
+	// job id: the HTTP accept above records only decode + admission, while
+	// the job trace attributes the execution (queue wait, slot wait,
+	// engine). jtr is nil when the recorder is disarmed.
+	var jtr *obs.Trace
+	var queueSp obs.SpanID
+	if s.rec.Enabled() {
+		jtr = obs.NewTrace("batch-job", job.id)
+		queueSp = jtr.Start(obs.Root, "queue_wait")
+		jtr.AnnotateInt(obs.Root, "jobs", int64(job.n))
 	}
 	go func() {
 		defer s.wg.Done()
@@ -124,24 +236,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			for i := range failed {
 				failed[i].Error = fmt.Sprintf("batch execution panicked: %v", r)
 			}
-			job.mu.Lock()
-			if !job.done {
-				job.results = failed
-				job.done = true
-			}
-			job.mu.Unlock()
+			job.finish(failed)
+			jtr.Finish(http.StatusInternalServerError)
+			s.rec.Record(jtr)
+			s.foldPhases(jtr)
 		}()
+		jtr.End(queueSp)
 		// An accepted job waits for an execution slot rather than shedding:
 		// backpressure was applied at admission, MaxInflight paces the CPU.
 		if s.runSlots != nil {
+			slotSp := jtr.Start(obs.Root, "slot_wait")
 			s.runSlots <- struct{}{}
+			jtr.End(slotSp)
 			defer func() { <-s.runSlots }()
 		}
-		results := s.runBatch(req.Jobs, workers)
-		job.mu.Lock()
-		job.results = results
-		job.done = true
-		job.mu.Unlock()
+		results := s.runBatch(jtr, job, req.Jobs, workers)
+		job.finish(results)
+		jtr.Finish(http.StatusOK)
+		s.rec.Record(jtr)
+		s.foldPhases(jtr)
 	}()
 
 	writeJSON(w, http.StatusAccepted, BatchResponse{
@@ -153,20 +266,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // runBatch resolves a job list against the cache, executes the distinct
 // misses via the batch runner (the rbcast.RunBatch pool substrate), stores
-// fresh results, and stitches everything back in job order.
-func (s *Server) runBatch(reqs []RunRequest, workers int) []JobResult {
+// fresh results, and stitches everything back in job order. tr (nil when
+// the flight recorder is disarmed) receives cache-scan and engine spans;
+// job receives live progress snapshots.
+func (s *Server) runBatch(tr *obs.Trace, job *batchJob, reqs []RunRequest, workers int) []JobResult {
 	results := make([]JobResult, len(reqs))
 	firstIndex := make(map[string]int) // fingerprint → first miss index
 	var missJobs []rbcast.Job
 	var missIndex []int
+	scanSp := tr.Start(obs.Root, "cache_scan")
+	cached := 0
 	for i, rr := range reqs {
-		job := rbcast.Job{Config: rr.Config, Plan: rr.Plan}
-		fp := job.Fingerprint()
+		rj := rbcast.Job{Config: rr.Config, Plan: rr.Plan}
+		fp := rj.Fingerprint()
 		results[i].Fingerprint = fp
 		if res, ok := s.cache.Get(fp); ok {
 			res := res
 			results[i].Result = &res
 			results[i].Cached = true
+			cached++
 			continue
 		}
 		if _, dup := firstIndex[fp]; dup {
@@ -174,17 +292,32 @@ func (s *Server) runBatch(reqs []RunRequest, workers int) []JobResult {
 			continue
 		}
 		firstIndex[fp] = i
-		missJobs = append(missJobs, job)
+		missJobs = append(missJobs, rj)
 		missIndex = append(missIndex, i)
 	}
+	dups := len(reqs) - cached - len(missJobs)
+	tr.AnnotateInt(scanSp, "hits", int64(cached))
+	tr.AnnotateInt(scanSp, "dups", int64(dups))
+	tr.AnnotateInt(scanSp, "misses", int64(len(missJobs)))
+	tr.End(scanSp)
+	// Seed the progress stream: everything dedup-resolved is already done
+	// (duplicates stitch from their first occurrence, which the engine
+	// completion below accounts for).
+	job.update(cached, 0, cached+dups)
 
 	if len(missJobs) > 0 {
+		engSp := tr.Start(obs.Root, "engine")
 		s.inflightRuns.Add(int64(len(missJobs)))
 		batch := s.opts.BatchRunner(missJobs, rbcast.BatchOptions{
 			Workers:    workers,
 			JobTimeout: s.opts.JobTimeout,
+			Context:    obs.ContextWith(context.Background(), tr, engSp),
+			Progress: func(up rbcast.ProgressUpdate) {
+				job.update(cached+up.Done, up.NodeRounds, cached+dups)
+			},
 		})
 		s.inflightRuns.Add(-int64(len(missJobs)))
+		tr.End(engSp)
 		for k, br := range batch {
 			i := missIndex[k]
 			if br.Err != nil {
@@ -288,6 +421,58 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rbcast.EncodeTrace(w, el.Result.Trace)
+}
+
+// eventsHeartbeat bounds how long an unchanged /v1/jobs/{id}/events
+// stream stays silent: the current snapshot is re-sent so idle proxies
+// and client read deadlines see a live connection.
+const eventsHeartbeat = 15 * time.Second
+
+// handleJobEvents streams a batch job's progress as NDJSON
+// (application/x-ndjson): the current cumulative snapshot immediately,
+// one line per advance after that, and a final terminal line (State
+// "done") before the stream closes. Unchanged snapshots are re-sent every
+// eventsHeartbeat as keep-alives; watchers dedup by monotonicity. A job
+// that is already done yields exactly one terminal line. Unknown ids 404.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	hb := time.NewTicker(eventsHeartbeat)
+	defer hb.Stop()
+	var last ProgressEvent
+	sent := false
+	for {
+		ev, changed, done := job.snapshot()
+		if !sent || ev != last {
+			if enc.Encode(ev) != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			last, sent = ev, true
+		}
+		if done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-hb.C:
+			sent = false // force a keep-alive re-send
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // evictJobsLocked drops the oldest *finished* jobs beyond MaxJobs so a

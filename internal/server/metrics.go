@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -109,6 +110,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeGauge(&b, "rbcastd_sweep_scalar_node_rounds_total", "counter",
 		"Node-rounds equivalent scalar execution would have simulated.",
 		float64(s.sweepScalarNodeRounds.Load()))
+
+	// Per-phase duration summaries from the flight recorder's finished
+	// traces (empty until a recorded route runs with -flight-recorder on).
+	s.phaseMu.Lock()
+	phases := make([]string, 0, len(s.phaseDur))
+	for name := range s.phaseDur {
+		phases = append(phases, name)
+	}
+	sort.Strings(phases)
+	type phaseRow struct {
+		name  string
+		count uint64
+		sum   float64
+	}
+	rows := make([]phaseRow, len(phases))
+	for i, name := range phases {
+		ps := s.phaseDur[name]
+		rows[i] = phaseRow{name: name, count: ps.count, sum: time.Duration(ps.sumNanos).Seconds()}
+	}
+	s.phaseMu.Unlock()
+	writeHeader(&b, "rbcastd_phase_seconds", "summary",
+		"Request time attributed to execution phases (flight-recorder span names).")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "rbcastd_phase_seconds_sum{phase=%q} %g\n", row.name, row.sum)
+		fmt.Fprintf(&b, "rbcastd_phase_seconds_count{phase=%q} %d\n", row.name, row.count)
+	}
+	writeGauge(&b, "rbcastd_flight_recorder_requests_total", "counter",
+		"Request timelines recorded by the flight recorder.", float64(s.rec.Total()))
+
+	// Process-health gauges: without them the exposition says nothing
+	// about whether the daemon itself is drowning.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeGauge(&b, "rbcastd_goroutines", "gauge",
+		"Live goroutines in the daemon process.", float64(runtime.NumGoroutine()))
+	writeGauge(&b, "rbcastd_heap_alloc_bytes", "gauge",
+		"Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	writeGauge(&b, "rbcastd_gc_pause_seconds_total", "counter",
+		"Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
 
 	writeGauge(&b, "rbcastd_uptime_seconds", "gauge",
 		"Seconds since the server started.", time.Since(s.start).Seconds())

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // durationBuckets are the histogram upper bounds in seconds. The range
@@ -63,6 +65,15 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards http.Flusher through the wrapper so the streaming
+// handlers (sweep NDJSON, job progress events) can push lines to the
+// client as they are produced instead of sitting in the server buffer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // nextRequestID mints a process-unique request id: the server start time
 // anchors uniqueness across restarts, a sequence number within the
 // process. Cheap, ordered, and grep-friendly — not globally unique.
@@ -71,18 +82,44 @@ func (s *Server) nextRequestID() string {
 }
 
 // instrument wraps a route handler with the observability stack: request
-// counter, request id (echoed as X-Request-Id), duration histogram, and
-// one structured log line per request when a logger is configured.
-func (s *Server) instrument(route string, counter *atomic.Uint64, hist *routeHist, handler http.HandlerFunc) http.HandlerFunc {
+// counter, request id (echoed as X-Request-Id), duration histogram,
+// flight-recorder timeline (record routes, armed recorder only), phase
+// summaries, slow-request warnings, and one structured log line per
+// request when a logger is configured.
+func (s *Server) instrument(route string, counter *atomic.Uint64, hist *routeHist, record bool, handler http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		counter.Add(1)
 		id := s.nextRequestID()
 		w.Header().Set("X-Request-Id", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// The trace is nil unless this route records and the flight
+		// recorder is armed; every downstream tap is then a single nil
+		// check, and req keeps its original context (WithContext would
+		// allocate).
+		var tr *obs.Trace
+		if record && s.rec.Enabled() {
+			tr = obs.NewTrace(route, id)
+			req = req.WithContext(obs.ContextWith(req.Context(), tr, obs.Root))
+		}
 		begin := time.Now()
 		handler(sw, req)
 		elapsed := time.Since(begin)
 		hist.observe(elapsed)
+		if tr != nil {
+			tr.Finish(sw.status)
+			s.rec.Record(tr)
+			s.foldPhases(tr)
+		}
+		slow := s.opts.SlowRequest > 0 && elapsed >= s.opts.SlowRequest
+		if slow && s.opts.Logger != nil {
+			s.opts.Logger.Warn("slow request",
+				"request_id", id,
+				"route", route,
+				"status", sw.status,
+				"duration_ms", float64(elapsed)/float64(time.Millisecond),
+				"threshold_ms", float64(s.opts.SlowRequest)/float64(time.Millisecond),
+				"phases", tr.Summary())
+		}
 		if s.opts.Logger != nil {
 			s.opts.Logger.Info("request",
 				"request_id", id,
@@ -93,4 +130,31 @@ func (s *Server) instrument(route string, counter *atomic.Uint64, hist *routeHis
 				"duration_ms", float64(elapsed)/float64(time.Millisecond))
 		}
 	}
+}
+
+// phaseStats accumulates one span name's duration summary for the
+// rbcastd_phase_seconds exposition.
+type phaseStats struct {
+	count    uint64
+	sumNanos int64
+}
+
+// foldPhases books a finished trace's spans into the per-phase summaries.
+// Span names are the phase labels, so new instrumentation shows up on
+// /metrics without touching the exposition.
+func (s *Server) foldPhases(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	s.phaseMu.Lock()
+	tr.Phases(func(name string, d time.Duration) {
+		ps := s.phaseDur[name]
+		if ps == nil {
+			ps = &phaseStats{}
+			s.phaseDur[name] = ps
+		}
+		ps.count++
+		ps.sumNanos += int64(d)
+	})
+	s.phaseMu.Unlock()
 }

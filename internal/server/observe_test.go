@@ -180,7 +180,7 @@ func TestMetricsHistogramExposition(t *testing.T) {
 	}
 
 	// Per route: parse the bucket series and check the invariants.
-	routes := []string{"/v1/run", "/v1/batch", "/v1/jobs/{id}", "/v1/jobs/{id}/trace", "/healthz", "/metrics"}
+	routes := []string{"/v1/run", "/v1/batch", "/v1/jobs/{id}", "/v1/jobs/{id}/trace", "/v1/jobs/{id}/events", "/healthz", "/metrics", "/debug/requests"}
 	for _, route := range routes {
 		var buckets []uint64
 		var count uint64

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	rbcast "repro"
+	"repro/internal/obs"
 	"repro/internal/scache"
 )
 
@@ -53,6 +54,15 @@ type Options struct {
 	// Logger receives one structured line per request (nil: no request
 	// logging). Metrics and request ids are recorded either way.
 	Logger *slog.Logger
+	// FlightRecorder retains the last N request timelines for
+	// GET /debug/requests and feeds the per-phase /metrics summaries
+	// (≤ 0: disabled). When disabled the span stack is disarmed — the
+	// request path performs no tracing work and no extra allocations.
+	FlightRecorder int
+	// SlowRequest logs one WARN line (with the per-phase span summary
+	// when the flight recorder is armed) for any request at or over this
+	// duration (≤ 0: disabled). Requires Logger.
+	SlowRequest time.Duration
 }
 
 // Server is the rbcastd HTTP handler plus its execution state. Construct
@@ -69,6 +79,14 @@ type Server struct {
 	histByPath     map[string]*routeHist
 	// reqSeq sequences request ids.
 	reqSeq atomic.Uint64
+
+	// rec is the flight recorder (nil when Options.FlightRecorder ≤ 0 —
+	// the span stack is then disarmed end to end). phaseMu/phaseDur
+	// aggregate finished traces' spans into the rbcastd_phase_seconds
+	// summaries.
+	rec      *obs.Recorder
+	phaseMu  sync.Mutex
+	phaseDur map[string]*phaseStats
 
 	// inflightRuns counts scenario executions currently on a CPU
 	// (sync runs and batch pool occupancy alike).
@@ -130,30 +148,40 @@ func New(opts Options) *Server {
 		start:          time.Now(),
 		requestsByPath: make(map[string]*atomic.Uint64),
 		histByPath:     make(map[string]*routeHist),
+		rec:            obs.NewRecorder(opts.FlightRecorder),
+		phaseDur:       make(map[string]*phaseStats),
 		jobs:           make(map[string]*batchJob),
 	}
 	if opts.MaxInflight > 0 {
 		s.runSlots = make(chan struct{}, opts.MaxInflight)
 	}
+	// record marks routes whose timelines enter the flight recorder.
+	// Scrape endpoints and long-lived event streams stay out: they would
+	// flood the ring with traffic nobody debugs, burying the requests the
+	// recorder exists to explain. Every route is still counted and
+	// histogrammed.
 	routes := []struct {
 		pattern string
 		path    string
 		handler http.HandlerFunc
+		record  bool
 	}{
-		{"POST /v1/run", "/v1/run", s.handleRun},
-		{"POST /v1/batch", "/v1/batch", s.handleBatch},
-		{"POST /v1/sweep", "/v1/sweep", s.handleSweep},
-		{"GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob},
-		{"GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleJobTrace},
-		{"GET /healthz", "/healthz", s.handleHealthz},
-		{"GET /metrics", "/metrics", s.handleMetrics},
+		{"POST /v1/run", "/v1/run", s.handleRun, true},
+		{"POST /v1/batch", "/v1/batch", s.handleBatch, true},
+		{"POST /v1/sweep", "/v1/sweep", s.handleSweep, true},
+		{"GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob, true},
+		{"GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleJobTrace, true},
+		{"GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleJobEvents, false},
+		{"GET /healthz", "/healthz", s.handleHealthz, false},
+		{"GET /metrics", "/metrics", s.handleMetrics, false},
+		{"GET /debug/requests", "/debug/requests", s.handleDebugRequests, false},
 	}
 	for _, r := range routes {
 		counter := &atomic.Uint64{}
 		hist := &routeHist{}
 		s.requestsByPath[r.path] = counter
 		s.histByPath[r.path] = hist
-		s.mux.HandleFunc(r.pattern, s.instrument(r.path, counter, hist, r.handler))
+		s.mux.HandleFunc(r.pattern, s.instrument(r.path, counter, hist, r.record, r.handler))
 	}
 	return s
 }
@@ -203,6 +231,7 @@ func writeShed(w http.ResponseWriter, err error) {
 // Failure modes map to statuses: invalid scenario 400, all execution slots
 // taken 429 (Retry-After), job deadline exceeded 504, scenario panic 500.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	tr, root := obs.SpanFromContext(r.Context())
 	var req RunRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -210,9 +239,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	job := rbcast.Job{Config: req.Config, Plan: req.Plan}
 	fp := job.Fingerprint()
-	res, err, cached := s.cache.Do(fp, func() (rbcast.Result, error) {
-		return s.executeOne(req.Config, req.Plan)
+	// The cache span's identity is only known once the lookup resolves:
+	// a resident hit, a single-flight wait on another request's
+	// execution, or a miss this request executes (with slot-wait and
+	// engine child spans from executeOne).
+	cacheSp := tr.Start(root, "cache")
+	res, err, outcome := s.cache.DoOutcome(fp, func() (rbcast.Result, error) {
+		return s.executeOne(tr, cacheSp, req.Config, req.Plan)
 	})
+	switch outcome {
+	case scache.OutcomeHit:
+		tr.SetName(cacheSp, "cache_hit")
+	case scache.OutcomeJoined:
+		tr.SetName(cacheSp, "singleflight_wait")
+	default:
+		tr.SetName(cacheSp, "cache_miss")
+	}
+	tr.Annotate(cacheSp, "fingerprint", fp)
+	tr.End(cacheSp)
+	cached := outcome != scache.OutcomeMiss
 	if err != nil {
 		var pe *rbcast.PanicError
 		switch {
@@ -236,7 +281,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Rbcast-Cache", "miss")
 	}
+	encSp := tr.Start(root, "encode")
 	writeJSON(w, http.StatusOK, RunResponse{Fingerprint: fp, Result: res})
+	tr.End(encSp)
 }
 
 // executeOne runs a single scenario, tracking in-flight occupancy and
@@ -245,13 +292,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // and converts a panicking scenario into an error instead of letting it
 // kill the daemon. The deadline context is detached from the request so a
 // disconnecting client cannot cancel an execution that coalesced
-// single-flight waiters.
-func (s *Server) executeOne(cfg rbcast.Config, plan rbcast.FaultPlan) (res rbcast.Result, err error) {
+// single-flight waiters. tr/parent carry the executing request's trace
+// (nil when disarmed, or when this execution was reached through a
+// coalesced waiter whose own trace records only the wait).
+func (s *Server) executeOne(tr *obs.Trace, parent obs.SpanID, cfg rbcast.Config, plan rbcast.FaultPlan) (res rbcast.Result, err error) {
 	if s.runSlots != nil {
+		slotSp := tr.Start(parent, "slot_wait")
 		select {
 		case s.runSlots <- struct{}{}:
+			tr.End(slotSp)
 			defer func() { <-s.runSlots }()
 		default:
+			tr.End(slotSp)
 			return rbcast.Result{}, errBusy
 		}
 	}
@@ -272,7 +324,10 @@ func (s *Server) executeOne(cfg rbcast.Config, plan rbcast.FaultPlan) (res rbcas
 			}
 		}
 	}()
-	res, err = s.opts.Runner(ctx, cfg, plan)
+	engSp := tr.Start(parent, "engine")
+	res, err = s.opts.Runner(obs.ContextWith(ctx, tr, engSp), cfg, plan)
+	tr.AnnotateInt(engSp, "rounds", int64(res.Rounds))
+	tr.End(engSp)
 	if err == nil {
 		s.observe(res)
 	}

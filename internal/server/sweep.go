@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 
 	rbcast "repro"
+	"repro/internal/obs"
 )
 
 // SweepRequest is the /v1/sweep payload: a base scenario plus axes. The
@@ -56,6 +58,7 @@ type SweepTrailer struct {
 // 400, draining 503, all execution slots taken 429 (Retry-After), deadline
 // elements marked partial inline.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tr, root := obs.SpanFromContext(r.Context())
 	var req SweepRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -81,16 +84,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// every execution slot is taken. One slot covers the whole sweep; the
 	// engine's own worker pool paces the per-element parallelism.
 	if s.runSlots != nil {
+		slotSp := tr.Start(root, "slot_wait")
 		select {
 		case s.runSlots <- struct{}{}:
+			tr.End(slotSp)
 			defer func() { <-s.runSlots }()
 		default:
+			tr.End(slotSp)
 			s.shedBusy.Add(1)
 			writeShed(w, errBusy)
 			return
 		}
 	}
 
+	scanSp := tr.Start(root, "cache_scan")
 	results := make([]SweepElement, len(elements))
 	var missJobs []rbcast.Job
 	var missIndex []int
@@ -109,6 +116,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		missJobs = append(missJobs, job)
 		missIndex = append(missIndex, i)
 	}
+	tr.AnnotateInt(scanSp, "elements", int64(len(elements)))
+	tr.AnnotateInt(scanSp, "misses", int64(len(missJobs)))
+	tr.End(scanSp)
 
 	var stats rbcast.SweepStats
 	if len(missJobs) > 0 {
@@ -116,13 +126,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if req.Workers > 0 && (workers <= 0 || req.Workers < workers) {
 			workers = req.Workers
 		}
+		// The engine span parents the sweep engine's own spans
+		// (sweep_plan, per-unit sweep_unit, per-branch fork), carried in
+		// through BatchOptions.Context.
+		engSp := tr.Start(root, "engine")
 		s.inflightRuns.Add(int64(len(missJobs)))
 		var batch []rbcast.BatchResult
 		batch, stats = s.opts.SweepRunner(missJobs, rbcast.BatchOptions{
 			Workers:    workers,
 			JobTimeout: s.opts.JobTimeout,
+			Context:    obs.ContextWith(context.Background(), tr, engSp),
 		})
 		s.inflightRuns.Add(-int64(len(missJobs)))
+		tr.End(engSp)
 		for k, br := range batch {
 			i := missIndex[k]
 			if br.Err != nil {
@@ -161,6 +177,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweepNodeRounds.Add(stats.NodeRounds)
 	s.sweepScalarNodeRounds.Add(stats.ScalarNodeRounds)
 
+	encSp := tr.Start(root, "encode")
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -175,4 +192,5 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeLine(results[i])
 	}
 	writeLine(SweepTrailer{Stats: stats})
+	tr.End(encSp)
 }

@@ -1,0 +1,77 @@
+#!/bin/sh
+# obs_smoke.sh — flight-recorder smoke test for rbcastd (`make obs-smoke`).
+#
+# Boots the daemon with the flight recorder armed (-flight-recorder 64) and
+# a deliberately low slow-request threshold (-slow-request 1ms), then runs
+# cmd/loadgen -progress, which asserts the observability contract end to
+# end: a batch job streams live, monotone progress events over
+# GET /v1/jobs/{id}/events through client.WatchJob, and GET /debug/requests
+# holds a sweep timeline whose engine phase is nonzero and whose child
+# spans account for the request's duration. The script then asserts the
+# daemon logged slow-request WARN lines carrying the per-phase breakdown,
+# that rbcastd_phase_seconds reached /metrics, and a clean drain. No
+# curl/jq dependency — loadgen is the whole client side.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+trap 'exit 1' INT TERM
+
+fail() {
+    echo "obs-smoke: FAIL: $*" >&2
+    echo "--- rbcastd log ---" >&2
+    cat "$TMP/log" >&2 || true
+    exit 1
+}
+
+"${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
+"${GO:-go}" build -o "$TMP/loadgen" ./cmd/loadgen
+
+"$TMP/rbcastd" -addr 127.0.0.1:0 -flight-recorder 64 -slow-request 1ms \
+    >"$TMP/log" 2>&1 &
+PID=$!
+
+# The daemon logs msg="rbcastd listening" addr=127.0.0.1:PORT once bound.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || fail "daemon never reported its address"
+
+"$TMP/loadgen" -addr "http://$ADDR" -progress -timeout 2m \
+    || fail "loadgen -progress reported a contract violation"
+
+# The 1ms threshold makes real work slow by definition: the engine-backed
+# requests must have produced WARN lines with the per-phase breakdown.
+grep -q 'msg="slow request"' "$TMP/log" \
+    || fail "no slow-request WARN line despite a 1ms threshold"
+grep 'msg="slow request"' "$TMP/log" | grep -q 'phases=' \
+    || fail "slow-request WARN line carries no per-phase breakdown"
+
+kill "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    [ $i -ge 100 ] && fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+    i=$((i + 1))
+done
+wait "$PID" 2>/dev/null || fail "daemon exited nonzero on SIGTERM"
+PID=""
+grep -q 'drained, bye' "$TMP/log" || fail "daemon did not report a clean drain"
+
+echo "obs-smoke: ok (http://$ADDR)"

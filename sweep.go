@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/protocol"
 )
@@ -159,6 +160,9 @@ func RunSweep(spec SweepSpec, opts BatchOptions) ([]BatchResult, SweepStats, err
 func RunSweepJobs(jobs []Job, opts BatchOptions) ([]BatchResult, SweepStats) {
 	results := make([]BatchResult, len(jobs))
 	stats := SweepStats{Elements: len(jobs)}
+	tracker := newProgressTracker(opts.Progress, len(jobs))
+	tr, parent := obs.SpanFromContext(opts.Context)
+	planSp := tr.Start(parent, "sweep_plan")
 
 	// Layer 1: group element indices by execution key.
 	byKey := make(map[string]*sweepGroup)
@@ -208,9 +212,26 @@ func RunSweepJobs(jobs []Job, opts BatchOptions) ([]BatchResult, SweepStats) {
 	}
 
 	ctx := opts.Context
+	tr.AnnotateInt(planSp, "elements", int64(len(jobs)))
+	tr.AnnotateInt(planSp, "units", int64(len(units)))
+	tr.End(planSp)
 	unitStats := make([]SweepStats, len(units))
 	pool.Run(opts.Workers, len(units), func(ui int) {
 		gs := units[ui]
+		// Unit progress folds in a defer so cancelled and panicking units
+		// still count toward Done — a watcher must converge on Total.
+		elements := 0
+		for _, g := range gs {
+			elements += len(g.indices)
+		}
+		unitSp := tr.Start(parent, "sweep_unit")
+		tr.AnnotateInt(unitSp, "elements", int64(elements))
+		tr.AnnotateInt(unitSp, "groups", int64(len(gs)))
+		defer func() {
+			tr.End(unitSp)
+			st := &unitStats[ui]
+			tracker.add(elements, st.NodeRounds, st.SharedResults)
+		}()
 		defer func() {
 			if r := recover(); r != nil {
 				for _, g := range gs {
@@ -241,6 +262,7 @@ func RunSweepJobs(jobs []Job, opts BatchOptions) ([]BatchResult, SweepStats) {
 			unitCtx, cancel = context.WithTimeout(unitCtx, opts.JobTimeout)
 			defer cancel()
 		}
+		unitCtx = obs.ContextWith(unitCtx, tr, unitSp)
 		st := &unitStats[ui]
 		if len(gs) == 1 {
 			g := gs[0]
@@ -318,6 +340,7 @@ func countRounds(st *SweepStats, res Result, err error, elements int, forkedFrom
 // their crashes would only have silenced nodes in rounds the execution
 // never reached.
 func runCrashFamily(ctx context.Context, jobs []Job, gs []*sweepGroup, results []BatchResult, st *SweepStats) {
+	tr, unitSp := obs.SpanFromContext(ctx)
 	trunk := gs[len(gs)-1]
 	trunkJob := jobs[trunk.indices[0]]
 	pr, err := prepare(trunkJob.Config, trunkJob.Plan)
@@ -405,14 +428,19 @@ func runCrashFamily(ctx context.Context, jobs []Job, gs []*sweepGroup, results [
 			continue
 		}
 		fc := collector.Clone()
+		fsp := tr.Start(unitSp, "fork")
+		tr.AnnotateInt(fsp, "crash_round", int64(g.crash))
 		feng, ferr := eng.Fork(fpr.faulty.crash, fc)
 		if ferr != nil {
+			tr.End(fsp)
 			for _, i := range g.indices {
 				results[i].Err = ferr
 			}
 			continue
 		}
 		fres, frunErr := feng.Run()
+		tr.AnnotateInt(fsp, "rounds", int64(fres.Stats.Rounds))
+		tr.End(fsp)
 		out := protocol.Score(fpr.runConfig(fpr.params(nil, nil), ctx), fres)
 		finish(g, fpr, fc, out, frunErr)
 		st.Simulations++
