@@ -6,9 +6,18 @@
 // exponential backoff, honoring the Retry-After hint when the daemon sends
 // one, under the caller's context deadline.
 //
-// Every rbcastd request is safe to retry: scenario runs are deterministic
-// pure functions of their fingerprint, and a shed batch submission was
-// never accepted.
+// Almost every rbcastd request is safe to retry: scenario runs are
+// deterministic pure functions of their fingerprint, and a shed batch
+// submission was never accepted. The one exception is a batch submission
+// that fails in transit: each accepted POST /v1/batch creates a new job,
+// so a transport error after the request may have reached the daemon is
+// NOT retried — only failures that prove non-receipt (the dial itself
+// failed) are. Shed submissions (429/503) remain retryable, because the
+// daemon answering "not accepted" is exactly the confirmation needed.
+//
+// Cluster is the fleet-aware variant: it routes each run to its
+// fingerprint owner over the same consistent-hash ring the daemons use
+// and fails over to ring successors when members are unreachable.
 package client
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -52,6 +62,12 @@ type Client struct {
 	maxRetries  int
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
+
+	// failfast makes transport errors return immediately instead of
+	// retrying (status-based retries are unaffected). Cluster sets it on
+	// member clients: an unreachable member should fail over to its ring
+	// successor at once, not burn the retry budget redialing a dead node.
+	failfast bool
 
 	// sleep and jitter are test seams: sleep waits out a backoff under
 	// the context, jitter draws from [0,1).
@@ -205,7 +221,7 @@ func (c *Client) Run(ctx context.Context, cfg rbcast.Config, plan rbcast.FaultPl
 		return RunResult{}, fmt.Errorf("client: encoding scenario: %w", err)
 	}
 	var out RunResult
-	hdr, data, err := c.do(ctx, http.MethodPost, "/v1/run", body)
+	hdr, data, err := c.do(ctx, http.MethodPost, "/v1/run", body, true)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -224,7 +240,7 @@ func (c *Client) Submit(ctx context.Context, jobs []rbcast.Job, workers int) (Ba
 		return BatchAck{}, fmt.Errorf("client: encoding batch: %w", err)
 	}
 	var ack BatchAck
-	_, data, err := c.do(ctx, http.MethodPost, "/v1/batch", body)
+	_, data, err := c.do(ctx, http.MethodPost, "/v1/batch", body, false)
 	if err != nil {
 		return BatchAck{}, err
 	}
@@ -244,7 +260,7 @@ func (c *Client) Sweep(ctx context.Context, base rbcast.Job, axes rbcast.SweepAx
 	if err != nil {
 		return SweepResult{}, fmt.Errorf("client: encoding sweep: %w", err)
 	}
-	_, data, err := c.do(ctx, http.MethodPost, "/v1/sweep", body)
+	_, data, err := c.do(ctx, http.MethodPost, "/v1/sweep", body, true)
 	if err != nil {
 		return SweepResult{}, err
 	}
@@ -282,7 +298,7 @@ func parseSweepStream(data []byte) (SweepResult, error) {
 // Job fetches a batch job's status.
 func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	_, data, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	_, data, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, true)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -416,13 +432,13 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (Jo
 
 // Health checks GET /healthz.
 func (c *Client) Health(ctx context.Context) error {
-	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil, true)
 	return err
 }
 
 // Metrics fetches the Prometheus exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	_, data, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	_, data, err := c.do(ctx, http.MethodGet, "/metrics", nil, true)
 	return string(data), err
 }
 
@@ -468,7 +484,7 @@ func (c *Client) DebugRequests(ctx context.Context, query string) (DebugRequests
 		path += "?" + query
 	}
 	var out DebugRequests
-	_, data, err := c.do(ctx, http.MethodGet, path, nil)
+	_, data, err := c.do(ctx, http.MethodGet, path, nil, true)
 	if err != nil {
 		return DebugRequests{}, err
 	}
@@ -482,7 +498,16 @@ func (c *Client) DebugRequests(ctx context.Context, query string) (DebugRequests
 // (429/503) and transport errors back off and re-attempt, honoring
 // Retry-After when present; everything else returns immediately. The body
 // is replayed from the encoded bytes on every attempt.
-func (c *Client) do(ctx context.Context, method, path string, body []byte) (http.Header, []byte, error) {
+//
+// idempotent declares whether a duplicate delivery of this request is
+// harmless. For non-idempotent requests a transport error is only retried
+// when it proves the daemon never received the request (the dial itself
+// failed); an ambiguous failure — connection reset mid-body, a timeout
+// waiting for the response — returns immediately, because the first copy
+// may have been accepted and a blind retry would duplicate it. Status
+// errors are unaffected: a daemon that answered 429/503 is confirming it
+// did not accept the request.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool) (http.Header, []byte, error) {
 	var last error
 	for attempt := 0; ; attempt++ {
 		hdr, data, err := c.once(ctx, method, path, body)
@@ -497,6 +522,16 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (http
 				return nil, nil, err
 			}
 			wait = se.RetryAfter
+		} else {
+			// Transport error: no daemon answer at all.
+			if c.failfast {
+				return nil, nil, last
+			}
+			if !idempotent && !confirmsNonReceipt(err) {
+				return nil, nil, fmt.Errorf(
+					"client: not retrying %s %s after an ambiguous transport failure (the request may have been accepted): %w",
+					method, path, err)
+			}
 		}
 		if ctx.Err() != nil || attempt >= c.maxRetries {
 			return nil, nil, last
@@ -511,6 +546,16 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (http
 			return nil, nil, fmt.Errorf("client: %w (last failure: %v)", err, last)
 		}
 	}
+}
+
+// confirmsNonReceipt reports whether a transport error proves the server
+// never received the request. Only a failed dial qualifies: the
+// connection was never established, so no bytes reached the daemon. A
+// reset mid-body, a broken pipe, or a response timeout all leave open the
+// possibility that the daemon read the full request and acted on it.
+func confirmsNonReceipt(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
 }
 
 // once issues a single attempt.

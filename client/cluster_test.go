@@ -1,0 +1,310 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rbcast "repro"
+	"repro/internal/server"
+)
+
+// faultTransport injects transport-level failures by attempt number,
+// delegating clean attempts to the default transport.
+type faultTransport struct {
+	fail  func(attempt int) error
+	calls atomic.Int32
+}
+
+func (t *faultTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if err := t.fail(int(t.calls.Add(1))); err != nil {
+		// Drain the body like a real transport that died mid-write would:
+		// the bytes left the client before the connection reset.
+		if r.Body != nil {
+			r.Body.Close()
+		}
+		return nil, err
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// resetError mimics a connection reset after the request started — the
+// ambiguous case where the daemon may have received and acted on it.
+func resetError() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: errors.New("connection reset by peer")}
+}
+
+// dialError mimics a refused dial — proof the daemon never saw anything.
+func dialError() error {
+	return &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("connection refused")}
+}
+
+// TestSubmitNotRetriedAfterAmbiguousFailure: a batch submission is not
+// idempotent — each accepted copy creates a new job — so a connection
+// reset mid-request must fail immediately instead of retrying a request
+// the daemon may already have accepted.
+func TestSubmitNotRetriedAfterAmbiguousFailure(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+	ft := &faultTransport{fail: func(int) error { return resetError() }}
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{HTTPClient: &http.Client{Transport: ft}}, &sleeps)
+
+	_, err := c.Submit(context.Background(), []rbcast.Job{testScenario()}, 0)
+	if err == nil || !strings.Contains(err.Error(), "not retrying") {
+		t.Fatalf("err = %v, want the ambiguous-failure refusal", err)
+	}
+	if got := ft.calls.Load(); got != 1 {
+		t.Errorf("transport saw %d attempts, want exactly 1", got)
+	}
+	if len(sleeps) != 0 {
+		t.Errorf("sleeps = %v, want none", sleeps)
+	}
+}
+
+// TestSubmitRetriedAfterDialFailure: a failed dial proves non-receipt, so
+// the submission is safe to retry even though it is not idempotent.
+func TestSubmitRetriedAfterDialFailure(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+	ft := &faultTransport{fail: func(attempt int) error {
+		if attempt <= 2 {
+			return dialError()
+		}
+		return nil
+	}}
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{HTTPClient: &http.Client{Transport: ft}}, &sleeps)
+
+	ack, err := c.Submit(context.Background(), []rbcast.Job{testScenario()}, 0)
+	if err != nil {
+		t.Fatalf("Submit after dial retries: %v", err)
+	}
+	if ack.ID == "" || ack.Jobs != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if got := ft.calls.Load(); got != 3 {
+		t.Errorf("transport saw %d attempts, want 3", got)
+	}
+}
+
+// TestRunRetriedAfterAmbiguousFailure: runs are idempotent (deterministic
+// and cached by fingerprint), so even the ambiguous reset retries.
+func TestRunRetriedAfterAmbiguousFailure(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+	ft := &faultTransport{fail: func(attempt int) error {
+		if attempt == 1 {
+			return resetError()
+		}
+		return nil
+	}}
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, Options{HTTPClient: &http.Client{Transport: ft}}, &sleeps)
+
+	job := testScenario()
+	got, err := c.Run(context.Background(), job.Config, job.Plan)
+	if err != nil {
+		t.Fatalf("Run after reset retry: %v", err)
+	}
+	if got.Fingerprint != job.Fingerprint() {
+		t.Errorf("fingerprint %q", got.Fingerprint)
+	}
+	if ft.calls.Load() != 2 {
+		t.Errorf("transport saw %d attempts, want 2", ft.calls.Load())
+	}
+}
+
+// clusterFleet boots n independent daemons (the daemons need no cluster
+// config for client-side routing tests — the client picks the node) and
+// returns their servers, URLs, and per-node execution counters.
+func clusterFleet(t *testing.T, n int) ([]*httptest.Server, []string, []*atomic.Int32) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	counts := make([]*atomic.Int32, n)
+	for i := range servers {
+		runs := &atomic.Int32{}
+		counts[i] = runs
+		servers[i] = httptest.NewServer(server.New(server.Options{
+			Runner: func(ctx context.Context, cfg rbcast.Config, plan rbcast.FaultPlan) (rbcast.Result, error) {
+				runs.Add(1)
+				return rbcast.RunContext(ctx, cfg, plan)
+			},
+		}))
+		urls[i] = servers[i].URL
+		t.Cleanup(servers[i].Close)
+	}
+	return servers, urls, counts
+}
+
+func TestClusterRunRoutesToOwner(t *testing.T) {
+	_, urls, counts := clusterFleet(t, 3)
+	cc, err := NewCluster(urls, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testScenario()
+	owner := cc.Owner(job.Config, job.Plan)
+	ownerIdx := -1
+	for i, u := range urls {
+		if u == owner {
+			ownerIdx = i
+		}
+	}
+	if ownerIdx < 0 {
+		t.Fatalf("owner %q is not a fleet member", owner)
+	}
+
+	got, err := cc.Run(context.Background(), job.Config, job.Plan)
+	if err != nil {
+		t.Fatalf("cluster Run: %v", err)
+	}
+	if got.Fingerprint != job.Fingerprint() {
+		t.Errorf("fingerprint %q", got.Fingerprint)
+	}
+	for i, c := range counts {
+		want := int32(0)
+		if i == ownerIdx {
+			want = 1
+		}
+		if c.Load() != want {
+			t.Errorf("node %d executed %d times, want %d", i, c.Load(), want)
+		}
+	}
+	// The result is resident exactly on the owner.
+	resident := 0
+	for _, u := range urls {
+		if _, ok, err := cc.Client(u).CachedResult(context.Background(), job.Fingerprint()); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			resident++
+			if u != owner {
+				t.Errorf("fingerprint resident on non-owner %s", u)
+			}
+		}
+	}
+	if resident != 1 {
+		t.Errorf("fingerprint resident on %d nodes, want 1", resident)
+	}
+}
+
+func TestClusterRunFailsOverToSuccessor(t *testing.T) {
+	servers, urls, counts := clusterFleet(t, 3)
+	cc, err := NewCluster(urls, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testScenario()
+	owner := cc.Owner(job.Config, job.Plan)
+	for i, u := range urls {
+		if u == owner {
+			servers[i].Close() // the owner goes dark
+		}
+	}
+
+	got, err := cc.Run(context.Background(), job.Config, job.Plan)
+	if err != nil {
+		t.Fatalf("cluster Run with dead owner: %v", err)
+	}
+	if got.Fingerprint != job.Fingerprint() {
+		t.Errorf("fingerprint %q", got.Fingerprint)
+	}
+	executed := 0
+	for i, c := range counts {
+		executed += int(c.Load())
+		if urls[i] == owner && c.Load() != 0 {
+			t.Error("the closed owner executed a run")
+		}
+	}
+	if executed != 1 {
+		t.Errorf("%d executions across the fleet, want 1 on the failover node", executed)
+	}
+}
+
+// TestClusterRunStatusErrorEndsFailover: a member that answers with a
+// terminal status speaks for the fleet — a bad scenario must not be
+// re-offered to every node.
+func TestClusterRunStatusErrorEndsFailover(t *testing.T) {
+	var calls atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"invalid scenario"}`))
+	})
+	a, b := httptest.NewServer(h), httptest.NewServer(h)
+	defer a.Close()
+	defer b.Close()
+	cc, err := NewCluster([]string{a.URL, b.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testScenario()
+	_, err = cc.Run(context.Background(), job.Config, job.Plan)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fleet saw %d attempts, want 1 (no failover on a daemon verdict)", calls.Load())
+	}
+}
+
+// TestClientFollowsRedirect: a daemon running -redirect answers 307; the
+// client must replay the POST body to the Location target. The redirect
+// target is a real daemon, the front is a stub that only redirects.
+func TestClientFollowsRedirect(t *testing.T) {
+	backend := httptest.NewServer(server.New(server.Options{}))
+	defer backend.Close()
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", backend.URL+"/v1/run")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	c := New(front.URL, Options{})
+	job := testScenario()
+	got, err := c.Run(context.Background(), job.Config, job.Plan)
+	if err != nil {
+		t.Fatalf("Run through redirect: %v", err)
+	}
+	if got.Fingerprint != job.Fingerprint() {
+		t.Errorf("fingerprint %q, want %q", got.Fingerprint, job.Fingerprint())
+	}
+}
+
+func TestCachedResultProbe(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+	c := New(ts.URL, Options{})
+	job := testScenario()
+
+	if _, ok, err := c.CachedResult(context.Background(), job.Fingerprint()); err != nil || ok {
+		t.Fatalf("probe before run: ok=%v err=%v, want a clean miss", ok, err)
+	}
+	if _, err := c.Run(context.Background(), job.Config, job.Plan); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.CachedResult(context.Background(), job.Fingerprint())
+	if err != nil || !ok {
+		t.Fatalf("probe after run: ok=%v err=%v", ok, err)
+	}
+	if got.Fingerprint != job.Fingerprint() || got.Result.Rounds == 0 {
+		t.Errorf("probe returned %+v", got)
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil, Options{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewCluster([]string{"http://a:1", "http://a:1"}, Options{}); err == nil {
+		t.Error("duplicate members accepted")
+	}
+}

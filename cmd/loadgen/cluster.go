@@ -1,0 +1,227 @@
+package main
+
+// Cluster phases: the executable half of scripts/cluster_smoke.sh and
+// scripts/cluster_bench.sh. The smoke script boots a 3-node fleet and
+// drives three phases in sequence — seed (owner-routing exactness),
+// failover (the fleet answers with a member dead), warm (a restarted
+// member serves its shard from sibling caches without re-simulating) —
+// while the bench script runs the -throughput mode against one node and
+// then the fleet to measure scale-out.
+
+import (
+	"context"
+	"log"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rbcast "repro"
+	"repro/client"
+)
+
+// seedCount is the number of distinct scenarios the seed phase spreads
+// over the fleet; failover and warm revisit the same set, so the three
+// phases must agree on it.
+const seedCount = 12
+
+// clusterScenario is the n-th seed scenario. It reuses the tiny family:
+// distinct heights give distinct fingerprints, and each run is
+// single-digit milliseconds so the smoke stays fast.
+func clusterScenario(n int) rbcast.Job { return tinyScenario(n) }
+
+// throughputScenario gives every request a distinct fingerprint at
+// identical simulation cost: the placement seed is fingerprinted but
+// unused by the deterministic greedy-band placement, so the scenario
+// space is unbounded while each element simulates the same workload.
+// That keeps the cache out of the measurement — throughput mode measures
+// simulation scale-out, not cache bandwidth.
+func throughputScenario(n int64) rbcast.Job {
+	return rbcast.Job{
+		Config: rbcast.Config{Width: 48, Height: 32, Radius: 1, Protocol: rbcast.ProtocolBV4, T: 2, Value: 1},
+		Plan:   rbcast.FaultPlan{Placement: rbcast.PlaceGreedyBand, Strategy: rbcast.StrategySilent, Seed: n},
+	}
+}
+
+// phaseClusterSeed spreads the seed set over the fleet and asserts the
+// ownership contract: every fingerprint ends up resident on exactly its
+// ring owner, no matter which member received the request. Odd-indexed
+// scenarios are deliberately sent to a non-owner so the fleet's own
+// proxy path (not just client-side routing) carries traffic.
+func phaseClusterSeed(ctx context.Context, cc *client.Cluster) {
+	members := cc.Members()
+	proxied := 0
+	for n := 0; n < seedCount; n++ {
+		job := clusterScenario(n)
+		owner := cc.Owner(job.Config, job.Plan)
+		var res client.RunResult
+		var err error
+		if n%2 == 0 {
+			res, err = cc.Run(ctx, job.Config, job.Plan)
+		} else {
+			nonOwner := ""
+			for _, m := range members {
+				if m != owner {
+					nonOwner = m
+					break
+				}
+			}
+			res, err = cc.Client(nonOwner).Run(ctx, job.Config, job.Plan)
+			proxied++
+		}
+		if err != nil {
+			log.Fatalf("FAIL: seed run %d: %v", n, err)
+		}
+		if res.Fingerprint != job.Fingerprint() {
+			log.Fatalf("FAIL: seed run %d answered fingerprint %q, want %q", n, res.Fingerprint, job.Fingerprint())
+		}
+	}
+
+	// Residency audit: each fingerprint on exactly one member, the owner.
+	for n := 0; n < seedCount; n++ {
+		job := clusterScenario(n)
+		fp := job.Fingerprint()
+		owner := cc.Owner(job.Config, job.Plan)
+		resident := 0
+		for _, m := range members {
+			_, ok, err := cc.Client(m).CachedResult(ctx, fp)
+			if err != nil {
+				log.Fatalf("FAIL: cache probe for %s on %s: %v", fp, m, err)
+			}
+			if ok {
+				resident++
+				if m != owner {
+					log.Fatalf("FAIL: fingerprint %s resident on non-owner %s (owner %s)", fp, m, owner)
+				}
+			}
+		}
+		if resident != 1 {
+			log.Fatalf("FAIL: fingerprint %s resident on %d members, want exactly its owner", fp, resident)
+		}
+	}
+
+	// The proxy path must have carried the deliberately misdirected runs.
+	proxyOK := 0
+	for _, m := range members {
+		metrics, err := cc.Client(m).Metrics(ctx)
+		if err != nil {
+			log.Fatalf("FAIL: /metrics on %s: %v", m, err)
+		}
+		for _, v := range regexp.MustCompile(`rbcastd_peer_proxy_total\{[^}]*outcome="ok"\} (\d+)`).
+			FindAllStringSubmatch(metrics, -1) {
+			n, _ := strconv.Atoi(v[1])
+			proxyOK += n
+		}
+	}
+	if proxyOK < proxied {
+		log.Fatalf("FAIL: fleet counts %d proxied runs, want >= %d (misdirected requests must cross the proxy path)", proxyOK, proxied)
+	}
+	log.Printf("seed: %d scenarios resident on exactly their owners; %d runs crossed the fleet proxy", seedCount, proxyOK)
+}
+
+// phaseClusterFailover re-runs the whole seed set while one member is
+// down (the script kills it before invoking this phase). Every run must
+// still complete: owned-and-cached shards answer from surviving members,
+// and shards owned by the dead member fail over to ring successors.
+func phaseClusterFailover(ctx context.Context, cc *client.Cluster) {
+	for n := 0; n < seedCount; n++ {
+		job := clusterScenario(n)
+		res, err := cc.Run(ctx, job.Config, job.Plan)
+		if err != nil {
+			log.Fatalf("FAIL: run %d did not survive the dead member: %v", n, err)
+		}
+		if res.Fingerprint != job.Fingerprint() {
+			log.Fatalf("FAIL: failover run %d answered fingerprint %q", n, res.Fingerprint)
+		}
+	}
+	log.Printf("failover: all %d scenarios answered with a member down", seedCount)
+}
+
+// phaseClusterWarm drives a freshly restarted member's shard through it
+// and asserts it warmed from the fleet: zero local simulations, at least
+// one sibling cache-fill hit. target is the restarted member's URL.
+func phaseClusterWarm(ctx context.Context, cc *client.Cluster, target string) {
+	tc := cc.Client(target)
+	if tc == nil {
+		log.Fatalf("FAIL: warm target %s is not a fleet member", target)
+	}
+	owned := 0
+	for n := 0; n < seedCount; n++ {
+		job := clusterScenario(n)
+		if cc.Owner(job.Config, job.Plan) != target {
+			continue
+		}
+		owned++
+		res, err := tc.Run(ctx, job.Config, job.Plan)
+		if err != nil {
+			log.Fatalf("FAIL: warm run %d on restarted member: %v", n, err)
+		}
+		if res.Fingerprint != job.Fingerprint() {
+			log.Fatalf("FAIL: warm run %d answered fingerprint %q", n, res.Fingerprint)
+		}
+	}
+	if owned == 0 {
+		log.Fatalf("FAIL: restarted member owns none of the %d seed scenarios; the warm phase proved nothing", seedCount)
+	}
+	metrics, err := tc.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("FAIL: /metrics on restarted member: %v", err)
+	}
+	if n := metricInt(metrics, `rbcastd_sim_runs_total (\d+)`); n != 0 {
+		log.Fatalf("FAIL: restarted member simulated %d runs; its shard should have come from sibling caches", n)
+	}
+	if n := metricInt(metrics, `rbcastd_peer_cache_fill_total\{outcome="hit"\} (\d+)`); n < 1 {
+		log.Fatalf("FAIL: restarted member reports %d cache-fill hits, want >= 1", n)
+	}
+	log.Printf("warm: restarted member served %d owned scenarios with 0 simulations (fleet cache-fill)", owned)
+}
+
+// metricInt extracts one integer sample from Prometheus exposition text;
+// the regexp's first group must capture the value.
+func metricInt(metrics, re string) int {
+	m := regexp.MustCompile(re).FindStringSubmatch(metrics)
+	if m == nil {
+		log.Fatalf("FAIL: metric missing: %s", re)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		log.Fatalf("FAIL: metric %s: %v", re, err)
+	}
+	return n
+}
+
+// phaseThroughput measures sustained run throughput: concurrency workers
+// issue distinct-fingerprint scenarios back to back for dur, and the
+// completed-run rate is printed as a machine-readable line
+// (throughput_runs_per_sec=...) that scripts/cluster_bench.sh compares
+// between a single node and the fleet.
+func phaseThroughput(ctx context.Context, run func(context.Context, rbcast.Config, rbcast.FaultPlan) (client.RunResult, error), dur time.Duration, concurrency int) {
+	tctx, cancel := context.WithTimeout(ctx, dur)
+	defer cancel()
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tctx.Err() == nil {
+				job := throughputScenario(next.Add(1))
+				if _, err := run(tctx, job.Config, job.Plan); err != nil {
+					if tctx.Err() != nil {
+						return // the measurement window closed mid-request
+					}
+					log.Fatalf("FAIL: throughput run: %v", err)
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	rate := float64(done.Load()) / elapsed
+	log.Printf("throughput: %d runs in %.2fs across %d workers", done.Load(), elapsed, concurrency)
+	// The bench script parses this exact key.
+	log.Printf("throughput_runs_per_sec=%.1f", rate)
+}

@@ -1,0 +1,18 @@
+// Package cluster implements the consistent-hash ring that shards the
+// scenario fingerprint space across an rbcastd fleet.
+//
+// Every member (an rbcastd base URL) is placed on a 64-bit ring at
+// replicas pseudo-random points derived from an FNV-1a hash of the member
+// name; a key (a scenario fingerprint) is owned by the member whose point
+// follows the key's hash clockwise. The construction is deterministic —
+// the same member list yields byte-identical rings in every process, so a
+// fleet of daemons and every client agree on each fingerprint's owner
+// without any coordination traffic — and adding or removing one member
+// moves only the keys that land on that member's arcs (~1/N of the space),
+// never keys between two surviving members.
+//
+// Successors extends Owner with the failover order: the distinct members
+// whose points follow the key clockwise. Clients walk it when the owner is
+// unreachable, and the owner walks it (minus itself) when probing sibling
+// caches for a fill.
+package cluster

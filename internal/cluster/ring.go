@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Replicas is the number of ring points each member occupies. More points
+// smooth the arc-length distribution (the expected per-member share
+// deviation shrinks like 1/√Replicas) at a small cost in memory and
+// construction time; 256 keeps the worst member within a few percent of
+// fair share for fleets up to dozens of nodes.
+const Replicas = 256
+
+// Ring is an immutable consistent-hash ring over a fixed member set. It
+// is safe for concurrent use; construct a new Ring to change membership.
+type Ring struct {
+	members []string
+	points  []point // sorted by hash, ascending
+}
+
+// point is one virtual node: a position on the 64-bit ring and the index
+// of the member that owns it.
+type point struct {
+	hash   uint64
+	member int
+}
+
+// New builds a ring over members. Members must be non-empty and distinct;
+// order does not matter — the ring is a pure function of the member set.
+func New(members []string) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member name")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+	}
+	r := &Ring{
+		members: sorted,
+		points:  make([]point, 0, len(sorted)*Replicas),
+	}
+	for mi, m := range sorted {
+		for v := 0; v < Replicas; v++ {
+			r.points = append(r.points, point{
+				hash:   hashKey(m + "#" + strconv.Itoa(v)),
+				member: mi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (vanishingly rare) break on the member index so the
+		// ring stays a pure function of the member set.
+		return a.member < b.member
+	})
+	return r, nil
+}
+
+// Members returns the member set in canonical (sorted) order. The slice
+// is shared; callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Contains reports whether m is a ring member.
+func (r *Ring) Contains(m string) bool {
+	i := sort.SearchStrings(r.members, m)
+	return i < len(r.members) && r.members[i] == m
+}
+
+// Owner returns the member that owns key: the member of the first ring
+// point at or after the key's hash, wrapping past the top.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.points[r.search(key)].member]
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner. Successors(key, Len()) is the full failover order:
+// the owner first, then the member that would inherit the key if the
+// owner left, and so on.
+func (r *Ring) Successors(key string, n int) []string {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i, at := 0, r.search(key); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(at+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or after key's hash,
+// wrapping to 0 past the last point.
+func (r *Ring) search(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hashKey is the ring's hash function: 64-bit FNV-1a finished with a
+// splitmix64-style avalanche. Raw FNV-1a diffuses similar strings (member
+// URLs differing in one port digit) too weakly for even arc lengths — the
+// worst member drew >2x fair share without the finalizer. The function is
+// part of the wire-compatibility contract — every daemon and client in a
+// fleet must map a fingerprint to the same owner, so changing it is a
+// breaking change for rolling deployments (TestRingGoldenOwners pins it).
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a fixed bijection on uint64 with
+// full avalanche, so nearby FNV outputs land far apart on the ring.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

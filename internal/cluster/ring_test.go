@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fleet builds n synthetic member URLs in the shape rbcastd uses.
+func fleet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// keys returns k synthetic fingerprint-shaped keys.
+func keys(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("sha256:%08x-fingerprint", i)
+	}
+	return out
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := New([]string{"a", ""}); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}
+
+// TestRingDeterminism: the ring is a pure function of the member set —
+// independently constructed rings (any member order) agree on every
+// owner and every successor list. This is what lets a fleet of daemons
+// and their clients route without coordinating: each process rebuilds
+// the ring from the shared -peers list after a restart and lands on the
+// identical mapping.
+func TestRingDeterminism(t *testing.T) {
+	members := fleet(5)
+	a, err := New(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed insertion order must not matter.
+	rev := make([]string, len(members))
+	for i, m := range members {
+		rev[len(members)-1-i] = m
+	}
+	b, err := New(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(2000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner(%q) differs across constructions: %q vs %q", k, ao, bo)
+		}
+		as, bs := a.Successors(k, len(members)), b.Successors(k, len(members))
+		if len(as) != len(members) || len(bs) != len(members) {
+			t.Fatalf("successors(%q) incomplete: %v vs %v", k, as, bs)
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Fatalf("successor order for %q differs at %d: %v vs %v", k, i, as, bs)
+			}
+		}
+	}
+}
+
+// TestRingGoldenOwners pins concrete owner assignments. The ring's hash
+// function is a cross-process wire contract — every daemon and client must
+// agree on each fingerprint's owner — so a change to the hash, the
+// replica count, or the point construction must show up here as a
+// deliberate golden update, not slip through as a silent reshard.
+func TestRingGoldenOwners(t *testing.T) {
+	r, err := New(fleet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"sha256:00000000-fingerprint": "http://10.0.0.3:8080",
+		"sha256:00000001-fingerprint": "http://10.0.0.2:8080",
+		"sha256:00000002-fingerprint": "http://10.0.0.3:8080",
+		"sha256:00000003-fingerprint": "http://10.0.0.1:8080",
+		"sha256:00000004-fingerprint": "http://10.0.0.2:8080",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestRingUniformity: the per-member key share must be near-uniform for
+// every fleet size the smoke and bench scripts use. The construction is
+// deterministic, so the chi-squared statistic for this fixed key set is a
+// constant per fleet size — the bound below is a regression tripwire for
+// changes that skew the ring (fewer replicas, a weaker hash), not a
+// statistical test that could flake.
+func TestRingUniformity(t *testing.T) {
+	ks := keys(20000)
+	for n := 3; n <= 16; n++ {
+		r, err := New(fleet(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int, n)
+		for _, k := range ks {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		exp := float64(len(ks)) / float64(n)
+		chi2 := 0.0
+		min, max := len(ks), 0
+		for _, c := range counts {
+			d := float64(c) - exp
+			chi2 += d * d / exp
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		// With 256 virtual nodes the measured statistic peaks at
+		// chi2/df ≈ 22 (small fleets feel arc-length variance the most);
+		// the 60x bound has headroom for the fixed key set while still
+		// failing hard on structural imbalance — the pre-avalanche hash
+		// scored chi2/df in the hundreds here.
+		df := float64(n - 1)
+		if chi2 > 60*df {
+			t.Errorf("n=%d: chi2 = %.1f over df=%v (min %d, max %d, exp %.0f) — ring is not uniform",
+				n, chi2, df, min, max, exp)
+		}
+		if float64(max) > 1.5*exp || float64(min) < 0.5*exp {
+			t.Errorf("n=%d: member share outside [0.5,1.5]x fair: min %d, max %d, exp %.0f",
+				n, min, max, exp)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding or removing one member must only move
+// keys to or from that member — a key must never reshuffle between two
+// members that are present in both rings — and the moved fraction must be
+// near 1/N, not a full reshard.
+func TestRingMinimalMovement(t *testing.T) {
+	ks := keys(20000)
+	base := fleet(9)
+	small, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(append(append([]string(nil), base...), "http://10.0.0.200:8080"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := "http://10.0.0.200:8080"
+	moved := 0
+	for _, k := range ks {
+		before, after := small.Owner(k), big.Owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != joined {
+			t.Fatalf("key %q moved %q -> %q when %q joined: keys may only move to the new member",
+				k, before, after, joined)
+		}
+	}
+	// Fair share for the 10th member is 1/10 of the keys; allow 2x for
+	// arc-length variance. Zero movement would mean the new member owns
+	// nothing, which is its own failure.
+	if moved == 0 {
+		t.Fatal("no keys moved to the joining member")
+	}
+	if frac := float64(moved) / float64(len(ks)); frac > 2.0/10 {
+		t.Fatalf("join moved %.1f%% of keys, want ~10%%", 100*frac)
+	}
+
+	// Leave is the mirror image: only the departed member's keys move.
+	for _, k := range ks {
+		before, after := big.Owner(k), small.Owner(k)
+		if before == after {
+			continue
+		}
+		if before != joined {
+			t.Fatalf("key %q moved %q -> %q when %q left: only the departed member's keys may move",
+				k, before, after, joined)
+		}
+	}
+}
+
+// TestRingSuccessors: the successor list starts at the owner, contains
+// distinct members, and its second entry is the key's owner in the ring
+// without the first — the failover contract the client and the peer
+// cache-fill path rely on.
+func TestRingSuccessors(t *testing.T) {
+	members := fleet(4)
+	r, err := New(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		succ := r.Successors(k, len(members))
+		if len(succ) != len(members) {
+			t.Fatalf("successors(%q) = %v, want all %d members", k, succ, len(members))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("successors(%q)[0] = %q, owner = %q", k, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("successors(%q) repeats %q: %v", k, m, succ)
+			}
+			seen[m] = true
+		}
+		// Failover semantics: with the owner gone, the key's new owner is
+		// the old second successor.
+		var without []string
+		for _, m := range members {
+			if m != succ[0] {
+				without = append(without, m)
+			}
+		}
+		shrunk, err := New(without)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shrunk.Owner(k); got != succ[1] {
+			t.Fatalf("owner(%q) after %q left = %q, want old successor %q", k, succ[0], got, succ[1])
+		}
+	}
+	if got := r.Successors("k", 2); len(got) != 2 {
+		t.Fatalf("Successors(k, 2) = %v, want 2 entries", got)
+	}
+	if got := r.Successors("k", 0); got != nil {
+		t.Fatalf("Successors(k, 0) = %v, want nil", got)
+	}
+}

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	rbcast "repro"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/scache"
 )
@@ -63,6 +66,25 @@ type Options struct {
 	// when the flight recorder is armed) for any request at or over this
 	// duration (≤ 0: disabled). Requires Logger.
 	SlowRequest time.Duration
+	// Self is this daemon's advertised base URL in cluster mode (e.g.
+	// "http://10.0.0.1:8080"). Required when Peers is set; must be one of
+	// them.
+	Self string
+	// Peers is the full fleet membership as base URLs, including Self.
+	// Non-empty Peers enables cluster mode: /v1/run requests whose
+	// fingerprint another member owns are forwarded there, and local
+	// cache misses this node owns probe the siblings before simulating.
+	// Empty: single-node. Validate with ValidateCluster first — New
+	// panics on an inconsistent membership.
+	Peers []string
+	// PeerTimeout bounds each sibling cache probe and health check
+	// (≤ 0: 2s). Proxied runs are bounded by the client's own request
+	// context instead — they carry real simulation work.
+	PeerTimeout time.Duration
+	// Redirect makes non-owners answer 307 (Location: owner's /v1/run)
+	// instead of proxying. Cheaper for the fleet, but only clients that
+	// replay request bodies across redirects can use it.
+	Redirect bool
 }
 
 // Server is the rbcastd HTTP handler plus its execution state. Construct
@@ -102,6 +124,18 @@ type Server struct {
 	// deadlineRuns counts executions stopped by the job deadline;
 	// panicsRecovered counts scenario panics isolated to their job.
 	deadlineRuns, panicsRecovered atomic.Int64
+
+	// Cluster mode (nil ring = single-node): the fingerprint ring, this
+	// node's advertised URL, the siblings in canonical order, the HTTP
+	// client proxies and probes ride, and per-sibling status. The
+	// peerFill* counters classify sibling cache probes on local misses.
+	ring     *cluster.Ring
+	self     string
+	siblings []string
+	peerHC   *http.Client
+	peers    map[string]*peerStatus
+
+	peerFillHit, peerFillMiss, peerFillErr atomic.Int64
 
 	// Aggregated simulation totals across every executed (non-cached)
 	// run — the internal/metrics counters surfaced fleet-wide.
@@ -155,6 +189,7 @@ func New(opts Options) *Server {
 	if opts.MaxInflight > 0 {
 		s.runSlots = make(chan struct{}, opts.MaxInflight)
 	}
+	s.initCluster()
 	// record marks routes whose timelines enter the flight recorder.
 	// Scrape endpoints and long-lived event streams stay out: they would
 	// flood the ring with traffic nobody debugs, burying the requests the
@@ -167,6 +202,7 @@ func New(opts Options) *Server {
 		record  bool
 	}{
 		{"POST /v1/run", "/v1/run", s.handleRun, true},
+		{"GET /v1/cache/{fp}", "/v1/cache/{fp}", s.handleCacheProbe, false},
 		{"POST /v1/batch", "/v1/batch", s.handleBatch, true},
 		{"POST /v1/sweep", "/v1/sweep", s.handleSweep, true},
 		{"GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob, true},
@@ -227,24 +263,44 @@ func writeShed(w http.ResponseWriter, err error) {
 
 // handleRun executes one scenario synchronously through the cache.
 // Concurrent identical requests single-flight onto one execution; the
-// X-Rbcast-Cache header reports hit (served without executing) or miss.
-// Failure modes map to statuses: invalid scenario 400, all execution slots
-// taken 429 (Retry-After), job deadline exceeded 504, scenario panic 500.
+// X-Rbcast-Cache header reports hit (served without executing), miss, or
+// peer (filled from a sibling's cache in cluster mode). In cluster mode a
+// fingerprint another member owns is forwarded there first (proxy or 307
+// per Options.Redirect) and only executed locally when the owner is
+// unreachable. Failure modes map to statuses: invalid scenario 400, all
+// execution slots taken 429 (Retry-After), job deadline exceeded 504,
+// scenario panic 500.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	tr, root := obs.SpanFromContext(r.Context())
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
 	var req RunRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	job := rbcast.Job{Config: req.Config, Plan: req.Plan}
 	fp := job.Fingerprint()
+	if s.routeRun(tr, root, w, r, fp, body) {
+		return
+	}
 	// The cache span's identity is only known once the lookup resolves:
 	// a resident hit, a single-flight wait on another request's
-	// execution, or a miss this request executes (with slot-wait and
-	// engine child spans from executeOne).
+	// execution, or a miss this request resolves — by probing sibling
+	// caches when this node owns the fingerprint in cluster mode, else by
+	// executing (with slot-wait and engine child spans from executeOne).
+	filled := false
 	cacheSp := tr.Start(root, "cache")
 	res, err, outcome := s.cache.DoOutcome(fp, func() (rbcast.Result, error) {
+		if s.ring != nil && s.ring.Owner(fp) == s.self {
+			if res, ok := s.peerFill(tr, cacheSp, fp); ok {
+				filled = true
+				return res, nil
+			}
+		}
 		return s.executeOne(tr, cacheSp, req.Config, req.Plan)
 	})
 	switch outcome {
@@ -276,9 +332,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if cached {
+	switch {
+	case cached:
 		w.Header().Set("X-Rbcast-Cache", "hit")
-	} else {
+	case filled:
+		w.Header().Set("X-Rbcast-Cache", "peer")
+	default:
 		w.Header().Set("X-Rbcast-Cache", "miss")
 	}
 	encSp := tr.Start(root, "encode")
@@ -369,7 +428,17 @@ func (s *Server) Drain(ctx context.Context) error {
 // garbage are errors, so client typos surface as 400s instead of silently
 // running a default scenario.
 func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return decodeStrict(data, v)
+}
+
+// decodeStrict is decodeJSON over bytes already read — handleRun keeps the
+// raw body so cluster mode can forward it verbatim to the owner.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request body: %w", err)

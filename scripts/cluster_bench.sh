@@ -1,0 +1,113 @@
+#!/bin/sh
+# cluster_bench.sh — fleet scale-out gate (`make cluster-bench`, nightly
+# CI only: the assertion is a wall-clock ratio and pre-merge runners are
+# too noisy for timing gates).
+#
+# Measures loadgen -throughput (distinct-fingerprint scenarios, so the
+# cache never short-circuits the work) against one rbcastd, then against
+# a 3-node fleet, and fails unless the fleet sustains >= 2x the
+# single-node rate. Every daemon runs under GOMAXPROCS=1 so each member
+# models one machine's worth of capacity — on a many-core host an
+# unbounded single daemon would soak up every core itself and the fleet
+# would have nothing left to prove.
+#
+# BENCH_DURATION (default 5s) sets the measurement window per
+# configuration. RBCASTD_PORT (default 18680) is the base port; the fleet
+# uses base+1..base+3. SMOKE_LOG_DIR, when set, receives the daemon logs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+LOGDIR="${SMOKE_LOG_DIR:-$TMP}"
+mkdir -p "$LOGDIR"
+BASE="${RBCASTD_PORT:-18680}"
+DUR="${BENCH_DURATION:-5s}"
+P0=$BASE
+P1=$((BASE + 1))
+P2=$((BASE + 2))
+P3=$((BASE + 3))
+U1="http://127.0.0.1:$P1"
+U2="http://127.0.0.1:$P2"
+U3="http://127.0.0.1:$P3"
+PEERS="$U1,$U2,$U3"
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+trap 'exit 1' INT TERM
+
+fail() {
+    echo "cluster-bench: FAIL: $*" >&2
+    for f in "$LOGDIR"/bench-*.log; do
+        [ -f "$f" ] || continue
+        echo "--- $f ---" >&2
+        cat "$f" >&2
+    done
+    exit 1
+}
+
+"${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
+"${GO:-go}" build -o "$TMP/loadgen" ./cmd/loadgen
+
+# wait_listening <log> <pid>
+wait_listening() {
+    i=0
+    while [ $i -lt 100 ]; do
+        grep -q 'msg="rbcastd listening"' "$1" 2>/dev/null && return 0
+        kill -0 "$2" 2>/dev/null || fail "daemon exited before binding ($1)"
+        sleep 0.1
+        i=$((i + 1))
+    done
+    fail "daemon never reported its address ($1)"
+}
+
+# rate <loadgen output file>: extract the machine-readable runs/s figure.
+rate() {
+    sed -n 's/.*throughput_runs_per_sec=\([0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
+# --- single node, one core ---
+GOMAXPROCS=1 "$TMP/rbcastd" -addr "127.0.0.1:$P0" >"$LOGDIR/bench-single.log" 2>&1 &
+SINGLE_PID=$!
+PIDS="$SINGLE_PID"
+wait_listening "$LOGDIR/bench-single.log" "$SINGLE_PID"
+"$TMP/loadgen" -addr "http://127.0.0.1:$P0" -throughput -duration "$DUR" -concurrency 9 \
+    >"$TMP/single.out" 2>&1 || { cat "$TMP/single.out" >&2; fail "single-node throughput run"; }
+cat "$TMP/single.out"
+SINGLE=$(rate "$TMP/single.out")
+[ -n "$SINGLE" ] || fail "single-node run printed no throughput_runs_per_sec"
+kill "$SINGLE_PID" 2>/dev/null || true
+wait "$SINGLE_PID" 2>/dev/null || true
+PIDS=""
+
+# --- 3-node fleet, one core each ---
+for i in 1 2 3; do
+    port=$(eval "echo \$P$i")
+    url=$(eval "echo \$U$i")
+    GOMAXPROCS=1 "$TMP/rbcastd" -addr "127.0.0.1:$port" -self "$url" -peers "$PEERS" \
+        >"$LOGDIR/bench-node$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+done
+for i in 1 2 3; do
+    set -- $PIDS
+    shift $((i - 1))
+    wait_listening "$LOGDIR/bench-node$i.log" "$1"
+done
+"$TMP/loadgen" -fleet "$PEERS" -throughput -duration "$DUR" -concurrency 9 \
+    >"$TMP/fleet.out" 2>&1 || { cat "$TMP/fleet.out" >&2; fail "fleet throughput run"; }
+cat "$TMP/fleet.out"
+FLEET=$(rate "$TMP/fleet.out")
+[ -n "$FLEET" ] || fail "fleet run printed no throughput_runs_per_sec"
+
+SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $FLEET / $SINGLE }")
+echo "cluster-bench: single=$SINGLE runs/s fleet=$FLEET runs/s speedup=${SPEEDUP}x"
+awk "BEGIN { exit !($FLEET >= 2.0 * $SINGLE) }" \
+    || fail "fleet throughput $FLEET runs/s is under 2x the single-node $SINGLE runs/s"
+echo "cluster-bench: ok (>= 2x scale-out)"

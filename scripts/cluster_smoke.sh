@@ -1,0 +1,132 @@
+#!/bin/sh
+# cluster_smoke.sh — 3-node fleet smoke test for rbcastd cluster mode
+# (`make cluster-smoke`).
+#
+# Boots three daemons sharing one -peers list (ports RBCASTD_PORT,
+# RBCASTD_PORT+1, RBCASTD_PORT+2) and drives cmd/loadgen's cluster phases:
+#
+#   seed      — 12 distinct scenarios spread over the fleet, half of them
+#               deliberately sent to a non-owner; every fingerprint must
+#               end up resident on exactly its ring owner and the
+#               misdirected runs must show in rbcastd_peer_proxy_total.
+#   failover  — node 3 is killed; re-running the whole set through the
+#               cluster client must still answer every scenario (client
+#               failover plus fleet-side local fallback).
+#   warm      — node 3 restarts with an empty cache; serving its shard
+#               must show rbcastd_sim_runs_total 0 and peer cache-fill
+#               hits: the restarted member warms from sibling caches
+#               instead of re-simulating.
+#
+# No curl/jq dependency — loadgen is the whole client side. SMOKE_LOG_DIR,
+# when set, receives the three daemon logs so CI can upload them on
+# failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+LOGDIR="${SMOKE_LOG_DIR:-$TMP}"
+mkdir -p "$LOGDIR"
+BASE="${RBCASTD_PORT:-18580}"
+P1=$BASE
+P2=$((BASE + 1))
+P3=$((BASE + 2))
+U1="http://127.0.0.1:$P1"
+U2="http://127.0.0.1:$P2"
+U3="http://127.0.0.1:$P3"
+PEERS="$U1,$U2,$U3"
+
+PID1=""
+PID2=""
+PID3=""
+cleanup() {
+    for pid in "$PID1" "$PID2" "$PID3"; do
+        [ -n "$pid" ] || continue
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+trap 'exit 1' INT TERM
+
+fail() {
+    echo "cluster-smoke: FAIL: $*" >&2
+    for f in "$LOGDIR"/cluster-node*.log; do
+        [ -f "$f" ] || continue
+        echo "--- $f ---" >&2
+        cat "$f" >&2
+    done
+    exit 1
+}
+
+"${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
+"${GO:-go}" build -o "$TMP/loadgen" ./cmd/loadgen
+
+# start_node <n> <port> <url>: boot one member; its pid lands in PID<n>.
+start_node() {
+    "$TMP/rbcastd" -addr "127.0.0.1:$2" -self "$3" -peers "$PEERS" \
+        -peer-health-interval 1s \
+        >"$LOGDIR/cluster-node$1.log" 2>&1 &
+    eval "PID$1=$!"
+}
+
+# wait_listening <n>: block until node n logs its bound address.
+wait_listening() {
+    log="$LOGDIR/cluster-node$1.log"
+    pid=$(eval "echo \$PID$1")
+    i=0
+    while [ $i -lt 100 ]; do
+        grep -q 'msg="rbcastd listening"' "$log" 2>/dev/null && return 0
+        kill -0 "$pid" 2>/dev/null || fail "node $1 exited before binding"
+        sleep 0.1
+        i=$((i + 1))
+    done
+    fail "node $1 never reported its address"
+}
+
+# reap <n>: SIGTERM node n and wait for a clean exit.
+reap() {
+    pid=$(eval "echo \$PID$1")
+    [ -n "$pid" ] || return 0
+    kill "$pid" 2>/dev/null || true
+    i=0
+    while kill -0 "$pid" 2>/dev/null; do
+        [ $i -ge 100 ] && fail "node $1 did not exit after SIGTERM"
+        sleep 0.1
+        i=$((i + 1))
+    done
+    wait "$pid" 2>/dev/null || fail "node $1 exited nonzero on SIGTERM"
+    eval "PID$1=''"
+}
+
+start_node 1 "$P1" "$U1"
+start_node 2 "$P2" "$U2"
+start_node 3 "$P3" "$U3"
+wait_listening 1
+wait_listening 2
+wait_listening 3
+
+# Phase 1: owner-routing exactness across the live fleet.
+"$TMP/loadgen" -fleet "$PEERS" -phase seed || fail "seed phase"
+
+# Phase 2: kill node 3 and re-run the whole set through the fleet.
+reap 3
+"$TMP/loadgen" -fleet "$PEERS" -phase failover || fail "failover phase"
+
+# Phase 3: restart node 3 with an empty cache; its shard must come back
+# from sibling caches, not from re-simulation.
+start_node 3 "$P3" "$U3"
+wait_listening 3
+"$TMP/loadgen" -fleet "$PEERS" -phase warm -target "$U3" || fail "warm phase"
+
+# The whole fleet must still shut down cleanly.
+reap 1
+reap 2
+reap 3
+for n in 1 2 3; do
+    grep -q 'drained, bye' "$LOGDIR/cluster-node$n.log" \
+        || fail "node $n did not report a clean drain"
+done
+
+echo "cluster-smoke: ok ($U1 $U2 $U3)"

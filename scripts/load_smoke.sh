@@ -9,11 +9,19 @@
 # result while its siblings complete, and the daemon stays healthy with
 # the sheds visible in /metrics. No curl/jq dependency — loadgen is the
 # whole client side.
+#
+# RBCASTD_PORT overrides the daemon port (each smoke script defaults to
+# a distinct one so `make -j` can run them side by side); SMOKE_LOG_DIR,
+# when set, receives the daemon log so CI can upload it on failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TMP=$(mktemp -d)
+LOGDIR="${SMOKE_LOG_DIR:-$TMP}"
+mkdir -p "$LOGDIR"
+LOG="$LOGDIR/load-rbcastd.log"
+PORT="${RBCASTD_PORT:-18280}"
 PID=""
 cleanup() {
     if [ -n "$PID" ]; then
@@ -28,22 +36,22 @@ trap 'exit 1' INT TERM
 fail() {
     echo "load-smoke: FAIL: $*" >&2
     echo "--- rbcastd log ---" >&2
-    cat "$TMP/log" >&2 || true
+    cat "$LOG" >&2 || true
     exit 1
 }
 
 "${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
 "${GO:-go}" build -o "$TMP/loadgen" ./cmd/loadgen
 
-"$TMP/rbcastd" -addr 127.0.0.1:0 -queue-depth 1 -max-inflight 1 -job-timeout 250ms \
-    >"$TMP/log" 2>&1 &
+"$TMP/rbcastd" -addr "127.0.0.1:$PORT" -queue-depth 1 -max-inflight 1 -job-timeout 250ms \
+    >"$LOG" 2>&1 &
 PID=$!
 
 # The daemon logs msg="rbcastd listening" addr=127.0.0.1:PORT once bound.
 ADDR=""
 i=0
 while [ $i -lt 100 ]; do
-    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$LOG" | head -n 1)
     [ -n "$ADDR" ] && break
     kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
     sleep 0.1
@@ -63,6 +71,6 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 wait "$PID" 2>/dev/null || fail "daemon exited nonzero on SIGTERM"
 PID=""
-grep -q 'drained, bye' "$TMP/log" || fail "daemon did not report a clean drain"
+grep -q 'drained, bye' "$LOG" || fail "daemon did not report a clean drain"
 
 echo "load-smoke: ok (http://$ADDR)"

@@ -11,11 +11,19 @@
 # daemon logged slow-request WARN lines carrying the per-phase breakdown,
 # that rbcastd_phase_seconds reached /metrics, and a clean drain. No
 # curl/jq dependency — loadgen is the whole client side.
+#
+# RBCASTD_PORT overrides the daemon port (each smoke script defaults to
+# a distinct one so `make -j` can run them side by side); SMOKE_LOG_DIR,
+# when set, receives the daemon log so CI can upload it on failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TMP=$(mktemp -d)
+LOGDIR="${SMOKE_LOG_DIR:-$TMP}"
+mkdir -p "$LOGDIR"
+LOG="$LOGDIR/obs-rbcastd.log"
+PORT="${RBCASTD_PORT:-18480}"
 PID=""
 cleanup() {
     if [ -n "$PID" ]; then
@@ -30,22 +38,22 @@ trap 'exit 1' INT TERM
 fail() {
     echo "obs-smoke: FAIL: $*" >&2
     echo "--- rbcastd log ---" >&2
-    cat "$TMP/log" >&2 || true
+    cat "$LOG" >&2 || true
     exit 1
 }
 
 "${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
 "${GO:-go}" build -o "$TMP/loadgen" ./cmd/loadgen
 
-"$TMP/rbcastd" -addr 127.0.0.1:0 -flight-recorder 64 -slow-request 1ms \
-    >"$TMP/log" 2>&1 &
+"$TMP/rbcastd" -addr "127.0.0.1:$PORT" -flight-recorder 64 -slow-request 1ms \
+    >"$LOG" 2>&1 &
 PID=$!
 
 # The daemon logs msg="rbcastd listening" addr=127.0.0.1:PORT once bound.
 ADDR=""
 i=0
 while [ $i -lt 100 ]; do
-    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$LOG" | head -n 1)
     [ -n "$ADDR" ] && break
     kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
     sleep 0.1
@@ -58,9 +66,9 @@ done
 
 # The 1ms threshold makes real work slow by definition: the engine-backed
 # requests must have produced WARN lines with the per-phase breakdown.
-grep -q 'msg="slow request"' "$TMP/log" \
+grep -q 'msg="slow request"' "$LOG" \
     || fail "no slow-request WARN line despite a 1ms threshold"
-grep 'msg="slow request"' "$TMP/log" | grep -q 'phases=' \
+grep 'msg="slow request"' "$LOG" | grep -q 'phases=' \
     || fail "slow-request WARN line carries no per-phase breakdown"
 
 kill "$PID"
@@ -72,6 +80,6 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 wait "$PID" 2>/dev/null || fail "daemon exited nonzero on SIGTERM"
 PID=""
-grep -q 'drained, bye' "$TMP/log" || fail "daemon did not report a clean drain"
+grep -q 'drained, bye' "$LOG" || fail "daemon did not report a clean drain"
 
 echo "obs-smoke: ok (http://$ADDR)"

@@ -7,11 +7,19 @@
 # and /metrics counters consistent with all of the above. Exits nonzero on
 # any mismatch. Requires curl; uses jq when available for nicer batch
 # polling but does not depend on it.
+#
+# RBCASTD_PORT overrides the daemon port (each smoke script defaults to
+# a distinct one so `make -j` can run them side by side); SMOKE_LOG_DIR,
+# when set, receives the daemon log so CI can upload it on failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TMP=$(mktemp -d)
+LOGDIR="${SMOKE_LOG_DIR:-$TMP}"
+mkdir -p "$LOGDIR"
+LOG="$LOGDIR/serve-rbcastd.log"
+PORT="${RBCASTD_PORT:-18080}"
 PID=""
 # Reap the daemon on every exit path: kill alone can leave it running just
 # long enough to hold the port against the next CI step, so wait for it.
@@ -28,20 +36,20 @@ trap 'exit 1' INT TERM
 fail() {
     echo "serve-smoke: FAIL: $*" >&2
     echo "--- rbcastd log ---" >&2
-    cat "$TMP/log" >&2 || true
+    cat "$LOG" >&2 || true
     exit 1
 }
 
 "${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
 
-"$TMP/rbcastd" -addr 127.0.0.1:0 >"$TMP/log" 2>&1 &
+"$TMP/rbcastd" -addr "127.0.0.1:$PORT" >"$LOG" 2>&1 &
 PID=$!
 
 # The daemon logs msg="rbcastd listening" addr=127.0.0.1:PORT once bound.
 ADDR=""
 i=0
 while [ $i -lt 100 ]; do
-    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$LOG" | head -n 1)
     [ -n "$ADDR" ] && break
     kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
     sleep 0.1
@@ -134,6 +142,6 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 wait "$PID" 2>/dev/null || fail "daemon exited nonzero on SIGTERM"
 PID=""
-grep -q 'drained, bye' "$TMP/log" || fail "daemon did not report a clean drain"
+grep -q 'drained, bye' "$LOG" || fail "daemon did not report a clean drain"
 
 echo "serve-smoke: ok ($BASE)"

@@ -9,11 +9,19 @@
 # under the same fingerprint. Also pins the NDJSON framing, work sharing in
 # the stats trailer, the all-cached repeat sweep, the oversized-grid 400, and
 # the sweep counters on /metrics. Requires curl and sed only.
+#
+# RBCASTD_PORT overrides the daemon port (each smoke script defaults to
+# a distinct one so `make -j` can run them side by side); SMOKE_LOG_DIR,
+# when set, receives the daemon log so CI can upload it on failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TMP=$(mktemp -d)
+LOGDIR="${SMOKE_LOG_DIR:-$TMP}"
+mkdir -p "$LOGDIR"
+LOG="$LOGDIR/sweep-rbcastd.log"
+PORT="${RBCASTD_PORT:-18380}"
 PID=""
 cleanup() {
     if [ -n "$PID" ]; then
@@ -28,19 +36,19 @@ trap 'exit 1' INT TERM
 fail() {
     echo "sweep-smoke: FAIL: $*" >&2
     echo "--- rbcastd log ---" >&2
-    cat "$TMP/log" >&2 || true
+    cat "$LOG" >&2 || true
     exit 1
 }
 
 "${GO:-go}" build -o "$TMP/rbcastd" ./cmd/rbcastd
 
-"$TMP/rbcastd" -addr 127.0.0.1:0 >"$TMP/log" 2>&1 &
+"$TMP/rbcastd" -addr "127.0.0.1:$PORT" >"$LOG" 2>&1 &
 PID=$!
 
 ADDR=""
 i=0
 while [ $i -lt 100 ]; do
-    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$LOG" | head -n 1)
     [ -n "$ADDR" ] && break
     kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
     sleep 0.1

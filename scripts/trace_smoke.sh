@@ -8,11 +8,19 @@
 # checks: repeated trace GETs are byte-identical, commit events carry
 # certificates, untraced elements 404, unknown jobs 404, and /metrics
 # exposes the per-route duration histograms. Requires curl.
+#
+# RBCASTD_PORT overrides the daemon port (each smoke script defaults to
+# a distinct one so `make -j` can run them side by side); SMOKE_LOG_DIR,
+# when set, receives the daemon log so CI can upload it on failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TMP=$(mktemp -d)
+LOGDIR="${SMOKE_LOG_DIR:-$TMP}"
+mkdir -p "$LOGDIR"
+LOG="$LOGDIR/trace-rbcastd.log"
+PORT="${RBCASTD_PORT:-18180}"
 PID=""
 # Reap the daemon on every exit path: kill alone can leave it running just
 # long enough to hold the port against the next CI step, so wait for it.
@@ -28,7 +36,7 @@ trap 'exit 1' INT TERM
 
 fail() {
     echo "trace-smoke: FAIL: $*" >&2
-    [ -f "$TMP/log" ] && { echo "--- rbcastd log ---" >&2; cat "$TMP/log" >&2; }
+    [ -f "$LOG" ] && { echo "--- rbcastd log ---" >&2; cat "$LOG" >&2; }
     exit 1
 }
 
@@ -44,12 +52,12 @@ head -n 1 "$TMP/cli.jsonl" | grep -q '^{"round":' || fail "trace lines do not st
 grep -q '"kind":"commit"' "$TMP/cli.jsonl" || fail "trace carries no commit events"
 grep -q '"certificate"' "$TMP/cli.jsonl" || fail "commit events carry no certificates"
 
-"$TMP/rbcastd" -addr 127.0.0.1:0 >"$TMP/log" 2>&1 &
+"$TMP/rbcastd" -addr "127.0.0.1:$PORT" >"$LOG" 2>&1 &
 PID=$!
 ADDR=""
 i=0
 while [ $i -lt 100 ]; do
-    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$TMP/log" | head -n 1)
+    ADDR=$(sed -n 's/.*msg="rbcastd listening" addr=\([^ ]*\).*/\1/p' "$LOG" | head -n 1)
     [ -n "$ADDR" ] && break
     kill -0 "$PID" 2>/dev/null || fail "daemon exited before binding"
     sleep 0.1
